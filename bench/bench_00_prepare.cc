@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Builds every shared artifact (datasets, trained models, the TAO
+ * baseline) up front so the remaining benches run from cache. Safe to
+ * re-run; everything is cached on disk under artifacts/.
+ */
+
+#include "bench_util.hh"
+#include "common/stopwatch.hh"
+
+using namespace concorde;
+
+int
+main()
+{
+    std::printf("=== bench_00_prepare: building shared artifacts ===\n");
+    std::printf("artifact dir: %s\n", artifacts::dir().c_str());
+    std::printf("sizes: train=%zu test=%zu long-train=%zu long-test=%zu "
+                "spec=%zu epochs=%zu\n",
+                artifacts::trainSamples(), artifacts::testSamples(),
+                artifacts::longTrainSamples(), artifacts::longTestSamples(),
+                artifacts::specSamples(), artifacts::epochs());
+
+    Stopwatch total;
+    artifacts::ensurePrepared();
+    benchutil::taoArtifact();
+
+    const auto &model = artifacts::fullModel();
+    const auto errors =
+        benchutil::relativeErrors(model, artifacts::mainTest());
+    benchutil::printErrorRow("full model on test split",
+                             benchutil::summarize(errors));
+    std::printf("prepared all artifacts in %.1fs\n", total.seconds());
+    return 0;
+}

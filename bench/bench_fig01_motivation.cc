@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 1: per-resource analytical throughput bounds vs ground-truth IPC
+ * over 400-instruction windows for two contrasting programs, as
+ * timeseries and as CDFs. Program A is backend/frontend mixed; program B
+ * is memory bound (its I-cache-fill and decode bounds sit far above IPC).
+ */
+
+#include "analytical/feature_provider.hh"
+#include "bench_util.hh"
+#include "sim/o3_core.hh"
+#include "trace/workloads.hh"
+
+using namespace concorde;
+
+namespace
+{
+
+void
+showProgram(const char *code, const char *tag)
+{
+    const int pid = programIdByCode(code);
+    RegionSpec spec{pid, 0, 8, 4};
+    FeatureConfig config;
+    FeatureProvider provider(spec, config);
+    const UarchParams n1 = UarchParams::armN1();
+
+    const auto &rob = provider.robWindows(n1.robSize, n1.memory);
+    const auto &lq = provider.lqWindows(n1.lqSize, n1.memory);
+    const auto &fills =
+        provider.icacheFillWindows(n1.maxIcacheFills, n1.memory);
+    const double decode = n1.decodeWidth;
+
+    const SimResult sim =
+        simulateRegion(n1, provider.analysis(), config.windowK);
+    const auto truth =
+        throughputFromBoundaries(sim.windowCommitCycles, config.windowK);
+
+    std::printf("\nProgram %s (%s) -- first 16 windows of 400 instrs, "
+                "IPC bounds vs ground truth:\n", tag, code);
+    std::printf("  %-8s %8s %8s %8s %8s %10s\n", "window", "ROB", "LQ",
+                "IcFills", "Decode", "trueIPC");
+    const size_t show = std::min<size_t>({16, rob.size(), truth.size()});
+    for (size_t j = 0; j < show; ++j) {
+        std::printf("  %-8zu %8.2f %8.2f %8.2f %8.2f %10.2f\n", j, rob[j],
+                    lq[j], fills[j], decode, truth[j]);
+    }
+
+    benchutil::printCdf("CDF ROB bound", rob);
+    benchutil::printCdf("CDF LQ bound", lq);
+    benchutil::printCdf("CDF icache-fills bound", fills);
+    benchutil::printCdf("CDF ground-truth IPC",
+                        std::vector<double>(truth.begin(), truth.end()));
+    std::printf("  region IPC: %.3f (CPI %.3f)\n", sim.ipc(), sim.cpi());
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    std::printf("=== Figure 1: per-resource bounds explain IPC trends "
+                "===\n");
+    showProgram("S3", "A (frontend/backend mixed)");
+    showProgram("S1", "B (memory bound)");
+    std::printf("\nNote: the minimum of the bounds tracks but does not "
+                "equal the true IPC -- the gap is what the ML stage "
+                "learns (Section 2).\n");
+    return 0;
+}

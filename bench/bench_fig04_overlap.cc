@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 4: average instruction overlap between each test region and its
+ * closest training region (the training region with maximum instruction
+ * overlap), per program. Low overlap rules out memorization.
+ */
+
+#include <map>
+
+#include "bench_util.hh"
+
+using namespace concorde;
+
+int
+main()
+{
+    const Dataset &train = artifacts::mainTrain();
+    const Dataset &test = artifacts::mainTest();
+
+    // Index train regions by (program, trace).
+    std::map<std::pair<int, int>, std::vector<std::pair<uint64_t, uint64_t>>>
+        train_intervals;
+    for (const auto &meta : train.meta) {
+        train_intervals[{meta.region.programId, meta.region.traceId}]
+            .emplace_back(meta.region.startChunk,
+                          meta.region.startChunk + meta.region.numChunks);
+    }
+
+    std::map<int, std::pair<double, size_t>> per_program; // sum, count
+    for (const auto &meta : test.meta) {
+        const uint64_t begin = meta.region.startChunk;
+        const uint64_t end = begin + meta.region.numChunks;
+        double best = 0.0;
+        auto it = train_intervals.find(
+            {meta.region.programId, meta.region.traceId});
+        if (it != train_intervals.end()) {
+            for (const auto &[tb, te] : it->second) {
+                const uint64_t lo = std::max(begin, tb);
+                const uint64_t hi = std::min(end, te);
+                if (hi > lo) {
+                    best = std::max(
+                        best, static_cast<double>(hi - lo)
+                            / static_cast<double>(end - begin));
+                }
+            }
+        }
+        auto &[sum, count] = per_program[meta.region.programId];
+        sum += best;
+        ++count;
+    }
+
+    std::printf("=== Figure 4: average test/train region overlap ===\n");
+    std::printf("  %-6s %-24s %10s %8s\n", "Code", "Program",
+                "overlap(%)", "n");
+    double total = 0.0;
+    size_t total_n = 0;
+    for (const auto &[pid, acc] : per_program) {
+        const auto &info = workloadCorpus()[pid];
+        std::printf("  %-6s %-24s %10.2f %8zu\n", info.code().c_str(),
+                    info.profile.name.c_str(), 100.0 * acc.first
+                        / static_cast<double>(acc.second), acc.second);
+        total += acc.first;
+        total_n += acc.second;
+    }
+    std::printf("  corpus average overlap: %.2f%% (paper: 16.86%%)\n",
+                100.0 * total / static_cast<double>(total_n));
+    return 0;
+}

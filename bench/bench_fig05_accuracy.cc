@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 5: Concorde's CPI prediction error on unseen (test) pairs of
+ * program regions and random microarchitectures -- the headline accuracy
+ * result. Prints the error summary, the CPI and error distributions, and
+ * an error-vs-CPI breakdown (the scatterplot's marginal views).
+ */
+
+#include "bench_util.hh"
+
+using namespace concorde;
+
+int
+main()
+{
+    const Dataset &test = artifacts::mainTest();
+    const TrainedModel &model = artifacts::fullModel();
+
+    const auto errors = benchutil::relativeErrors(model, test);
+    std::printf("=== Figure 5: accuracy on random microarchitectures "
+                "===\n");
+    benchutil::printErrorRow("Concorde (test split)",
+                             benchutil::summarize(errors));
+    std::printf("  paper reference: avg 2.03%%, 2.51%% of samples above "
+                "10%% error\n\n");
+
+    std::vector<double> cpis(test.labels.begin(), test.labels.end());
+    benchutil::printCdf("ground-truth CPI distribution", cpis);
+    benchutil::printCdf("relative error distribution", errors);
+
+    // Error vs CPI deciles (the scatter's trend).
+    std::vector<size_t> order(test.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return test.labels[a] < test.labels[b];
+    });
+    std::printf("\n  error by ground-truth-CPI decile:\n");
+    const size_t deciles = 10;
+    for (size_t d = 0; d < deciles; ++d) {
+        const size_t begin = d * test.size() / deciles;
+        const size_t end = (d + 1) * test.size() / deciles;
+        std::vector<double> bucket;
+        double cpi_lo = test.labels[order[begin]];
+        double cpi_hi = test.labels[order[end - 1]];
+        for (size_t i = begin; i < end; ++i)
+            bucket.push_back(errors[order[i]]);
+        const auto stats = benchutil::summarize(bucket);
+        std::printf("  CPI [%6.2f, %6.2f]: avg err %6.2f%%  >10%%: "
+                    "%5.2f%%\n", cpi_lo, cpi_hi, 100 * stats.mean,
+                    100 * stats.fracAbove10pct);
+    }
+    return 0;
+}

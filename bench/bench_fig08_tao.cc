@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 8 (plus the "Accuracy on ARM N1" paragraph of Section 5.1):
+ * Concorde vs the TAO-style sequence baseline on SPEC2017 programs at the
+ * fixed ARM N1 design point. Concorde is trained on random
+ * microarchitectures; TAO is trained specifically for N1.
+ */
+
+#include <map>
+
+#include "bench_util.hh"
+#include "common/thread_pool.hh"
+
+using namespace concorde;
+
+int
+main()
+{
+    const Dataset &test = artifacts::specN1Test();
+    const TrainedModel &concorde_model = artifacts::fullModel();
+    TaoModel tao = benchutil::taoArtifact();
+
+    // Concorde errors.
+    const auto concorde_errors =
+        benchutil::relativeErrors(concorde_model, test);
+
+    // TAO errors (sequence model re-reads each region).
+    std::vector<double> tao_errors(test.size());
+    parallelFor(test.size(), [&](size_t i) {
+        RegionAnalysis analysis(test.meta[i].region);
+        const double pred = tao.predictCpi(analysis);
+        tao_errors[i] = std::abs(pred - test.labels[i])
+            / std::max(test.labels[i], 1e-6f);
+    });
+
+    std::map<int, std::pair<std::vector<double>, std::vector<double>>>
+        per_program;
+    for (size_t i = 0; i < test.size(); ++i) {
+        auto &bucket = per_program[test.meta[i].region.programId];
+        bucket.first.push_back(concorde_errors[i]);
+        bucket.second.push_back(tao_errors[i]);
+    }
+
+    std::printf("=== Figure 8: Concorde vs TAO on SPEC2017 @ ARM N1 "
+                "===\n");
+    std::printf("  %-6s %-22s %14s %14s\n", "Code", "Program",
+                "Concorde err(%)", "TAO err(%)");
+    int concorde_wins = 0;
+    for (const auto &[pid, bucket] : per_program) {
+        const auto c = benchutil::summarize(bucket.first);
+        const auto t = benchutil::summarize(bucket.second);
+        const auto &info = workloadCorpus()[pid];
+        std::printf("  %-6s %-22s %14.2f %14.2f%s\n", info.code().c_str(),
+                    info.profile.name.c_str(), 100 * c.mean, 100 * t.mean,
+                    c.mean < t.mean ? "" : "   <-- TAO wins");
+        concorde_wins += c.mean < t.mean;
+    }
+    benchutil::printErrorRow("Concorde overall @ N1",
+                             benchutil::summarize(concorde_errors));
+    benchutil::printErrorRow("TAO overall @ N1",
+                             benchutil::summarize(tao_errors));
+    std::printf("  Concorde wins %d/%zu programs "
+                "(paper: all, 3.5%% vs 7.8%%)\n", concorde_wins,
+                per_program.size());
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 11 (Section 5.2.1): how discrepancies between trace-analysis
+ * load-time estimates and actual timing-simulation load times shape the
+ * error tail. Buckets test samples by the actual/estimated execution-time
+ * ratio and reports error per bucket.
+ */
+
+#include "bench_util.hh"
+
+using namespace concorde;
+
+int
+main()
+{
+    const Dataset &test = artifacts::mainTest();
+    const TrainedModel &model = artifacts::fullModel();
+    const auto errors = benchutil::relativeErrors(model, test);
+
+    std::vector<double> ratios;
+    for (const auto &meta : test.meta)
+        ratios.push_back(meta.execRatio);
+
+    std::printf("=== Figure 11: execution-time discrepancy vs error "
+                "===\n");
+    benchutil::printCdf("actual/estimated load-time ratio", ratios);
+
+    struct Bucket
+    {
+        const char *label;
+        double lo, hi;
+        std::vector<double> errs;
+    };
+    std::vector<Bucket> buckets = {
+        {"ratio [0.0, 1.1)", 0.0, 1.1, {}},
+        {"ratio [1.1, 1.5)", 1.1, 1.5, {}},
+        {"ratio [1.5, inf)", 1.5, 1e9, {}},
+    };
+    for (size_t i = 0; i < test.size(); ++i) {
+        for (auto &bucket : buckets) {
+            if (ratios[i] >= bucket.lo && ratios[i] < bucket.hi)
+                bucket.errs.push_back(errors[i]);
+        }
+    }
+    for (auto &bucket : buckets)
+        benchutil::printErrorRow(bucket.label,
+                                 benchutil::summarize(bucket.errs));
+
+    // Tail composition: what share of >10% errors comes from high-ratio
+    // samples (paper: 41.5% of tail cases have ratio > 1.5, vs ~10% of
+    // all samples)?
+    size_t tail = 0, tail_high_ratio = 0, high_ratio = 0;
+    for (size_t i = 0; i < test.size(); ++i) {
+        const bool high = ratios[i] >= 1.5;
+        high_ratio += high;
+        if (errors[i] > 0.10) {
+            ++tail;
+            tail_high_ratio += high;
+        }
+    }
+    std::printf("  samples with ratio>=1.5: %.1f%% of all, %.1f%% of the "
+                ">10%%-error tail (paper: ~10%% vs 41.5%%)\n",
+                100.0 * high_ratio / test.size(),
+                tail ? 100.0 * tail_high_ratio / tail : 0.0);
+    return 0;
+}

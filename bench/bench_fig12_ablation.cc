@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 12 (Section 5.2.2): ablation of Concorde's design components --
+ * the pure analytical min-bound (no ML), the base model (per-resource
+ * distributions + mispredict rate), base + pipeline-stall features, and
+ * the full model with latency distributions.
+ */
+
+#include "analytical/feature_provider.hh"
+#include "bench_util.hh"
+#include "common/thread_pool.hh"
+
+using namespace concorde;
+
+int
+main()
+{
+    const Dataset &test = artifacts::mainTest();
+
+    std::printf("=== Figure 12: ablation of design components ===\n");
+
+    // Pure analytical minimum bound (no ML), on a subsample for speed.
+    const size_t bound_n = std::min<size_t>(test.size(), 600);
+    std::vector<double> bound_errors(bound_n);
+    parallelFor(bound_n, [&](size_t i) {
+        FeatureProvider provider(test.meta[i].region,
+                                 artifacts::featureConfig());
+        const double bound =
+            provider.cpiMinBound(test.meta[i].params);
+        bound_errors[i] = std::abs(bound - test.labels[i])
+            / std::max(test.labels[i], 1e-6f);
+    });
+    benchutil::printErrorRow("min bound (analytical, no ML)",
+                             benchutil::summarize(bound_errors));
+
+    const auto base_errors = benchutil::relativeErrors(
+        artifacts::ablationModel("base"), test);
+    benchutil::printErrorRow("base (dists + mispredict rate)",
+                             benchutil::summarize(base_errors));
+
+    const auto branch_errors = benchutil::relativeErrors(
+        artifacts::ablationModel("base_branch"), test);
+    benchutil::printErrorRow("base + branch/stall features",
+                             benchutil::summarize(branch_errors));
+
+    const auto full_errors =
+        benchutil::relativeErrors(artifacts::fullModel(), test);
+    benchutil::printErrorRow("full (+ latency distributions)",
+                             benchutil::summarize(full_errors));
+
+    benchutil::printCdf("error CDF, min bound", bound_errors);
+    benchutil::printCdf("error CDF, base", base_errors);
+    benchutil::printCdf("error CDF, base+branch", branch_errors);
+    benchutil::printCdf("error CDF, full", full_errors);
+    std::printf("  paper: 65%% -> 3.32%% -> 2.4%% -> 2.03%% average "
+                "error\n");
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Figure 14 (Section 5.2.5): out-of-distribution generalization across
+ * programs. Top: leave-one-program-out error for a representative set of
+ * programs (the paper's hardest cases). Bottom: the onboarding curve --
+ * error vs number of new-program samples added back to training.
+ */
+
+#include "bench_util.hh"
+
+using namespace concorde;
+
+namespace
+{
+
+Dataset
+withoutProgram(const Dataset &data, int program_id)
+{
+    std::vector<size_t> keep;
+    for (size_t i = 0; i < data.size(); ++i) {
+        if (data.meta[i].region.programId != program_id)
+            keep.push_back(i);
+    }
+    return data.subset(keep);
+}
+
+Dataset
+concatenate(const Dataset &a, const Dataset &b, size_t b_count)
+{
+    Dataset out = a;
+    for (size_t i = 0; i < std::min(b_count, b.size()); ++i) {
+        out.features.insert(out.features.end(), b.row(i),
+                            b.row(i) + b.dim);
+        out.labels.push_back(b.labels[i]);
+        out.meta.push_back(b.meta[i]);
+    }
+    return out;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    const Dataset &train = artifacts::mainTrain();
+    // OOD programs: the paper's red bars (synthetic microbenchmarks) and
+    // orange bars (distinctive real workloads).
+    const std::vector<const char *> ood_codes = {"O3", "S1", "C2"};
+
+    std::printf("=== Figure 14 (top): leave-one-program-out error ===\n");
+    std::printf("  %-6s %14s %14s\n", "Code", "in-dist err(%)",
+                "OOD err(%)");
+
+    const TrainedModel &full = artifacts::fullModel();
+    for (const char *code : ood_codes) {
+        const int pid = programIdByCode(code);
+        // Held-out evaluation pool for this program.
+        const Dataset eval_pool = artifacts::onboardPool(pid, 512);
+        std::vector<size_t> eval_idx;
+        for (size_t i = 384; i < eval_pool.size(); ++i)
+            eval_idx.push_back(i);
+        const Dataset eval = eval_pool.subset(eval_idx);
+
+        const Dataset loo = withoutProgram(train, pid);
+        const TrainedModel ood_model =
+            artifacts::trainOn(loo, std::string("ood_") + code);
+
+        const auto in_dist =
+            benchutil::summarize(benchutil::relativeErrors(full, eval));
+        const auto ood = benchutil::summarize(
+            benchutil::relativeErrors(ood_model, eval));
+        std::printf("  %-6s %14.2f %14.2f\n", code, 100 * in_dist.mean,
+                    100 * ood.mean);
+    }
+    std::printf("  paper: OOD error rises, most for synthetic "
+                "microbenchmarks (O3/O4)\n");
+
+    std::printf("\n=== Figure 14 (bottom): onboarding new programs ===\n");
+    std::printf("  %-6s", "Code");
+    const std::vector<size_t> onboard_counts = {32, 128, 384};
+    for (size_t count : onboard_counts)
+        std::printf("  err@%-4zu(%%)", count);
+    std::printf("\n");
+
+    for (const char *code : {"O3"}) {
+        const int pid = programIdByCode(code);
+        const Dataset pool = artifacts::onboardPool(pid, 512);
+        std::vector<size_t> eval_idx;
+        for (size_t i = 384; i < pool.size(); ++i)
+            eval_idx.push_back(i);
+        const Dataset eval = pool.subset(eval_idx);
+        const Dataset loo = withoutProgram(train, pid);
+
+        std::printf("  %-6s", code);
+        for (size_t count : onboard_counts) {
+            const Dataset onboarded = concatenate(loo, pool, count);
+            const TrainedModel model = artifacts::trainOn(
+                onboarded, std::string("onboard_") + code + "_"
+                    + std::to_string(count));
+            const auto stats = benchutil::summarize(
+                benchutil::relativeErrors(model, eval));
+            std::printf("  %10.2f ", 100 * stats.mean);
+        }
+        std::printf("\n");
+    }
+    std::printf("  paper: a few thousand samples recover most of the "
+                "error floor\n");
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Figure 15 (Section 6): the ablation-order fallacy. Reducing cache sizes
+ * and the load-queue size in different orders attributes the CPI increase
+ * to entirely different components; the Shapley value gives a fair,
+ * order-independent attribution.
+ */
+
+#include <memory>
+
+#include "bench_util.hh"
+#include "core/concorde.hh"
+#include "core/shapley.hh"
+
+using namespace concorde;
+
+namespace
+{
+
+/** Copy the cache and/or LQ parameters of `from` into `p`. */
+void
+applyLike(UarchParams &p, const UarchParams &from, bool caches, bool lq)
+{
+    if (caches) {
+        p.memory.l1dKb = from.memory.l1dKb;
+        p.memory.l1iKb = from.memory.l1iKb;
+        p.memory.l2Kb = from.memory.l2Kb;
+    }
+    if (lq)
+        p.lqSize = from.lqSize;
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    // Baseline: the "big core". Target: big core with small caches
+    // (64kB L1, 1MB L2) and a small load queue (12), as in the paper.
+    const UarchParams base = UarchParams::bigCore();
+    UarchParams target = base;
+    target.memory.l1dKb = 64;
+    target.memory.l1iKb = 64;
+    target.memory.l2Kb = 1024;
+    target.lqSize = 12;
+
+    const std::vector<ShapleyComponent> components = {
+        {"Caches (L1i/L1d/L2)",
+         {ParamId::L1dSize, ParamId::L1iSize, ParamId::L2Size}},
+        {"Load queue", {ParamId::LqSize}},
+    };
+
+    // A memory-intensive region where caches and the load queue jointly
+    // matter: scan candidate regions from cache-sensitive programs and
+    // keep the one with the largest base->target CPI jump.
+    ConcordePredictor predictor(artifacts::fullModel(),
+                                artifacts::featureConfig());
+    std::unique_ptr<FeatureProvider> provider;
+    {
+        // Corner designs: caches/LQ each at base or target value.
+        UarchParams cache_small = base;
+        applyLike(cache_small, target, /*caches=*/true, /*lq=*/false);
+        UarchParams lq_small = base;
+        applyLike(lq_small, target, /*caches=*/false, /*lq=*/true);
+
+        double best_interaction = -1.0;
+        Rng rng(0xF15);
+        for (const char *code :
+             {"P9", "S10", "P2", "S1", "S3", "C1", "P6", "S2"}) {
+            for (int trial = 0; trial < 3; ++trial) {
+                const RegionSpec spec = sampleRegionFromProgram(
+                    rng, programIdByCode(code),
+                    artifacts::kShortRegionChunks);
+                auto candidate = std::make_unique<FeatureProvider>(
+                    spec, artifacts::featureConfig());
+                const double bb = predictor.predictCpi(*candidate, base);
+                const double tt =
+                    predictor.predictCpi(*candidate, target);
+                const double tb =
+                    predictor.predictCpi(*candidate, cache_small);
+                const double bt =
+                    predictor.predictCpi(*candidate, lq_small);
+                // Super-additive joint effect (the paper's scenario).
+                const double interaction = (tt - bb) - (tb - bb)
+                    - (bt - bb);
+                if (tt > bb && interaction > best_interaction) {
+                    best_interaction = interaction;
+                    provider = std::move(candidate);
+                }
+            }
+        }
+    }
+    auto eval = [&](const UarchParams &p) {
+        return predictor.predictCpi(*provider, p);
+    };
+
+    const double base_cpi = eval(base);
+    const double target_cpi = eval(target);
+    std::printf("=== Figure 15: order-dependent ablations vs Shapley "
+                "===\n");
+    std::printf("  baseline (big core) CPI: %.3f\n", base_cpi);
+    std::printf("  target (small caches + small LQ) CPI: %.3f "
+                "(+%.0f%%)\n", target_cpi,
+                100 * (target_cpi - base_cpi) / base_cpi);
+
+    const auto cache_first =
+        orderedAblation(base, target, components, {0, 1}, eval);
+    const auto lq_first =
+        orderedAblation(base, target, components, {1, 0}, eval);
+    ShapleyConfig config;
+    config.exhaustive = true;
+    const auto shapley =
+        shapleyAttribution(base, target, components, eval, config);
+
+    auto pct = [&](double delta) { return 100.0 * delta / base_cpi; };
+    std::printf("\n  %-26s %12s %12s\n", "attribution (%% of base CPI)",
+                "Caches", "Load queue");
+    std::printf("  %-26s %11.1f%% %11.1f%%\n", "order: Cache -> LQ",
+                pct(cache_first[0]), pct(cache_first[1]));
+    std::printf("  %-26s %11.1f%% %11.1f%%\n", "order: LQ -> Cache",
+                pct(lq_first[0]), pct(lq_first[1]));
+    std::printf("  %-26s %11.1f%% %11.1f%%\n", "Shapley", pct(shapley[0]),
+                pct(shapley[1]));
+    std::printf("\n  paper's reading: the two orders disagree wildly "
+                "(53%%/458%% vs 501%%/~0%%); the Shapley value splits "
+                "the joint effect fairly (277%%/234%%).\n");
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 17 (Section 6): zooming the attribution into a single program --
+ * per-region CPI attribution for Search3 (P9), sorted by cache
+ * sensitivity. A minority of regions (the scatter phase) shows high cache
+ * sensitivity even though the program average looks insensitive.
+ */
+
+#include "bench_util.hh"
+#include "common/thread_pool.hh"
+#include "core/concorde.hh"
+#include "core/shapley.hh"
+
+using namespace concorde;
+
+int
+main()
+{
+    const size_t num_regions = 96;
+    const int pid = programIdByCode("P9");
+    ConcordePredictor predictor(artifacts::fullModel(),
+                                artifacts::featureConfig());
+    const UarchParams base = UarchParams::bigCore();
+    const UarchParams target = UarchParams::armN1();
+    const auto &components = attributionComponents();
+    const size_t cache_idx = 0;     // "L1i/L1d/L2 caches"
+
+    struct RegionResult
+    {
+        double cacheShap = 0.0;
+        double totalDelta = 0.0;
+        double targetCpi = 0.0;
+    };
+    std::vector<RegionResult> results(num_regions);
+
+    parallelFor(num_regions, [&](size_t r) {
+        Rng rng(hashMix(0xF17, r));
+        const RegionSpec spec = sampleRegionFromProgram(
+            rng, pid, artifacts::kShortRegionChunks);
+        FeatureProvider provider(spec, artifacts::featureConfig());
+        auto eval = [&](const UarchParams &p) {
+            return predictor.predictCpi(provider, p);
+        };
+        ShapleyConfig config;
+        config.numPermutations = 16;
+        config.seed = r;
+        const auto phi = shapleyAttribution(base, target, components,
+                                            eval, config);
+        results[r].cacheShap = phi[cache_idx];
+        results[r].targetCpi = eval(target);
+        results[r].totalDelta = results[r].targetCpi - eval(base);
+    });
+
+    std::sort(results.begin(), results.end(),
+              [](const RegionResult &a, const RegionResult &b) {
+                  return a.cacheShap < b.cacheShap;
+              });
+
+    std::printf("=== Figure 17: per-region attribution for P9 (Search3) "
+                "===\n");
+    std::printf("  regions sorted by cache-size sensitivity "
+                "(Shapley dCPI of the cache group):\n");
+    std::printf("  %-10s %12s %12s %12s\n", "percentile", "cache dCPI",
+                "total dCPI", "N1 CPI");
+    for (double q : {0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0}) {
+        const size_t i = std::min(
+            num_regions - 1,
+            static_cast<size_t>(q * (num_regions - 1)));
+        std::printf("  p%-9.0f %12.3f %12.3f %12.3f\n", 100 * q,
+                    results[i].cacheShap, results[i].totalDelta,
+                    results[i].targetCpi);
+    }
+
+    double avg_cache = 0.0;
+    size_t sensitive = 0;
+    for (const auto &result : results) {
+        avg_cache += result.cacheShap;
+        sensitive += result.cacheShap > 3.0 * std::max(
+            0.02, avg_cache / num_regions);
+    }
+    avg_cache /= num_regions;
+    size_t high = 0;
+    for (const auto &result : results)
+        high += result.cacheShap > 2.0 * std::max(avg_cache, 0.05);
+    std::printf("\n  average cache attribution: %.3f CPI; %zu/%zu "
+                "regions exceed 2x the average\n", avg_cache, high,
+                num_regions);
+    std::printf("  paper: ~10%% of P9 regions are highly cache "
+                "sensitive (phase behavior) despite a modest average\n");
+    return 0;
+}

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Table 2: the workload corpus -- 29 programs across four groups with
+ * their trace counts and lengths (scaled from the paper's 5486B
+ * instructions to laptop size; see DESIGN.md).
+ */
+
+#include <cstdio>
+
+#include "trace/workloads.hh"
+
+using namespace concorde;
+
+int
+main()
+{
+    std::printf("=== Table 2: workload corpus ===\n");
+    std::printf("  %-6s %-24s %-12s %8s %14s\n", "Code", "Name", "Group",
+                "Traces", "Instrs (M)");
+    uint64_t total_chunks = 0;
+    for (const auto &info : workloadCorpus()) {
+        const uint64_t chunks = info.numTraces * info.chunksPerTrace;
+        total_chunks += chunks;
+        std::printf("  %-6s %-24s %-12s %8d %14.2f\n", info.code().c_str(),
+                    info.profile.name.c_str(), info.profile.group.c_str(),
+                    info.numTraces,
+                    static_cast<double>(chunks) * kChunkLen / 1e6);
+    }
+    std::printf("  total: %.1fM instructions across %zu programs\n",
+                static_cast<double>(total_chunks) * kChunkLen / 1e6,
+                workloadCorpus().size());
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Table 3: the ML model's input layout -- every feature block with its
+ * width, grouped as in the paper (per-resource throughput distributions,
+ * pipeline-stall features, latency distributions, target
+ * microarchitecture).
+ */
+
+#include <cstdio>
+
+#include "analytical/feature_provider.hh"
+#include "core/artifacts.hh"
+
+using namespace concorde;
+
+int
+main()
+{
+    const FeatureConfig config = artifacts::featureConfig();
+    const FeatureLayout layout(config);
+
+    std::printf("=== Table 3: ML model input layout ===\n");
+    std::printf("  distribution encoding: %zu values "
+                "(%zu percentiles + %zu size-weighted + mean); paper: 101\n",
+                layout.encDim(), config.numPercentiles,
+                config.numPercentiles);
+    std::printf("  %-32s %8s\n", "Block", "width");
+    for (const auto &[name, width] : layout.blocks())
+        std::printf("  %-32s %8zu\n", name.c_str(), width);
+
+    auto group_width = [&](FeatureGroup g) {
+        const auto range = layout.group(g);
+        return range.end - range.begin;
+    };
+    std::printf("\n  group totals (paper Table 3: 1111 + 416 + 2323 + 23 "
+                "= 3873):\n");
+    std::printf("  per-resource throughput: %zu\n",
+                group_width(FeatureGroup::Primary));
+    std::printf("  pipeline stalls:         %zu\n",
+                group_width(FeatureGroup::MispredRate)
+                    + group_width(FeatureGroup::Stalls));
+    std::printf("  latency distributions:   %zu\n",
+                group_width(FeatureGroup::Latency));
+    std::printf("  target microarchitecture:%zu\n",
+                group_width(FeatureGroup::Params));
+    std::printf("  total input dimension:   %zu\n", layout.dim());
+    return 0;
+}

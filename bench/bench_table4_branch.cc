@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Table 4 (Section 5.2.1): Concorde's accuracy bucketed by the number of
+ * branch mispredictions per region -- the auxiliary stall features are
+ * sufficient for the model to learn branch effects. Paper buckets are per
+ * 100k instructions; ours are scaled to 16k-instruction regions.
+ */
+
+#include "bench_util.hh"
+
+using namespace concorde;
+
+int
+main()
+{
+    const Dataset &test = artifacts::mainTest();
+    const TrainedModel &model = artifacts::fullModel();
+    const auto errors = benchutil::relativeErrors(model, test);
+
+    // Paper buckets [0,1000), [1000,5000), [5000,inf) per 100k
+    // instructions scale by 16384/100000.
+    struct Bucket
+    {
+        const char *label;
+        uint32_t lo, hi;
+        std::vector<double> errs;
+    };
+    std::vector<Bucket> buckets = {
+        {"[0, 160) mispredicts", 0, 160, {}},
+        {"[160, 800) mispredicts", 160, 800, {}},
+        {"[800, inf) mispredicts", 800, ~0u, {}},
+    };
+    for (size_t i = 0; i < test.size(); ++i) {
+        for (auto &bucket : buckets) {
+            if (test.meta[i].mispredicts >= bucket.lo
+                && test.meta[i].mispredicts < bucket.hi) {
+                bucket.errs.push_back(errors[i]);
+            }
+        }
+    }
+
+    std::printf("=== Table 4: error vs branch-misprediction count ===\n");
+    for (auto &bucket : buckets)
+        benchutil::printErrorRow(bucket.label,
+                                 benchutil::summarize(bucket.errs));
+    std::printf("  paper: 2.16%% / 2.12%% / 1.82%% average error -- "
+                "accuracy does not degrade with more mispredicts\n");
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Onboarding a new workload (paper Section 5.2.5): when a program is
+ * unlike anything in training, Concorde's error rises; adding a modest
+ * number of labeled samples from the new program recovers accuracy. This
+ * example measures the OOD gap for one program and shows the recovery.
+ *
+ *   ./build/examples/example_onboarding_new_workload
+ */
+
+#include <cstdio>
+
+#include "core/artifacts.hh"
+#include "core/dataset.hh"
+#include "ml/trainer.hh"
+
+using namespace concorde;
+
+namespace
+{
+
+double
+meanError(const TrainedModel &model, const Dataset &data)
+{
+    return model.meanRelativeError(data.features, data.labels, data.dim);
+}
+
+} // anonymous namespace
+
+int
+main()
+{
+    const char *code = "O3";    // the paper's hardest OOD case
+    const int pid = programIdByCode(code);
+
+    // Training corpus without the new program.
+    const Dataset &full_train = artifacts::mainTrain();
+    std::vector<size_t> keep;
+    for (size_t i = 0; i < full_train.size(); ++i) {
+        if (full_train.meta[i].region.programId != pid)
+            keep.push_back(i);
+    }
+    const Dataset loo_train = full_train.subset(keep);
+
+    // Samples of the new program: first 384 for onboarding, rest to
+    // evaluate.
+    const Dataset pool = artifacts::onboardPool(pid, 512);
+    std::vector<size_t> onboard_idx, eval_idx;
+    for (size_t i = 0; i < pool.size(); ++i)
+        (i < 384 ? onboard_idx : eval_idx).push_back(i);
+    const Dataset eval = pool.subset(eval_idx);
+
+    std::printf("onboarding study for %s\n",
+                workloadCorpus()[pid].profile.name.c_str());
+
+    const TrainedModel ood =
+        artifacts::trainOn(loo_train, std::string("ood_") + code);
+    std::printf("  zero samples (OOD):        %.2f%% error\n",
+                100 * meanError(ood, eval));
+
+    for (size_t count : {64u, 384u}) {
+        Dataset onboarded = loo_train;
+        for (size_t i = 0; i < count; ++i) {
+            onboarded.features.insert(onboarded.features.end(),
+                                      pool.row(i),
+                                      pool.row(i) + pool.dim);
+            onboarded.labels.push_back(pool.labels[i]);
+            onboarded.meta.push_back(pool.meta[i]);
+        }
+        const TrainedModel model = artifacts::trainOn(
+            onboarded,
+            std::string("onboard_") + code + "_" + std::to_string(count));
+        std::printf("  +%zu new-program samples:  %.2f%% error\n", count,
+                    100 * meanError(model, eval));
+    }
+
+    const TrainedModel &reference = artifacts::fullModel();
+    std::printf("  full-corpus reference:     %.2f%% error\n",
+                100 * meanError(reference, eval));
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quickstart: predict the CPI of a program region on ARM N1 with
+ * Concorde, and compare against the reference cycle-level simulator.
+ *
+ * Run from the repository root (artifacts are created on first use; the
+ * first run trains the model, later runs load it from artifacts/):
+ *
+ *   ./build/examples/example_quickstart
+ */
+
+#include <cstdio>
+
+#include "core/artifacts.hh"
+#include "core/concorde.hh"
+#include "sim/o3_core.hh"
+
+using namespace concorde;
+
+int
+main()
+{
+    // 1. A trained Concorde predictor (cached under artifacts/).
+    ConcordePredictor predictor(artifacts::fullModel(),
+                                artifacts::featureConfig());
+
+    // 2. Pick a program region: 16k instructions of 557.xz_r.
+    RegionSpec region;
+    region.programId = programIdByCode("S7");
+    region.traceId = 0;
+    region.startChunk = 40;
+    region.numChunks = artifacts::kShortRegionChunks;
+
+    // 3. Precompute the region's performance distributions once...
+    FeatureProvider provider(region, artifacts::featureConfig());
+
+    // 4. ...then predict CPI for any design point almost instantly.
+    const UarchParams n1 = UarchParams::armN1();
+    const double predicted = predictor.predictCpi(provider, n1);
+
+    // 5. Sanity check against the reference cycle-level simulator.
+    const double simulated =
+        simulateRegion(n1, provider.analysis()).cpi();
+
+    std::printf("program S7 (557.xz_r), region @ chunk %llu\n",
+                static_cast<unsigned long long>(region.startChunk));
+    std::printf("  design point: %s\n", n1.toString().c_str());
+    std::printf("  Concorde predicted CPI:  %.3f\n", predicted);
+    std::printf("  cycle-level true CPI:    %.3f\n", simulated);
+    std::printf("  relative error:          %.2f%%\n",
+                100.0 * std::abs(predicted - simulated) / simulated);
+
+    // Bonus: sweep one parameter for (almost) free.
+    std::printf("\nROB-size sweep (one MLP evaluation each):\n");
+    UarchParams p = n1;
+    for (int rob : {32, 64, 128, 256, 512, 1024}) {
+        p.robSize = rob;
+        std::printf("  ROB %4d -> predicted CPI %.3f\n", rob,
+                    predictor.predictCpi(provider, p));
+    }
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Algorithm 1 of the paper: a trace-driven state machine for memory that
+ * repairs in-order cache-simulation latencies for timing effects between
+ * loads to the same cache line.
+ *
+ * Principle 1: the response cycle for consecutive loads to the same cache
+ * line is non-decreasing. Principle 2: access levels follow issue order.
+ * Our callers process instructions in trace order (the dynamical system of
+ * Eqs. 1-4 only references earlier instructions), so request cycles for a
+ * line are clamped to be non-decreasing instead of asserted; see DESIGN.md.
+ */
+
+#ifndef CONCORDE_ANALYSIS_MEMORY_STATE_MACHINE_HH
+#define CONCORDE_ANALYSIS_MEMORY_STATE_MACHINE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "trace/instruction.hh"
+
+namespace concorde
+{
+
+/**
+ * Dense per-region index of load instructions grouped by data-cache line.
+ * Built once per region; shared by every model run over that region.
+ */
+struct LoadLineIndex
+{
+    /** Dense line id per instruction (-1 for non-loads). */
+    std::vector<int32_t> lineIdOf;
+    /** Number of distinct lines accessed by loads. */
+    uint32_t numLines = 0;
+    /** CSR: for each dense line id, the load indices in trace order. */
+    std::vector<uint32_t> lineStart;
+    std::vector<uint32_t> loadList;
+
+    static LoadLineIndex build(const std::vector<Instruction> &region);
+};
+
+/**
+ * Algorithm 1. One instance per model run; state variables are per-line
+ * access counters and last request/response cycles.
+ */
+class MemoryStateMachine
+{
+  public:
+    /**
+     * @param index per-region load/line index
+     * @param exec_lat per-instruction execution-latency estimates from
+     *        trace analysis (the exec_times state variable, stored
+     *        region-wide and consumed per line via access counters)
+     */
+    MemoryStateMachine(const LoadLineIndex &index,
+                       const std::vector<int32_t> &exec_lat);
+
+    /**
+     * Response (execution completion) cycle for instruction `idx` whose
+     * request is issued at `req_cycle`.
+     */
+    uint64_t respCycle(uint64_t req_cycle, size_t idx,
+                       const Instruction &instr);
+
+    /** Reset all per-line state for a fresh model run. */
+    void reset();
+
+  private:
+    const LoadLineIndex &index;
+    const std::vector<int32_t> &execLat;
+
+    std::vector<uint32_t> accessCounters;
+    std::vector<uint64_t> lastReqCycles;
+    std::vector<uint64_t> lastRespCycles;
+};
+
+} // namespace concorde
+
+#endif // CONCORDE_ANALYSIS_MEMORY_STATE_MACHINE_HH

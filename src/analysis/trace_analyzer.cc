@@ -1,0 +1,128 @@
+#include "analysis/trace_analyzer.hh"
+
+#include "common/rng.hh"
+#include "trace/workloads.hh"
+
+namespace concorde
+{
+
+RegionAnalysis::RegionAnalysis(const RegionSpec &spec, uint32_t warmup_chunks)
+    : regionSpec(spec)
+{
+    const ProgramModel &model = programModel(spec.programId);
+
+    // Warmup prefix: the chunks immediately preceding the region (when the
+    // region starts at the trace head, fall back to re-playing its first
+    // chunks, which warms structures with representative content).
+    RegionSpec warm = spec;
+    warm.numChunks = warmup_chunks;
+    warm.startChunk = spec.startChunk >= warmup_chunks
+        ? spec.startChunk - warmup_chunks : spec.startChunk;
+    if (warmup_chunks > 0)
+        warmup = model.generateRegion(warm);
+
+    region = model.generateRegion(spec);
+    loadLineIndex = LoadLineIndex::build(region);
+
+    branchSeed = hashMix(workloadCorpus()[spec.programId].seed,
+                         static_cast<uint64_t>(spec.traceId) + 1,
+                         spec.startChunk + 0xB4A2C);
+}
+
+const DSideAnalysis &
+RegionAnalysis::dside(const MemoryConfig &config)
+{
+    const uint32_t key = config.dSideKey();
+    auto it = dsides.find(key);
+    if (it != dsides.end())
+        return *it->second;
+
+    auto analysis = std::make_unique<DSideAnalysis>();
+    analysis->execLat.resize(region.size());
+    analysis->loadLevel.assign(region.size(), CacheLevel::L1);
+
+    DataHierarchy hierarchy(config);
+    for (const auto &instr : warmup) {
+        if (instr.isMem())
+            hierarchy.access(instr.pc, instr.memAddr, instr.isStore());
+    }
+    for (size_t i = 0; i < region.size(); ++i) {
+        const Instruction &instr = region[i];
+        if (instr.isLoad()) {
+            const CacheLevel level =
+                hierarchy.access(instr.pc, instr.memAddr, false);
+            analysis->loadLevel[i] = level;
+            analysis->execLat[i] = loadLatency(level);
+        } else {
+            if (instr.isStore())
+                hierarchy.access(instr.pc, instr.memAddr, true);
+            analysis->execLat[i] = fixedLatency(instr.type);
+        }
+    }
+    analysis->stats = hierarchy.stats();
+
+    auto [pos, inserted] = dsides.emplace(key, std::move(analysis));
+    return *pos->second;
+}
+
+const ISideAnalysis &
+RegionAnalysis::iside(const MemoryConfig &config)
+{
+    const uint32_t key = config.iSideKey();
+    auto it = isides.find(key);
+    if (it != isides.end())
+        return *it->second;
+
+    auto analysis = std::make_unique<ISideAnalysis>();
+    analysis->newLine.assign(region.size(), 0);
+    analysis->lineLat.assign(region.size(), kL1iHitLat);
+
+    InstHierarchy hierarchy(config);
+    uint64_t last_line = ~0ULL;
+    for (const auto &instr : warmup) {
+        const uint64_t line = instr.instLine();
+        if (line != last_line) {
+            hierarchy.access(line);
+            last_line = line;
+        }
+    }
+    for (size_t i = 0; i < region.size(); ++i) {
+        const uint64_t line = region[i].instLine();
+        if (line != last_line) {
+            const CacheLevel level = hierarchy.access(line);
+            analysis->newLine[i] = 1;
+            analysis->lineLat[i] = level == CacheLevel::L1
+                ? kL1iHitLat : loadLatency(level);
+            last_line = line;
+        }
+    }
+    analysis->stats = hierarchy.stats();
+
+    auto [pos, inserted] = isides.emplace(key, std::move(analysis));
+    return *pos->second;
+}
+
+const BranchAnalysis &
+RegionAnalysis::branches(const BranchConfig &config)
+{
+    const uint32_t key = config.key();
+    auto it = branchAnalyses.find(key);
+    if (it != branchAnalyses.end())
+        return *it->second;
+
+    auto analysis = std::make_unique<BranchAnalysis>();
+    analysis->mispredict =
+        computeMispredicts(warmup, region, config, branchSeed);
+    for (size_t i = 0; i < region.size(); ++i) {
+        if (region[i].isBranch()
+            && region[i].branchKind != BranchKind::DirectUncond) {
+            ++analysis->numBranches;
+            analysis->numMispredicts += analysis->mispredict[i];
+        }
+    }
+
+    auto [pos, inserted] = branchAnalyses.emplace(key, std::move(analysis));
+    return *pos->second;
+}
+
+} // namespace concorde

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Trace analysis (paper Section 3.1): turns a raw region trace into a
+ * "Concorde trace" -- per-instruction execution-latency estimates from an
+ * in-order data-cache simulation (per memory configuration), I-cache
+ * access latencies from an in-order instruction-cache simulation, and
+ * branch misprediction flags from branch-predictor simulation.
+ *
+ * All analyses are memoized per configuration so feature precompute and
+ * the Shapley engine touch each configuration at most once per region.
+ * Instances are not thread-safe; use one per worker.
+ */
+
+#ifndef CONCORDE_ANALYSIS_TRACE_ANALYZER_HH
+#define CONCORDE_ANALYSIS_TRACE_ANALYZER_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "analysis/memory_state_machine.hh"
+#include "branch/predictor.hh"
+#include "memory/hierarchy.hh"
+#include "trace/instruction.hh"
+#include "trace/program_model.hh"
+
+namespace concorde
+{
+
+/** D-side analysis for one (L1d, L2, prefetch) configuration. */
+struct DSideAnalysis
+{
+    /** Estimated execution latency per instruction (loads vary by level). */
+    std::vector<int32_t> execLat;
+    /** Cache level serving each load (L1 for non-loads). */
+    std::vector<CacheLevel> loadLevel;
+    HierarchyStats stats;
+};
+
+/** I-side analysis for one (L1i, L2) configuration. */
+struct ISideAnalysis
+{
+    /** True when instruction i touches a new I-cache line. */
+    std::vector<uint8_t> newLine;
+    /** Line access latency at i (valid where newLine[i]; 1 = L1i hit). */
+    std::vector<int32_t> lineLat;
+    HierarchyStats stats;
+};
+
+/** Branch-prediction analysis for one predictor configuration. */
+struct BranchAnalysis
+{
+    std::vector<uint8_t> mispredict;    ///< per instruction
+    uint64_t numBranches = 0;
+    uint64_t numMispredicts = 0;
+
+    double
+    mispredictRate() const
+    {
+        return numBranches ? static_cast<double>(numMispredicts)
+            / static_cast<double>(numBranches) : 0.0;
+    }
+};
+
+/** I-side fetch latency of an L1i hit (fetch-pipeline access). */
+constexpr int kL1iHitLat = 1;
+
+/**
+ * Default warmup prefix, in chunks: the instructions immediately before
+ * the region are replayed to warm caches and predictors before any
+ * statistics are taken (both in trace analysis and in the reference
+ * simulator), so a region's CPI approximates its steady-state CPI.
+ */
+constexpr uint32_t kDefaultWarmupChunks = 8;
+
+/**
+ * A region plus all of its memoized trace analyses. The paper's offline
+ * stage 1; every downstream consumer (analytical models, the reference
+ * simulator's branch flags) reads from here.
+ */
+class RegionAnalysis
+{
+  public:
+    /**
+     * Generate and index a region. `warmup_chunks` extra chunks are
+     * generated before the region and used to warm caches and predictors
+     * (both trace analysis and the reference simulator use the same
+     * warmup convention).
+     */
+    explicit RegionAnalysis(const RegionSpec &spec,
+                            uint32_t warmup_chunks = kDefaultWarmupChunks);
+
+    const RegionSpec &spec() const { return regionSpec; }
+    const std::vector<Instruction> &instrs() const { return region; }
+    const std::vector<Instruction> &warmupInstrs() const { return warmup; }
+    const LoadLineIndex &loadIndex() const { return loadLineIndex; }
+
+    /** In-order D-cache simulation (memoized per d-side config). */
+    const DSideAnalysis &dside(const MemoryConfig &config);
+    /** In-order I-cache simulation (memoized per i-side config). */
+    const ISideAnalysis &iside(const MemoryConfig &config);
+    /** Branch-predictor simulation (memoized per predictor config). */
+    const BranchAnalysis &branches(const BranchConfig &config);
+
+    /** Number of memoized d-side / i-side / branch analyses (for tests). */
+    size_t numDsideAnalyses() const { return dsides.size(); }
+    size_t numIsideAnalyses() const { return isides.size(); }
+    size_t numBranchAnalyses() const { return branchAnalyses.size(); }
+
+  private:
+    RegionSpec regionSpec;
+    std::vector<Instruction> warmup;
+    std::vector<Instruction> region;
+    LoadLineIndex loadLineIndex;
+    uint64_t branchSeed;
+
+    std::map<uint32_t, std::unique_ptr<DSideAnalysis>> dsides;
+    std::map<uint32_t, std::unique_ptr<ISideAnalysis>> isides;
+    std::map<uint32_t, std::unique_ptr<BranchAnalysis>> branchAnalyses;
+};
+
+} // namespace concorde
+
+#endif // CONCORDE_ANALYSIS_TRACE_ANALYZER_HH

@@ -1,0 +1,340 @@
+#include "analytical/feature_provider.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "analytical/frontend_models.hh"
+#include "analytical/lsq_model.hh"
+#include "analytical/rob_model.hh"
+#include "analytical/width_models.hh"
+#include "common/logging.hh"
+
+namespace concorde
+{
+
+FeatureLayout::FeatureLayout(const FeatureConfig &config)
+{
+    distDim = 2 * config.numPercentiles + 1;
+    size_t at = 0;
+    auto push = [&](const std::string &name, size_t width) {
+        namedBlocks.emplace_back(name, width);
+        at += width;
+    };
+
+    ranges[static_cast<int>(FeatureGroup::Primary)].begin = at;
+    for (const char *name :
+         {"thr.rob", "thr.lq", "thr.sq", "thr.alu", "thr.fp", "thr.ls",
+          "thr.pipes_lower", "thr.pipes_upper", "thr.icache_fills",
+          "thr.fetch_buffers", "thr.min_bound"}) {
+        push(name, distDim);
+    }
+    ranges[static_cast<int>(FeatureGroup::Primary)].end = at;
+
+    ranges[static_cast<int>(FeatureGroup::MispredRate)].begin = at;
+    push("branch.mispredict_rate", 1);
+    ranges[static_cast<int>(FeatureGroup::MispredRate)].end = at;
+
+    ranges[static_cast<int>(FeatureGroup::Stalls)].begin = at;
+    push("stall.isb_count", distDim);
+    push("stall.cond_branch_count", distDim);
+    push("stall.uncond_branch_count", distDim);
+    push("stall.indirect_branch_count", distDim);
+    push("stall.rob_sweep_ipc", config.robSweep.size());
+    ranges[static_cast<int>(FeatureGroup::Stalls)].end = at;
+
+    ranges[static_cast<int>(FeatureGroup::Latency)].begin = at;
+    push("lat.exec", distDim);
+    for (int size : config.latencyRobSizes)
+        push("lat.issue.rob" + std::to_string(size), distDim);
+    for (int size : config.latencyRobSizes)
+        push("lat.commit.rob" + std::to_string(size), distDim);
+    ranges[static_cast<int>(FeatureGroup::Latency)].end = at;
+
+    ranges[static_cast<int>(FeatureGroup::Params)].begin = at;
+    push("uarch.params", kParamEncodingDim);
+    ranges[static_cast<int>(FeatureGroup::Params)].end = at;
+
+    totalDim = at;
+}
+
+std::vector<uint8_t>
+FeatureLayout::maskFor(const std::vector<FeatureGroup> &groups) const
+{
+    std::vector<uint8_t> mask(totalDim, 0);
+    for (FeatureGroup g : groups) {
+        const Range r = group(g);
+        std::fill(mask.begin() + r.begin, mask.begin() + r.end, 1);
+    }
+    return mask;
+}
+
+FeatureProvider::FeatureProvider(const RegionSpec &spec,
+                                 FeatureConfig config,
+                                 uint32_t warmup_chunks)
+    : cfg(std::move(config)), lay(cfg), region(spec, warmup_chunks),
+      encoder(cfg.numPercentiles)
+{
+}
+
+const WindowCounts &
+FeatureProvider::counts()
+{
+    if (!haveCounts) {
+        windowCounts = WindowCounts::build(region.instrs(), cfg.windowK);
+        haveCounts = true;
+    }
+    return windowCounts;
+}
+
+FeatureProvider::RobEntry &
+FeatureProvider::robEntry(int rob_size, const MemoryConfig &mem,
+                          bool need_latencies)
+{
+    const auto key = std::make_pair(rob_size, mem.dSideKey());
+    auto it = robCache.find(key);
+    if (it != robCache.end()
+        && (!need_latencies || it->second.hasLatencies)) {
+        return it->second;
+    }
+
+    const auto &dside = region.dside(mem);
+    RobModelResult run =
+        runRobModel(region.instrs(), region.loadIndex(), dside.execLat,
+                    rob_size, cfg.windowK, need_latencies);
+    ++totalModelRuns;
+
+    RobEntry &entry = robCache[key];
+    entry.windows = std::move(run.windowThroughput);
+    entry.overallIpc = run.overallIpc;
+    if (need_latencies) {
+        auto encode_log1p = [&](std::vector<double> &samples,
+                                std::vector<float> &out) {
+            for (double &x : samples)
+                x = std::log1p(x);
+            out.clear();
+            encoder.encode(std::move(samples), out);
+        };
+        encode_log1p(run.issueLat, entry.encIssue);
+        encode_log1p(run.commitLat, entry.encCommit);
+        encode_log1p(run.execLat, entry.encExec);
+        entry.hasLatencies = true;
+    }
+    return entry;
+}
+
+const std::vector<double> &
+FeatureProvider::robWindows(int rob_size, const MemoryConfig &mem)
+{
+    return robEntry(rob_size, mem, false).windows;
+}
+
+double
+FeatureProvider::robOverallIpc(int rob_size, const MemoryConfig &mem)
+{
+    return robEntry(rob_size, mem, false).overallIpc;
+}
+
+const std::vector<double> &
+FeatureProvider::lqWindows(int lq_size, const MemoryConfig &mem)
+{
+    const auto key = std::make_pair(lq_size, mem.dSideKey());
+    auto it = lqCache.find(key);
+    if (it != lqCache.end())
+        return it->second;
+    const auto &dside = region.dside(mem);
+    ++totalModelRuns;
+    return lqCache[key] =
+        runLoadQueueModel(region.instrs(), region.loadIndex(),
+                          dside.execLat, lq_size, cfg.windowK);
+}
+
+const std::vector<double> &
+FeatureProvider::sqWindows(int sq_size)
+{
+    auto it = sqCache.find(sq_size);
+    if (it != sqCache.end())
+        return it->second;
+    ++totalModelRuns;
+    return sqCache[sq_size] =
+        runStoreQueueModel(region.instrs(), sq_size, cfg.windowK);
+}
+
+const std::vector<double> &
+FeatureProvider::icacheFillWindows(int max_fills, const MemoryConfig &mem)
+{
+    const auto key = std::make_pair(max_fills, mem.iSideKey());
+    auto it = ifillCache.find(key);
+    if (it != ifillCache.end())
+        return it->second;
+    const auto &iside = region.iside(mem);
+    ++totalModelRuns;
+    return ifillCache[key] =
+        runIcacheFillsModel(region.instrs(), iside, max_fills, cfg.windowK);
+}
+
+const std::vector<double> &
+FeatureProvider::fetchBufferWindows(int num_buffers,
+                                    const MemoryConfig &mem)
+{
+    const auto key = std::make_pair(num_buffers, mem.iSideKey());
+    auto it = fbufCache.find(key);
+    if (it != fbufCache.end())
+        return it->second;
+    const auto &iside = region.iside(mem);
+    ++totalModelRuns;
+    return fbufCache[key] =
+        runFetchBufferModel(region.instrs(), iside, num_buffers,
+                            cfg.windowK);
+}
+
+void
+FeatureProvider::encodeWindows(const std::vector<double> &windows,
+                               std::vector<float> &out) const
+{
+    encoder.encode(windows, out);
+}
+
+void
+FeatureProvider::minBoundWindows(const UarchParams &params,
+                                 std::vector<double> &out)
+{
+    const WindowCounts &wc = counts();
+    const size_t windows = wc.windows();
+    out.assign(windows, kMaxThroughput);
+
+    auto apply = [&](const std::vector<double> &bound) {
+        for (size_t j = 0; j < windows; ++j)
+            out[j] = std::min(out[j], bound[j]);
+    };
+
+    apply(robWindows(params.robSize, params.memory));
+    apply(lqWindows(params.lqSize, params.memory));
+    apply(sqWindows(params.sqSize));
+    apply(issueWidthBound(wc.nAlu, params.aluWidth, cfg.windowK));
+    apply(issueWidthBound(wc.nFp, params.fpWidth, cfg.windowK));
+    apply(issueWidthBound(wc.nLs, params.lsWidth, cfg.windowK));
+    apply(pipesLowerBound(wc, params.lsPipes, params.loadPipes));
+    apply(icacheFillWindows(params.maxIcacheFills, params.memory));
+    apply(fetchBufferWindows(params.fetchBuffers, params.memory));
+
+    const double static_width = std::min(
+        {static_cast<double>(params.fetchWidth),
+         static_cast<double>(params.decodeWidth),
+         static_cast<double>(params.renameWidth),
+         static_cast<double>(params.commitWidth)});
+    for (size_t j = 0; j < windows; ++j)
+        out[j] = std::min(out[j], static_width);
+}
+
+double
+FeatureProvider::cpiMinBound(const UarchParams &params)
+{
+    minBoundWindows(params, scratch);
+    if (scratch.empty())
+        return 1.0;
+    double cpi_acc = 0.0;
+    for (double thr : scratch)
+        cpi_acc += 1.0 / std::max(thr, 1e-6);
+    return cpi_acc / static_cast<double>(scratch.size());
+}
+
+void
+FeatureProvider::assemble(const UarchParams &params, std::vector<float> &out)
+{
+    out.reserve(out.size() + lay.dim());
+    const WindowCounts &wc = counts();
+
+    // ---- primary throughput distributions ----
+    encodeWindows(robWindows(params.robSize, params.memory), out);
+    encodeWindows(lqWindows(params.lqSize, params.memory), out);
+    encodeWindows(sqWindows(params.sqSize), out);
+    encodeWindows(issueWidthBound(wc.nAlu, params.aluWidth, cfg.windowK),
+                  out);
+    encodeWindows(issueWidthBound(wc.nFp, params.fpWidth, cfg.windowK),
+                  out);
+    encodeWindows(issueWidthBound(wc.nLs, params.lsWidth, cfg.windowK),
+                  out);
+    encodeWindows(pipesLowerBound(wc, params.lsPipes, params.loadPipes),
+                  out);
+    encodeWindows(pipesUpperBound(wc, params.lsPipes, params.loadPipes),
+                  out);
+    encodeWindows(icacheFillWindows(params.maxIcacheFills, params.memory),
+                  out);
+    encodeWindows(fetchBufferWindows(params.fetchBuffers, params.memory),
+                  out);
+    minBoundWindows(params, scratch);
+    encodeWindows(scratch, out);
+
+    // ---- branch misprediction rate ----
+    const auto &branch_info = region.branches(params.branch);
+    out.push_back(static_cast<float>(branch_info.mispredictRate()));
+
+    // ---- pipeline-stall features ----
+    auto encode_counts = [&](const std::vector<uint32_t> &counts_vec) {
+        std::vector<double> samples(counts_vec.begin(), counts_vec.end());
+        encoder.encode(std::move(samples), out);
+    };
+    encode_counts(wc.nIsb);
+    encode_counts(wc.nCondBr);
+    encode_counts(wc.nUncondBr);
+    encode_counts(wc.nIndirectBr);
+    for (int size : cfg.robSweep) {
+        out.push_back(static_cast<float>(
+            robOverallIpc(size, params.memory)));
+    }
+
+    // ---- latency distributions ----
+    {
+        const int biggest =
+            cfg.latencyRobSizes.empty() ? 1024 : cfg.latencyRobSizes.back();
+        const RobEntry &exec_entry =
+            robEntry(biggest, params.memory, true);
+        out.insert(out.end(), exec_entry.encExec.begin(),
+                   exec_entry.encExec.end());
+        for (int size : cfg.latencyRobSizes) {
+            const RobEntry &e = robEntry(size, params.memory, true);
+            out.insert(out.end(), e.encIssue.begin(), e.encIssue.end());
+        }
+        for (int size : cfg.latencyRobSizes) {
+            const RobEntry &e = robEntry(size, params.memory, true);
+            out.insert(out.end(), e.encCommit.begin(), e.encCommit.end());
+        }
+    }
+
+    // ---- target microarchitecture ----
+    encodeParams(params, out);
+}
+
+size_t
+FeatureProvider::precomputeAll(bool quantized)
+{
+    const size_t runs_before = totalModelRuns;
+
+    const auto d_configs = allDataConfigs();
+    const auto i_configs = allInstConfigs();
+
+    for (const auto &mem : d_configs) {
+        for (int64_t rob : sweepValues(ParamId::RobSize, quantized)) {
+            const bool need_lat = std::find(
+                cfg.latencyRobSizes.begin(), cfg.latencyRobSizes.end(),
+                static_cast<int>(rob)) != cfg.latencyRobSizes.end();
+            robEntry(static_cast<int>(rob), mem, need_lat);
+        }
+        for (int64_t lq : sweepValues(ParamId::LqSize, quantized))
+            lqWindows(static_cast<int>(lq), mem);
+    }
+    for (int64_t sq : sweepValues(ParamId::SqSize, quantized))
+        sqWindows(static_cast<int>(sq));
+    for (const auto &mem : i_configs) {
+        for (int64_t fills :
+             sweepValues(ParamId::MaxIcacheFills, quantized)) {
+            icacheFillWindows(static_cast<int>(fills), mem);
+        }
+        for (int64_t bufs : sweepValues(ParamId::FetchBuffers, quantized))
+            fetchBufferWindows(static_cast<int>(bufs), mem);
+    }
+    counts();
+    return totalModelRuns - runs_before;
+}
+
+} // namespace concorde

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * FeatureProvider: the offline stages of Concorde (Figure 3, steps 1-2)
+ * plus the per-microarchitecture feature selection (step 3's input).
+ *
+ * For a program region it memoizes every per-resource analytical-model run
+ * and every encoded distribution, so that (a) building the ML input for
+ * one microarchitecture touches each (resource, value, memory-config)
+ * combination at most once, and (b) sweeping the whole design space
+ * (Section 5.2.3's precompute) reuses the same cache.
+ *
+ * ML input layout (the repo-scaled Table 3):
+ *   [ 11 primary throughput distributions            x (2P+1) ]
+ *   [ branch misprediction rate                      x 1      ]
+ *   [ ISB + 3 branch-type count distributions        x (2P+1) ]
+ *   [ ROB-sweep mean throughput                      x |sweep| ]
+ *   [ execution-latency distribution (log1p)         x (2P+1) ]
+ *   [ issue & commit latency distributions (log1p)   x 2*|latSizes|*(2P+1) ]
+ *   [ microarchitecture parameter encoding           x 22     ]
+ */
+
+#ifndef CONCORDE_ANALYTICAL_FEATURE_PROVIDER_HH
+#define CONCORDE_ANALYTICAL_FEATURE_PROVIDER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/trace_analyzer.hh"
+#include "analytical/windows.hh"
+#include "common/stats.hh"
+#include "uarch/params.hh"
+
+namespace concorde
+{
+
+/** Feature-extraction hyperparameters (paper values are P=50, 11 sizes). */
+struct FeatureConfig
+{
+    int windowK = kDefaultWindowK;
+    size_t numPercentiles = 25;
+    std::vector<int> robSweep = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                 1024};
+    std::vector<int> latencyRobSizes = {1, 4, 16, 64, 256, 1024};
+};
+
+/** Feature groups used for the Figure-12 ablations. */
+enum class FeatureGroup : int
+{
+    Primary = 0,    ///< 11 per-resource throughput distributions
+    MispredRate,    ///< scalar branch misprediction rate
+    Stalls,         ///< ISB/branch-count distributions + ROB sweep
+    Latency,        ///< ROB-model stage-latency distributions
+    Params,         ///< target microarchitecture encoding
+    NumGroups,
+};
+
+/** Index ranges of each group inside the assembled vector. */
+class FeatureLayout
+{
+  public:
+    explicit FeatureLayout(const FeatureConfig &config);
+
+    size_t dim() const { return totalDim; }
+    size_t encDim() const { return distDim; }
+
+    struct Range { size_t begin = 0; size_t end = 0; };
+    Range group(FeatureGroup g) const { return ranges[static_cast<int>(g)]; }
+
+    /** Named blocks with their widths (Table 3 bench). */
+    const std::vector<std::pair<std::string, size_t>> &
+    blocks() const
+    {
+        return namedBlocks;
+    }
+
+    /** 1/0 keep-mask including exactly the given groups. */
+    std::vector<uint8_t> maskFor(const std::vector<FeatureGroup> &groups)
+        const;
+
+  private:
+    size_t distDim;
+    size_t totalDim;
+    Range ranges[static_cast<int>(FeatureGroup::NumGroups)];
+    std::vector<std::pair<std::string, size_t>> namedBlocks;
+};
+
+/**
+ * Per-region feature factory. Not thread-safe; use one per worker thread.
+ */
+class FeatureProvider
+{
+  public:
+    explicit FeatureProvider(const RegionSpec &spec,
+                             FeatureConfig config = FeatureConfig{},
+                             uint32_t warmup_chunks = kDefaultWarmupChunks);
+
+    const FeatureConfig &config() const { return cfg; }
+    const FeatureLayout &layout() const { return lay; }
+    RegionAnalysis &analysis() { return region; }
+
+    /** Append layout().dim() floats for the given design point. */
+    void assemble(const UarchParams &params, std::vector<float> &out);
+
+    /**
+     * Pure-analytical CPI estimate: harmonic combination of the per-window
+     * minimum over all resource bounds (the "min bound" ablation line).
+     */
+    double cpiMinBound(const UarchParams &params);
+
+    /** Raw per-window bounds (Figure 1 / tests). */
+    const std::vector<double> &robWindows(int rob_size,
+                                          const MemoryConfig &mem);
+    const std::vector<double> &lqWindows(int lq_size,
+                                         const MemoryConfig &mem);
+    const std::vector<double> &sqWindows(int sq_size);
+    const std::vector<double> &icacheFillWindows(int max_fills,
+                                                 const MemoryConfig &mem);
+    const std::vector<double> &fetchBufferWindows(int num_buffers,
+                                                  const MemoryConfig &mem);
+    double robOverallIpc(int rob_size, const MemoryConfig &mem);
+    const WindowCounts &counts();
+
+    /**
+     * Sweep every parameter value (Section 5.2.3's one-time precompute).
+     * @return number of analytical-model invocations performed.
+     */
+    size_t precomputeAll(bool quantized);
+
+    /** Total memoized model runs so far (for cost accounting). */
+    size_t modelRuns() const { return totalModelRuns; }
+
+  private:
+    struct RobEntry
+    {
+        std::vector<double> windows;
+        double overallIpc = 0.0;
+        bool hasLatencies = false;
+        std::vector<float> encIssue;
+        std::vector<float> encCommit;
+        std::vector<float> encExec;
+    };
+
+    RobEntry &robEntry(int rob_size, const MemoryConfig &mem,
+                       bool need_latencies);
+    void encodeWindows(const std::vector<double> &windows,
+                       std::vector<float> &out) const;
+    void minBoundWindows(const UarchParams &params,
+                         std::vector<double> &out);
+
+    FeatureConfig cfg;
+    FeatureLayout lay;
+    RegionAnalysis region;
+    DistributionEncoder encoder;
+
+    bool haveCounts = false;
+    WindowCounts windowCounts;
+
+    std::map<std::pair<int, uint32_t>, RobEntry> robCache;
+    std::map<std::pair<int, uint32_t>, std::vector<double>> lqCache;
+    std::map<int, std::vector<double>> sqCache;
+    std::map<std::pair<int, uint32_t>, std::vector<double>> ifillCache;
+    std::map<std::pair<int, uint32_t>, std::vector<double>> fbufCache;
+
+    size_t totalModelRuns = 0;
+    std::vector<double> scratch;
+};
+
+} // namespace concorde
+
+#endif // CONCORDE_ANALYTICAL_FEATURE_PROVIDER_HH

@@ -1,0 +1,80 @@
+#include "analytical/frontend_models.hh"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+
+#include "analytical/windows.hh"
+#include "common/logging.hh"
+
+namespace concorde
+{
+
+namespace
+{
+
+using MinHeap = std::priority_queue<uint64_t, std::vector<uint64_t>,
+                                    std::greater<uint64_t>>;
+
+/**
+ * Shared slot-pool frontend simulation: line events acquire a slot (of
+ * `slots`), hold it for their latency, and deliver in order.
+ * `needs_slot(i)` decides whether instruction i's line event uses a slot.
+ */
+std::vector<double>
+runSlotModel(const std::vector<Instruction> &region,
+             const ISideAnalysis &iside, int slots, int window_k,
+             const std::function<bool(size_t)> &needs_slot)
+{
+    panic_if(slots < 1, "need at least one slot");
+
+    MinHeap slot_free;  // completion cycles of busy slots
+    uint64_t prev_resp = 0;
+
+    std::vector<uint64_t> boundaries;
+    boundaries.reserve(numWindows(region.size(), window_k));
+
+    for (size_t i = 0; i < region.size(); ++i) {
+        if (iside.newLine[i] && needs_slot(i)) {
+            // Backlogged fetch: a line event starts the moment a slot is
+            // available (cycle 0 while the pool is not yet full).
+            uint64_t start = 0;
+            if (static_cast<int>(slot_free.size()) >= slots) {
+                start = slot_free.top();
+                slot_free.pop();
+            }
+            const uint64_t line_resp =
+                start + static_cast<uint64_t>(iside.lineLat[i]);
+            slot_free.push(line_resp);
+            prev_resp = std::max(prev_resp, line_resp);
+        }
+        if ((i + 1) % static_cast<size_t>(window_k) == 0)
+            boundaries.push_back(prev_resp);
+    }
+    return throughputFromBoundaries(boundaries, window_k);
+}
+
+} // anonymous namespace
+
+std::vector<double>
+runIcacheFillsModel(const std::vector<Instruction> &region,
+                    const ISideAnalysis &iside, int max_fills, int window_k)
+{
+    // Only misses (latency above an L1i hit) occupy a fill slot.
+    return runSlotModel(region, iside, max_fills, window_k,
+                        [&](size_t i) {
+                            return iside.lineLat[i] > kL1iHitLat;
+                        });
+}
+
+std::vector<double>
+runFetchBufferModel(const std::vector<Instruction> &region,
+                    const ISideAnalysis &iside, int num_buffers,
+                    int window_k)
+{
+    // Every line access occupies a buffer, hits included.
+    return runSlotModel(region, iside, num_buffers, window_k,
+                        [](size_t) { return true; });
+}
+
+} // namespace concorde

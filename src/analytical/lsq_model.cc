@@ -1,0 +1,77 @@
+#include "analytical/lsq_model.hh"
+
+#include <algorithm>
+
+#include "analytical/windows.hh"
+#include "common/logging.hh"
+
+namespace concorde
+{
+
+namespace
+{
+
+/**
+ * Shared queue recurrence: a_i = c_{i-Q}, s_i = a_i,
+ * f_i = completion(s_i), c_i = max(f_i, c_{i-1}); windows are over all
+ * instructions, with non-members free.
+ */
+template <typename CompletionFn, typename MemberFn>
+std::vector<double>
+runQueueModel(const std::vector<Instruction> &region, int queue_size,
+              int window_k, MemberFn is_member, CompletionFn completion)
+{
+    panic_if(queue_size < 1, "queue size must be >= 1");
+
+    std::vector<uint64_t> commit_ring(queue_size, 0);
+    uint64_t c_prev = 0;
+    size_t member_count = 0;
+
+    std::vector<uint64_t> boundaries;
+    boundaries.reserve(numWindows(region.size(), window_k));
+
+    for (size_t i = 0; i < region.size(); ++i) {
+        if (is_member(region[i])) {
+            const uint64_t a = commit_ring[member_count % queue_size];
+            const uint64_t s = a;   // no dependency constraints
+            const uint64_t f = completion(s, i);
+            const uint64_t c = std::max(f, c_prev);
+            commit_ring[member_count % queue_size] = c;
+            c_prev = c;
+            ++member_count;
+        }
+        if ((i + 1) % static_cast<size_t>(window_k) == 0)
+            boundaries.push_back(c_prev);
+    }
+    return throughputFromBoundaries(boundaries, window_k);
+}
+
+} // anonymous namespace
+
+std::vector<double>
+runLoadQueueModel(const std::vector<Instruction> &region,
+                  const LoadLineIndex &index,
+                  const std::vector<int32_t> &exec_lat,
+                  int lq_size, int window_k)
+{
+    MemoryStateMachine memory(index, exec_lat);
+    return runQueueModel(
+        region, lq_size, window_k,
+        [](const Instruction &instr) { return instr.isLoad(); },
+        [&](uint64_t s, size_t i) {
+            return memory.respCycle(s, i, region[i]);
+        });
+}
+
+std::vector<double>
+runStoreQueueModel(const std::vector<Instruction> &region, int sq_size,
+                   int window_k)
+{
+    const uint64_t store_lat = fixedLatency(InstrType::Store);
+    return runQueueModel(
+        region, sq_size, window_k,
+        [](const Instruction &instr) { return instr.isStore(); },
+        [&](uint64_t s, size_t) { return s + store_lat; });
+}
+
+} // namespace concorde

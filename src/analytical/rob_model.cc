@@ -1,0 +1,91 @@
+#include "analytical/rob_model.hh"
+
+#include <algorithm>
+
+#include "analytical/windows.hh"
+#include "common/logging.hh"
+
+namespace concorde
+{
+
+RobModelResult
+runRobModel(const std::vector<Instruction> &region,
+            const LoadLineIndex &index,
+            const std::vector<int32_t> &exec_lat,
+            int rob_size, int window_k, bool collect_latencies)
+{
+    panic_if(rob_size < 1, "ROB size must be >= 1");
+    const size_t n = region.size();
+
+    RobModelResult result;
+    if (n == 0)
+        return result;
+
+    MemoryStateMachine memory(index, exec_lat);
+
+    // Commit-cycle ring buffer: c_{i-ROB} with c_i = 0 for i <= 0.
+    std::vector<uint64_t> commit_ring(rob_size, 0);
+    std::vector<uint64_t> finish(n, 0);
+    uint64_t c_prev = 0;
+    uint64_t max_finish = 0;        // for ISB pipeline drains
+    uint64_t barrier_finish = 0;    // ISBs gate later instructions
+
+    if (collect_latencies) {
+        result.issueLat.resize(n);
+        result.execLat.resize(n);
+        result.commitLat.resize(n);
+    }
+
+    std::vector<uint64_t> boundaries;
+    boundaries.reserve(numWindows(n, window_k));
+
+    for (size_t i = 0; i < n; ++i) {
+        const Instruction &instr = region[i];
+
+        // Eq. (1): arrival waits for the instruction ROB slots earlier to
+        // commit.
+        const uint64_t a = commit_ring[i % rob_size];
+
+        // Eq. (2): dependencies.
+        uint64_t s = std::max(a, barrier_finish);
+        for (int d = 0; d < kMaxSrcDeps; ++d) {
+            const int32_t dep = instr.srcDeps[d];
+            if (dep >= 0)
+                s = std::max(s, finish[dep]);
+        }
+        if (instr.memDep >= 0)
+            s = std::max(s, finish[instr.memDep]);
+        if (instr.isIsb())
+            s = std::max(s, max_finish);
+
+        // Eq. (3): memory state machine.
+        const uint64_t f = memory.respCycle(s, i, instr);
+
+        // Eq. (4): in-order commit.
+        const uint64_t c = std::max(f, c_prev);
+
+        finish[i] = f;
+        max_finish = std::max(max_finish, f);
+        if (instr.isIsb())
+            barrier_finish = std::max(barrier_finish, f);
+        commit_ring[i % rob_size] = c;
+        c_prev = c;
+
+        if (collect_latencies) {
+            result.issueLat[i] = static_cast<double>(s - a);
+            result.execLat[i] = static_cast<double>(f - s);
+            result.commitLat[i] = static_cast<double>(c - f);
+        }
+
+        if ((i + 1) % static_cast<size_t>(window_k) == 0)
+            boundaries.push_back(c);
+    }
+
+    result.windowThroughput = throughputFromBoundaries(boundaries, window_k);
+    result.overallIpc = c_prev > 0
+        ? static_cast<double>(n) / static_cast<double>(c_prev)
+        : kMaxThroughput;
+    return result;
+}
+
+} // namespace concorde

@@ -1,0 +1,66 @@
+#include "analytical/width_models.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace concorde
+{
+
+std::vector<double>
+issueWidthBound(const std::vector<uint32_t> &class_counts, int width, int k)
+{
+    panic_if(width < 1, "issue width must be >= 1");
+    std::vector<double> thr(class_counts.size());
+    for (size_t j = 0; j < class_counts.size(); ++j) {
+        if (class_counts[j] == 0) {
+            thr[j] = kMaxThroughput;
+        } else {
+            thr[j] = std::min(
+                kMaxThroughput,
+                static_cast<double>(k)
+                    / static_cast<double>(class_counts[j])
+                    * static_cast<double>(width));
+        }
+    }
+    return thr;
+}
+
+std::vector<double>
+pipesLowerBound(const WindowCounts &counts, int ls_pipes, int load_pipes)
+{
+    panic_if(ls_pipes < 1, "need at least one load-store pipe");
+    panic_if(load_pipes < 0, "negative load pipes");
+    const double lsp = ls_pipes;
+    const double lp = load_pipes;
+    std::vector<double> thr(counts.windows());
+    for (size_t j = 0; j < thr.size(); ++j) {
+        const double t_max = counts.nLoad[j] / (lsp + lp)
+            + counts.nStore[j] / lsp;
+        thr[j] = t_max <= 0.0
+            ? kMaxThroughput
+            : std::min(kMaxThroughput, counts.k / t_max);
+    }
+    return thr;
+}
+
+std::vector<double>
+pipesUpperBound(const WindowCounts &counts, int ls_pipes, int load_pipes)
+{
+    panic_if(ls_pipes < 1, "need at least one load-store pipe");
+    panic_if(load_pipes < 0, "negative load pipes");
+    const double lsp = ls_pipes;
+    const double lp = load_pipes;
+    std::vector<double> thr(counts.windows());
+    for (size_t j = 0; j < thr.size(); ++j) {
+        const double t_min = std::max(
+            counts.nStore[j] / lsp,
+            (counts.nLoad[j] + counts.nStore[j]) / (lsp + lp));
+        thr[j] = t_min <= 0.0
+            ? kMaxThroughput
+            : std::min(kMaxThroughput, counts.k / t_min);
+    }
+    return thr;
+}
+
+} // namespace concorde

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Static-bandwidth and pipes bounds (Section 3.2.1). Issue-width bounds
+ * follow Eq. (6); load / load-store pipe bounds are the paper's worst-case
+ * (lower) and best-case (upper) allocations.
+ */
+
+#ifndef CONCORDE_ANALYTICAL_WIDTH_MODELS_HH
+#define CONCORDE_ANALYTICAL_WIDTH_MODELS_HH
+
+#include <vector>
+
+#include "analytical/windows.hh"
+
+namespace concorde
+{
+
+/**
+ * Eq. (6): thr_j = k / n_j * width for the instruction class with
+ * per-window counts `class_counts`. Windows without class members are
+ * unbounded (capped).
+ */
+std::vector<double> issueWidthBound(
+    const std::vector<uint32_t> &class_counts, int width, int k);
+
+/**
+ * Pipes lower bound: worst-case allocation issues all loads first on every
+ * pipe, then stores on the load-store pipes:
+ * T_max = n_load / (LSP + LP) + n_store / LSP.
+ */
+std::vector<double> pipesLowerBound(const WindowCounts &counts,
+                                    int ls_pipes, int load_pipes);
+
+/**
+ * Pipes upper bound: best-case makespan with stores restricted to
+ * load-store pipes: T_min = max(n_store / LSP,
+ * (n_load + n_store) / (LSP + LP)).
+ */
+std::vector<double> pipesUpperBound(const WindowCounts &counts,
+                                    int ls_pipes, int load_pipes);
+
+} // namespace concorde
+
+#endif // CONCORDE_ANALYTICAL_WIDTH_MODELS_HH

@@ -1,0 +1,65 @@
+#include "branch/predictor.hh"
+
+#include "branch/simple_bp.hh"
+#include "branch/tage.hh"
+#include "common/logging.hh"
+
+namespace concorde
+{
+
+bool
+BranchPredictor::predictIndirect(uint64_t pc, uint16_t target)
+{
+    IndirectEntry &e = indirectTable[(pc >> 2) & (indirectTable.size() - 1)];
+    const bool correct = (e.pc == pc && e.target == target);
+    e.pc = pc;
+    e.target = target;
+    return correct;
+}
+
+std::unique_ptr<BranchPredictor>
+makePredictor(const BranchConfig &config, uint64_t seed)
+{
+    if (config.type == BranchConfig::Type::Simple)
+        return std::make_unique<SimpleBp>(config.simpleMispredictPct, seed);
+    return std::make_unique<Tage>();
+}
+
+std::vector<uint8_t>
+computeMispredicts(const std::vector<Instruction> &warmup,
+                   const std::vector<Instruction> &region,
+                   const BranchConfig &config, uint64_t seed)
+{
+    auto predictor = makePredictor(config, seed);
+
+    auto run = [&](const Instruction &instr, bool record) -> uint8_t {
+        if (!instr.isBranch())
+            return 0;
+        switch (instr.branchKind) {
+          case BranchKind::DirectUncond:
+            return 0;
+          case BranchKind::DirectCond: {
+            const bool pred =
+                predictor->predictAndUpdate(instr.pc, instr.taken);
+            return record && pred != instr.taken ? 1 : 0;
+          }
+          case BranchKind::Indirect: {
+            const bool ok =
+                predictor->predictIndirect(instr.pc, instr.targetId);
+            return record && !ok ? 1 : 0;
+          }
+          default:
+            return 0;
+        }
+    };
+
+    for (const auto &instr : warmup)
+        run(instr, false);
+
+    std::vector<uint8_t> flags(region.size(), 0);
+    for (size_t i = 0; i < region.size(); ++i)
+        flags[i] = run(region[i], true);
+    return flags;
+}
+
+} // namespace concorde

@@ -1,0 +1,31 @@
+#include "branch/simple_bp.hh"
+
+#include "common/logging.hh"
+
+namespace concorde
+{
+
+SimpleBp::SimpleBp(int mispredict_pct, uint64_t seed)
+    : rate(mispredict_pct / 100.0), rng(hashMix(seed, 0x51B0ULL))
+{
+    fatal_if(mispredict_pct < 0 || mispredict_pct > 100,
+             "mispredict pct out of range: %d", mispredict_pct);
+}
+
+bool
+SimpleBp::predictAndUpdate(uint64_t pc, bool taken)
+{
+    (void)pc;
+    const bool mispredict = rng.nextBool(rate);
+    return mispredict ? !taken : taken;
+}
+
+bool
+SimpleBp::predictIndirect(uint64_t pc, uint16_t target)
+{
+    (void)pc;
+    (void)target;
+    return !rng.nextBool(rate);
+}
+
+} // namespace concorde

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The `Simple` branch predictor: mispredicts uniformly at random at a
+ * pre-specified rate (Table 1's "Percent misprediction for Simple BP").
+ */
+
+#ifndef CONCORDE_BRANCH_SIMPLE_BP_HH
+#define CONCORDE_BRANCH_SIMPLE_BP_HH
+
+#include "branch/predictor.hh"
+#include "common/rng.hh"
+
+namespace concorde
+{
+
+/** Random mispredictor with a fixed rate; deterministic given its seed. */
+class SimpleBp : public BranchPredictor
+{
+  public:
+    SimpleBp(int mispredict_pct, uint64_t seed);
+
+    bool predictAndUpdate(uint64_t pc, bool taken) override;
+    bool predictIndirect(uint64_t pc, uint16_t target) override;
+
+  private:
+    double rate;
+    Rng rng;
+};
+
+} // namespace concorde
+
+#endif // CONCORDE_BRANCH_SIMPLE_BP_HH

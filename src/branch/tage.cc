@@ -1,0 +1,201 @@
+#include "branch/tage.hh"
+
+#include "common/rng.hh"
+
+namespace concorde
+{
+
+constexpr std::array<int, Tage::kNumTables> Tage::kHistLens;
+
+void
+Tage::FoldedHistory::init(int orig_len, int folded_len)
+{
+    value = 0;
+    origLen = orig_len;
+    foldedLen = folded_len;
+    outPoint = orig_len % folded_len;
+}
+
+void
+Tage::FoldedHistory::update(const uint8_t *ghist, int ptr, int max_hist)
+{
+    // Shift in the newest bit; shift out the bit that just aged past
+    // origLen (Seznec's incremental folded-history computation).
+    value = (value << 1) | ghist[ptr];
+    value ^= static_cast<uint32_t>(ghist[(ptr + origLen) % max_hist])
+        << outPoint;
+    value ^= value >> foldedLen;
+    value &= (1u << foldedLen) - 1;
+}
+
+Tage::Tage()
+    : bimodal(1u << kLogBimodal, 0)
+{
+    for (int t = 0; t < kNumTables; ++t) {
+        tables[t].resize(1u << kLogTagged);
+        idxFold[t].init(kHistLens[t], kLogTagged);
+        tagFold1[t].init(kHistLens[t], kTagBits);
+        tagFold2[t].init(kHistLens[t], kTagBits - 1);
+    }
+}
+
+uint32_t
+Tage::tableIndex(uint64_t pc, int t) const
+{
+    const uint32_t folded = idxFold[t].value;
+    const uint32_t h = static_cast<uint32_t>(pc >> 2)
+        ^ static_cast<uint32_t>(pc >> (kLogTagged - t + 2));
+    return (h ^ folded) & ((1u << kLogTagged) - 1);
+}
+
+uint16_t
+Tage::tableTag(uint64_t pc, int t) const
+{
+    const uint32_t tag = static_cast<uint32_t>(pc >> 2)
+        ^ tagFold1[t].value ^ (tagFold2[t].value << 1);
+    return static_cast<uint16_t>(tag & ((1u << kTagBits) - 1));
+}
+
+void
+Tage::pushHistory(bool taken)
+{
+    histPtr = (histPtr + kMaxHist - 1) % kMaxHist;
+    ghist[histPtr] = taken ? 1 : 0;
+    for (int t = 0; t < kNumTables; ++t) {
+        idxFold[t].update(ghist, histPtr, kMaxHist);
+        tagFold1[t].update(ghist, histPtr, kMaxHist);
+        tagFold2[t].update(ghist, histPtr, kMaxHist);
+    }
+}
+
+bool
+Tage::predictAndUpdate(uint64_t pc, bool taken)
+{
+    ++branchCount;
+
+    const uint32_t bim_idx = static_cast<uint32_t>(pc >> 2)
+        & ((1u << kLogBimodal) - 1);
+    const bool bim_pred = bimodal[bim_idx] >= 0;
+
+    // Find provider (longest history with a tag match) and altpred.
+    int provider = -1;
+    int alt = -1;
+    uint32_t idx[kNumTables];
+    uint16_t tag[kNumTables];
+    for (int t = kNumTables - 1; t >= 0; --t) {
+        idx[t] = tableIndex(pc, t);
+        tag[t] = tableTag(pc, t);
+    }
+    for (int t = kNumTables - 1; t >= 0; --t) {
+        if (tables[t][idx[t]].tag == tag[t]) {
+            if (provider < 0) {
+                provider = t;
+            } else {
+                alt = t;
+                break;
+            }
+        }
+    }
+
+    const bool alt_pred = alt >= 0 ? tables[alt][idx[alt]].ctr >= 0
+                                   : bim_pred;
+    bool pred;
+    bool provider_weak = false;
+    if (provider >= 0) {
+        const TaggedEntry &e = tables[provider][idx[provider]];
+        provider_weak = (e.ctr == 0 || e.ctr == -1) && e.useful == 0;
+        pred = (provider_weak && useAltOnNa >= 0) ? alt_pred : e.ctr >= 0;
+    } else {
+        pred = bim_pred;
+    }
+
+    // ---- update ----
+    const bool correct = (pred == taken);
+
+    if (provider >= 0) {
+        TaggedEntry &e = tables[provider][idx[provider]];
+        const bool provider_pred = e.ctr >= 0;
+        if (provider_weak) {
+            if (alt_pred != provider_pred) {
+                if (alt_pred == taken) {
+                    if (useAltOnNa < 7)
+                        ++useAltOnNa;
+                } else if (useAltOnNa > -8) {
+                    --useAltOnNa;
+                }
+            }
+        }
+        if (provider_pred != alt_pred) {
+            if (provider_pred == taken) {
+                if (e.useful < 3)
+                    ++e.useful;
+            } else if (e.useful > 0) {
+                --e.useful;
+            }
+        }
+        if (taken) {
+            if (e.ctr < 3)
+                ++e.ctr;
+        } else if (e.ctr > -4) {
+            --e.ctr;
+        }
+        // Keep the bimodal table warm when it served as altpred.
+        if (alt < 0) {
+            if (taken) {
+                if (bimodal[bim_idx] < 1)
+                    ++bimodal[bim_idx];
+            } else if (bimodal[bim_idx] > -2) {
+                --bimodal[bim_idx];
+            }
+        }
+    } else {
+        if (taken) {
+            if (bimodal[bim_idx] < 1)
+                ++bimodal[bim_idx];
+        } else if (bimodal[bim_idx] > -2) {
+            --bimodal[bim_idx];
+        }
+    }
+
+    // Allocate a longer-history entry on mispredict.
+    if (!correct && provider < kNumTables - 1) {
+        int candidate = -1;
+        for (int t = provider + 1; t < kNumTables; ++t) {
+            if (tables[t][idx[t]].useful == 0) {
+                candidate = t;
+                break;
+            }
+        }
+        if (candidate < 0) {
+            for (int t = provider + 1; t < kNumTables; ++t) {
+                if (tables[t][idx[t]].useful > 0)
+                    --tables[t][idx[t]].useful;
+            }
+        } else {
+            // Skip ahead pseudo-randomly so allocation doesn't always
+            // land in the shortest table.
+            if (candidate + 1 < kNumTables
+                && (splitMix64(allocSeed) & 3) == 0
+                && tables[candidate + 1][idx[candidate + 1]].useful == 0) {
+                ++candidate;
+            }
+            TaggedEntry &e = tables[candidate][idx[candidate]];
+            e.tag = tag[candidate];
+            e.ctr = taken ? 0 : -1;
+            e.useful = 0;
+        }
+    }
+
+    // Periodic useful-bit aging.
+    if ((branchCount & ((1u << 18) - 1)) == 0) {
+        for (auto &table : tables) {
+            for (auto &e : table)
+                e.useful >>= 1;
+        }
+    }
+
+    pushHistory(taken);
+    return pred;
+}
+
+} // namespace concorde

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * TAGE direction predictor (Seznec [8, 77]): a bimodal base table plus
+ * tagged tables indexed with geometrically increasing global-history
+ * lengths, with the standard provider/altpred/useful-bit update policy.
+ */
+
+#ifndef CONCORDE_BRANCH_TAGE_HH
+#define CONCORDE_BRANCH_TAGE_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "branch/predictor.hh"
+
+namespace concorde
+{
+
+/** TAGE with 5 tagged tables over geometric history lengths. */
+class Tage : public BranchPredictor
+{
+  public:
+    Tage();
+
+    bool predictAndUpdate(uint64_t pc, bool taken) override;
+
+  private:
+    static constexpr int kNumTables = 5;
+    static constexpr int kLogTagged = 10;       ///< entries per table
+    static constexpr int kTagBits = 11;
+    static constexpr int kLogBimodal = 13;
+    static constexpr int kMaxHist = 320;
+    static constexpr std::array<int, kNumTables> kHistLens =
+        {5, 14, 39, 110, 300};
+
+    struct TaggedEntry
+    {
+        uint16_t tag = 0;
+        int8_t ctr = 0;     ///< -4..3 signed 3-bit counter
+        uint8_t useful = 0; ///< 0..3
+    };
+
+    /** Incrementally folded history (Seznec's circular shift trick). */
+    struct FoldedHistory
+    {
+        uint32_t value = 0;
+        int origLen = 0;
+        int foldedLen = 0;
+        int outPoint = 0;
+
+        void init(int orig_len, int folded_len);
+        void update(const uint8_t *ghist, int ptr, int max_hist);
+    };
+
+    uint32_t tableIndex(uint64_t pc, int t) const;
+    uint16_t tableTag(uint64_t pc, int t) const;
+    void pushHistory(bool taken);
+
+    std::vector<int8_t> bimodal;    ///< 2-bit counters, -2..1
+    std::array<std::vector<TaggedEntry>, kNumTables> tables;
+    std::array<FoldedHistory, kNumTables> idxFold;
+    std::array<FoldedHistory, kNumTables> tagFold1;
+    std::array<FoldedHistory, kNumTables> tagFold2;
+
+    uint8_t ghist[kMaxHist] = {};
+    int histPtr = 0;            ///< position of the newest bit
+    int8_t useAltOnNa = 0;      ///< use-alt-on-newly-allocated counter
+    uint64_t branchCount = 0;   ///< drives periodic useful-bit aging
+    uint64_t allocSeed = 0x7A6EULL;
+};
+
+} // namespace concorde
+
+#endif // CONCORDE_BRANCH_TAGE_HH

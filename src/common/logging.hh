@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal logging / error-reporting helpers in the spirit of gem5's
+ * base/logging.hh: panic() for internal invariant violations, fatal() for
+ * user errors, warn()/inform() for status messages.
+ */
+
+#ifndef CONCORDE_COMMON_LOGGING_HH
+#define CONCORDE_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace concorde
+{
+
+/** Abort the process: an internal invariant was violated (a bug). */
+#define panic(...)                                                          \
+    do {                                                                    \
+        std::fprintf(stderr, "panic: ");                                    \
+        std::fprintf(stderr, __VA_ARGS__);                                  \
+        std::fprintf(stderr, " [%s:%d]\n", __FILE__, __LINE__);             \
+        std::abort();                                                       \
+    } while (0)
+
+/** Exit the process: the caller supplied an unusable configuration. */
+#define fatal(...)                                                          \
+    do {                                                                    \
+        std::fprintf(stderr, "fatal: ");                                    \
+        std::fprintf(stderr, __VA_ARGS__);                                  \
+        std::fprintf(stderr, " [%s:%d]\n", __FILE__, __LINE__);             \
+        std::exit(1);                                                       \
+    } while (0)
+
+/** Non-fatal diagnostic for suspicious-but-survivable conditions. */
+#define warn(...)                                                           \
+    do {                                                                    \
+        std::fprintf(stderr, "warn: ");                                     \
+        std::fprintf(stderr, __VA_ARGS__);                                  \
+        std::fprintf(stderr, "\n");                                         \
+    } while (0)
+
+/** Status message. */
+#define inform(...)                                                         \
+    do {                                                                    \
+        std::fprintf(stdout, "info: ");                                     \
+        std::fprintf(stdout, __VA_ARGS__);                                  \
+        std::fprintf(stdout, "\n");                                         \
+        std::fflush(stdout);                                                \
+    } while (0)
+
+/** panic() unless the condition holds. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            panic(__VA_ARGS__);                                             \
+        }                                                                   \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond) {                                                         \
+            fatal(__VA_ARGS__);                                             \
+        }                                                                   \
+    } while (0)
+
+} // namespace concorde
+
+#endif // CONCORDE_COMMON_LOGGING_HH

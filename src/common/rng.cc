@@ -1,0 +1,144 @@
+#include "common/rng.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace concorde
+{
+
+uint64_t
+splitMix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+hashMix(uint64_t a, uint64_t b, uint64_t c)
+{
+    uint64_t state = a;
+    uint64_t x = splitMix64(state);
+    state ^= b * 0xff51afd7ed558ccdULL;
+    x ^= splitMix64(state);
+    state ^= c * 0xc4ceb9fe1a85ec53ULL;
+    x ^= splitMix64(state);
+    return x;
+}
+
+namespace
+{
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // anonymous namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t state = seed;
+    for (auto &word : s)
+        word = splitMix64(state);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::nextBounded(uint64_t bound)
+{
+    panic_if(bound == 0, "nextBounded(0)");
+    // Multiply-shift bounded draw; bias is negligible for our bounds.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * bound) >> 64);
+}
+
+int64_t
+Rng::nextRange(int64_t lo, int64_t hi)
+{
+    panic_if(hi < lo, "nextRange: hi < lo");
+    return lo + static_cast<int64_t>(
+        nextBounded(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p_true)
+{
+    return nextDouble() < p_true;
+}
+
+double
+Rng::nextGaussian()
+{
+    double u1 = nextDouble();
+    double u2 = nextDouble();
+    if (u1 < 1e-300)
+        u1 = 1e-300;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+uint64_t
+Rng::nextGeometric(double mean)
+{
+    if (mean <= 1.0)
+        return 1;
+    // Geometric on {1, 2, ...} with mean `mean` => success prob 1/mean.
+    const double p = 1.0 / mean;
+    double u = nextDouble();
+    if (u < 1e-300)
+        u = 1e-300;
+    const double v = std::log(u) / std::log(1.0 - p);
+    uint64_t k = static_cast<uint64_t>(v) + 1;
+    return k == 0 ? 1 : k;
+}
+
+uint64_t
+Rng::nextZipf(uint64_t n, double s)
+{
+    panic_if(n == 0, "nextZipf(0)");
+    // Inverse-CDF approximation of a Zipf law via the bounded Pareto
+    // distribution; exact Zipf sampling is unnecessary for workload shaping.
+    const double u = nextDouble();
+    if (s == 1.0) {
+        const double h = std::log(static_cast<double>(n) + 1.0);
+        const double x = std::exp(u * h) - 1.0;
+        uint64_t k = static_cast<uint64_t>(x);
+        return k >= n ? n - 1 : k;
+    }
+    const double one_minus_s = 1.0 - s;
+    const double h = (std::pow(static_cast<double>(n) + 1.0, one_minus_s)
+                      - 1.0);
+    const double x = std::pow(u * h + 1.0, 1.0 / one_minus_s) - 1.0;
+    uint64_t k = static_cast<uint64_t>(x);
+    return k >= n ? n - 1 : k;
+}
+
+Rng
+Rng::fork(uint64_t salt)
+{
+    return Rng(hashMix(next(), salt));
+}
+
+} // namespace concorde

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic, fast pseudo-random number generation.
+ *
+ * Everything in Concorde (workload generation, dataset sampling, the Simple
+ * branch predictor, weight initialization) derives from seeded Rng instances
+ * so that traces, features, labels, and trained models are bit-reproducible.
+ */
+
+#ifndef CONCORDE_COMMON_RNG_HH
+#define CONCORDE_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace concorde
+{
+
+/** SplitMix64 step; used for seeding and cheap hash mixing. */
+uint64_t splitMix64(uint64_t &state);
+
+/** Stateless mix of up to three words into one; used to derive sub-seeds. */
+uint64_t hashMix(uint64_t a, uint64_t b = 0x9e3779b97f4a7c15ULL,
+                 uint64_t c = 0xbf58476d1ce4e5b9ULL);
+
+/**
+ * xoshiro256** generator. Small, fast, good statistical quality; more than
+ * adequate for synthetic workload generation.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(uint64_t seed = 0x1234abcdULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [0, bound), bound > 0. */
+    uint64_t nextBounded(uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t nextRange(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw. */
+    bool nextBool(double p_true);
+
+    /** Standard normal via Box-Muller (no cached spare; stateless). */
+    double nextGaussian();
+
+    /**
+     * Geometric-ish positive integer with the given mean (>= 1); used for
+     * dependency distances and run lengths.
+     */
+    uint64_t nextGeometric(double mean);
+
+    /** Zipf-distributed value in [0, n) with exponent s (approximate). */
+    uint64_t nextZipf(uint64_t n, double s);
+
+    /** Derive an independent child generator. */
+    Rng fork(uint64_t salt);
+
+  private:
+    uint64_t s[4];
+};
+
+} // namespace concorde
+
+#endif // CONCORDE_COMMON_RNG_HH

@@ -1,0 +1,97 @@
+#include "common/serialize.hh"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace concorde
+{
+
+BinaryWriter::BinaryWriter(const std::string &path)
+    : file(std::fopen(path.c_str(), "wb"))
+{
+    fatal_if(!file, "cannot open '%s' for writing: %s", path.c_str(),
+             std::strerror(errno));
+}
+
+BinaryWriter::~BinaryWriter()
+{
+    if (file)
+        std::fclose(file);
+}
+
+void
+BinaryWriter::putString(const std::string &s)
+{
+    put<uint64_t>(s.size());
+    write(s.data(), s.size());
+}
+
+void
+BinaryWriter::write(const void *data, size_t bytes)
+{
+    if (bytes == 0)
+        return;
+    const size_t written = std::fwrite(data, 1, bytes, file);
+    fatal_if(written != bytes, "short write (%zu of %zu bytes)", written,
+             bytes);
+}
+
+BinaryReader::BinaryReader(const std::string &path)
+    : file(std::fopen(path.c_str(), "rb"))
+{
+    fatal_if(!file, "cannot open '%s' for reading: %s", path.c_str(),
+             std::strerror(errno));
+}
+
+BinaryReader::~BinaryReader()
+{
+    if (file)
+        std::fclose(file);
+}
+
+std::string
+BinaryReader::getString()
+{
+    const uint64_t n = get<uint64_t>();
+    std::string s(n, '\0');
+    read(s.data(), n);
+    return s;
+}
+
+void
+BinaryReader::read(void *data, size_t bytes)
+{
+    if (bytes == 0)
+        return;
+    const size_t got = std::fread(data, 1, bytes, file);
+    fatal_if(got != bytes, "short read (%zu of %zu bytes)", got, bytes);
+}
+
+bool
+fileExists(const std::string &path)
+{
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+void
+ensureDir(const std::string &path)
+{
+    std::string partial;
+    for (size_t i = 0; i <= path.size(); ++i) {
+        if (i == path.size() || path[i] == '/') {
+            if (!partial.empty() && partial != "/") {
+                if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST)
+                    fatal("mkdir '%s': %s", partial.c_str(),
+                          std::strerror(errno));
+            }
+        }
+        if (i < path.size())
+            partial.push_back(path[i]);
+    }
+}
+
+} // namespace concorde

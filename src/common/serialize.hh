@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tiny binary serialization for artifact caching (datasets, trained models).
+ * Format: little-endian PODs; vectors as u64 length + payload. Not meant to
+ * be portable across architectures; it is a local cache format.
+ */
+
+#ifndef CONCORDE_COMMON_SERIALIZE_HH
+#define CONCORDE_COMMON_SERIALIZE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace concorde
+{
+
+/** Streaming binary writer over a stdio FILE. */
+class BinaryWriter
+{
+  public:
+    explicit BinaryWriter(const std::string &path);
+    ~BinaryWriter();
+    BinaryWriter(const BinaryWriter &) = delete;
+    BinaryWriter &operator=(const BinaryWriter &) = delete;
+
+    template <typename T>
+    void
+    put(const T &value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        write(&value, sizeof(T));
+    }
+
+    template <typename T>
+    void
+    putVector(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        put<uint64_t>(v.size());
+        if (!v.empty())
+            write(v.data(), v.size() * sizeof(T));
+    }
+
+    void putString(const std::string &s);
+
+    /** True if the file opened successfully. */
+    bool ok() const { return file != nullptr; }
+
+  private:
+    void write(const void *data, size_t bytes);
+    std::FILE *file;
+};
+
+/** Streaming binary reader over a stdio FILE. */
+class BinaryReader
+{
+  public:
+    explicit BinaryReader(const std::string &path);
+    ~BinaryReader();
+    BinaryReader(const BinaryReader &) = delete;
+    BinaryReader &operator=(const BinaryReader &) = delete;
+
+    template <typename T>
+    T
+    get()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T value;
+        read(&value, sizeof(T));
+        return value;
+    }
+
+    template <typename T>
+    std::vector<T>
+    getVector()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const uint64_t n = get<uint64_t>();
+        std::vector<T> v(n);
+        if (n > 0)
+            read(v.data(), n * sizeof(T));
+        return v;
+    }
+
+    std::string getString();
+
+    bool ok() const { return file != nullptr; }
+
+  private:
+    void read(void *data, size_t bytes);
+    std::FILE *file;
+};
+
+/** True if a regular file exists at path. */
+bool fileExists(const std::string &path);
+
+/** mkdir -p equivalent; fatal() on failure. */
+void ensureDir(const std::string &path);
+
+} // namespace concorde
+
+#endif // CONCORDE_COMMON_SERIALIZE_HH

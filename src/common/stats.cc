@@ -1,0 +1,115 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace concorde
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += x;
+    return acc / static_cast<double>(xs.size());
+}
+
+double
+percentile(std::vector<double> sorted_xs, double q)
+{
+    if (sorted_xs.empty())
+        return 0.0;
+    panic_if(q < 0.0 || q > 1.0, "percentile q out of range");
+    const double pos = q * static_cast<double>(sorted_xs.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, sorted_xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted_xs[lo] * (1.0 - frac) + sorted_xs[hi] * frac;
+}
+
+DistributionEncoder::DistributionEncoder(size_t num_percentiles)
+    : numPercentiles(num_percentiles)
+{
+    panic_if(num_percentiles < 2, "need at least 2 percentiles");
+}
+
+void
+DistributionEncoder::encode(std::vector<double> samples,
+                            std::vector<float> &out) const
+{
+    const size_t base = out.size();
+    out.resize(base + dim(), 0.0f);
+    if (samples.empty())
+        return;
+
+    std::sort(samples.begin(), samples.end());
+    const size_t n = samples.size();
+
+    // Plain percentiles.
+    for (size_t i = 0; i < numPercentiles; ++i) {
+        const double q = static_cast<double>(i)
+            / static_cast<double>(numPercentiles - 1);
+        const double pos = q * static_cast<double>(n - 1);
+        const size_t lo = static_cast<size_t>(pos);
+        const size_t hi = std::min(lo + 1, n - 1);
+        const double frac = pos - static_cast<double>(lo);
+        out[base + i] = static_cast<float>(
+            samples[lo] * (1.0 - frac) + samples[hi] * frac);
+    }
+
+    // Size-weighted percentiles: sample i carries weight samples[i]. The
+    // weighted CDF is piecewise constant; we pick the sample at which the
+    // normalized cumulative weight first reaches q.
+    double total = 0.0;
+    for (double x : samples)
+        total += x;
+    if (total <= 0.0) {
+        // All-zero samples: weighted distribution degenerates to zeros.
+        for (size_t i = 0; i < numPercentiles; ++i)
+            out[base + numPercentiles + i] = 0.0f;
+    } else {
+        size_t idx = 0;
+        double cum = samples[0];
+        for (size_t i = 0; i < numPercentiles; ++i) {
+            const double q = static_cast<double>(i)
+                / static_cast<double>(numPercentiles - 1);
+            const double target = q * total;
+            while (cum < target && idx + 1 < n) {
+                ++idx;
+                cum += samples[idx];
+            }
+            out[base + numPercentiles + i] = static_cast<float>(samples[idx]);
+        }
+    }
+
+    out[base + 2 * numPercentiles] =
+        static_cast<float>(total / static_cast<double>(n));
+}
+
+void
+RunningStats::push(double x)
+{
+    ++n;
+    const double delta = x - meanAcc;
+    meanAcc += delta / static_cast<double>(n);
+    m2 += delta * (x - meanAcc);
+}
+
+double
+RunningStats::variance() const
+{
+    return n > 1 ? m2 / static_cast<double>(n - 1) : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+} // namespace concorde

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Distribution utilities: percentile extraction and the fixed-size CDF
+ * encoding Concorde feeds to its ML model (Section 4 of the paper: P
+ * equally-spaced percentiles of the distribution, P percentiles of the
+ * size-weighted distribution, and the mean).
+ */
+
+#ifndef CONCORDE_COMMON_STATS_HH
+#define CONCORDE_COMMON_STATS_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace concorde
+{
+
+/** Mean of a sample vector (0 for empty input). */
+double mean(const std::vector<double> &xs);
+
+/**
+ * Percentile of a sample vector with linear interpolation between order
+ * statistics. @param q in [0, 1].
+ */
+double percentile(std::vector<double> sorted_xs, double q);
+
+/**
+ * Fixed-size encoding of an empirical distribution.
+ *
+ * Output layout: [P equally-spaced percentiles (q = 0..1),
+ *                 P equally-spaced percentiles of the size-weighted
+ *                 distribution (every sample weighted by its value, which
+ *                 highlights the tail; paper Section 4, footnote 5),
+ *                 mean] -- total 2*P+1 values.
+ */
+class DistributionEncoder
+{
+  public:
+    explicit DistributionEncoder(size_t num_percentiles = 25);
+
+    /** Number of output values (2*P+1). */
+    size_t dim() const { return 2 * numPercentiles + 1; }
+
+    /**
+     * Encode samples into `out` (exactly dim() values appended).
+     * Empty input encodes as all zeros.
+     */
+    void encode(std::vector<double> samples, std::vector<float> &out) const;
+
+  private:
+    size_t numPercentiles;
+};
+
+/** Simple streaming mean/variance accumulator (Welford). */
+class RunningStats
+{
+  public:
+    void push(double x);
+    size_t count() const { return n; }
+    double avg() const { return n ? meanAcc : 0.0; }
+    double variance() const;
+    double stddev() const;
+
+  private:
+    size_t n = 0;
+    double meanAcc = 0.0;
+    double m2 = 0.0;
+};
+
+} // namespace concorde
+
+#endif // CONCORDE_COMMON_STATS_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Wall-clock stopwatch used by the speed experiments (Figure 10,
+ * Section 5.2.3 preprocessing cost).
+ */
+
+#ifndef CONCORDE_COMMON_STOPWATCH_HH
+#define CONCORDE_COMMON_STOPWATCH_HH
+
+#include <chrono>
+
+namespace concorde
+{
+
+/** Monotonic wall-clock stopwatch. */
+class Stopwatch
+{
+  public:
+    Stopwatch() { reset(); }
+
+    void reset() { start = std::chrono::steady_clock::now(); }
+
+    /** Elapsed seconds since construction or last reset(). */
+    double
+    seconds() const
+    {
+        const auto now = std::chrono::steady_clock::now();
+        return std::chrono::duration<double>(now - start).count();
+    }
+
+    double micros() const { return seconds() * 1e6; }
+
+  private:
+    std::chrono::steady_clock::time_point start;
+};
+
+} // namespace concorde
+
+#endif // CONCORDE_COMMON_STOPWATCH_HH

@@ -1,0 +1,80 @@
+#include "common/thread_pool.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace concorde
+{
+
+size_t
+defaultThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 4 : hw;
+}
+
+void
+parallelFor(size_t n, const std::function<void(size_t)> &fn,
+            size_t num_threads)
+{
+    if (num_threads == 0)
+        num_threads = defaultThreads();
+    num_threads = std::min(num_threads, n);
+    if (n == 0)
+        return;
+    if (num_threads <= 1 || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // Dynamic scheduling via a shared counter: work items (regions,
+    // simulations) have highly variable cost.
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    for (size_t t = 0; t < num_threads; ++t) {
+        workers.emplace_back([&]() {
+            while (true) {
+                const size_t i = next.fetch_add(1);
+                if (i >= n)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+}
+
+void
+parallelShards(size_t n,
+               const std::function<void(size_t, size_t, size_t)> &fn,
+               size_t num_threads)
+{
+    if (num_threads == 0)
+        num_threads = defaultThreads();
+    num_threads = std::max<size_t>(1, std::min(num_threads, n));
+    if (n == 0)
+        return;
+    if (num_threads == 1) {
+        fn(0, 0, n);
+        return;
+    }
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    const size_t chunk = (n + num_threads - 1) / num_threads;
+    for (size_t t = 0; t < num_threads; ++t) {
+        const size_t begin = t * chunk;
+        const size_t end = std::min(n, begin + chunk);
+        if (begin >= end)
+            break;
+        workers.emplace_back([&fn, t, begin, end]() { fn(t, begin, end); });
+    }
+    for (auto &w : workers)
+        w.join();
+}
+
+} // namespace concorde

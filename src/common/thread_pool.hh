@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Minimal data-parallel helpers. Dataset generation, feature precompute,
+ * training, and the Shapley engine all use parallelFor over independent
+ * work items.
+ */
+
+#ifndef CONCORDE_COMMON_THREAD_POOL_HH
+#define CONCORDE_COMMON_THREAD_POOL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace concorde
+{
+
+/** Number of worker threads to use by default (hardware concurrency). */
+size_t defaultThreads();
+
+/**
+ * Run fn(i) for i in [0, n) across up to num_threads threads.
+ * Work is distributed in contiguous blocks; fn must be thread-safe across
+ * distinct i. Runs inline when n is small or num_threads <= 1.
+ */
+void parallelFor(size_t n, const std::function<void(size_t)> &fn,
+                 size_t num_threads = 0);
+
+/**
+ * Run fn(t, begin, end) for each of num_threads contiguous shards of [0, n);
+ * useful when per-thread state (accumulators, RNGs) is needed.
+ */
+void parallelShards(size_t n,
+                    const std::function<void(size_t, size_t, size_t)> &fn,
+                    size_t num_threads = 0);
+
+} // namespace concorde
+
+#endif // CONCORDE_COMMON_THREAD_POOL_HH

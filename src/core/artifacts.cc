@@ -1,0 +1,299 @@
+#include "core/artifacts.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "common/logging.hh"
+#include "common/stopwatch.hh"
+
+namespace concorde
+{
+namespace artifacts
+{
+
+namespace
+{
+
+size_t
+envSize(const char *name, size_t fallback)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return fallback;
+    const long long parsed = std::atoll(value);
+    return parsed > 0 ? static_cast<size_t>(parsed) : fallback;
+}
+
+std::mutex &
+artifactMutex()
+{
+    static std::mutex m;
+    return m;
+}
+
+/** Load-or-build a dataset cached on disk. */
+Dataset
+cachedDataset(const std::string &name, const DatasetConfig &config)
+{
+    const std::string path = dir() + "/" + name + "_"
+        + std::to_string(config.numSamples) + ".bin";
+    if (fileExists(path))
+        return Dataset::load(path);
+    inform("building dataset '%s' (%zu samples, %u-chunk regions)...",
+           name.c_str(), config.numSamples, config.regionChunks);
+    Stopwatch timer;
+    Dataset data = buildDataset(config);
+    inform("dataset '%s' built in %.1fs", name.c_str(), timer.seconds());
+    data.save(path);
+    return data;
+}
+
+} // anonymous namespace
+
+std::string
+dir()
+{
+    const char *override_dir = std::getenv("CONCORDE_ARTIFACTS");
+    static const std::string path =
+        override_dir && *override_dir ? override_dir : "artifacts";
+    ensureDir(path);
+    return path;
+}
+
+size_t trainSamples() { return envSize("CONCORDE_TRAIN_SAMPLES", 24000); }
+size_t testSamples() { return envSize("CONCORDE_TEST_SAMPLES", 3000); }
+size_t
+longTrainSamples()
+{
+    return envSize("CONCORDE_LONG_TRAIN_SAMPLES", 16000);
+}
+size_t
+longTestSamples()
+{
+    return envSize("CONCORDE_LONG_TEST_SAMPLES", 1200);
+}
+size_t specSamples() { return envSize("CONCORDE_SPEC_SAMPLES", 3000); }
+size_t epochs() { return envSize("CONCORDE_EPOCHS", 60); }
+
+FeatureConfig
+featureConfig()
+{
+    return FeatureConfig{};
+}
+
+TrainConfig
+trainConfig()
+{
+    TrainConfig config;
+    config.epochs = epochs();
+    return config;
+}
+
+const std::vector<int> &
+specPrograms()
+{
+    static const std::vector<int> programs = [] {
+        std::vector<int> ids;
+        for (int i = 1; i <= 10; ++i) {
+            const int id = programIdByCode("S" + std::to_string(i));
+            panic_if(id < 0, "SPEC program S%d missing from corpus", i);
+            ids.push_back(id);
+        }
+        return ids;
+    }();
+    return programs;
+}
+
+const Dataset &
+mainTrain()
+{
+    std::lock_guard<std::mutex> lock(artifactMutex());
+    static const Dataset data = [] {
+        DatasetConfig config;
+        config.numSamples = trainSamples();
+        config.regionChunks = kShortRegionChunks;
+        config.seed = 1001;
+        config.features = featureConfig();
+        return cachedDataset("train_main", config);
+    }();
+    return data;
+}
+
+const Dataset &
+mainTest()
+{
+    std::lock_guard<std::mutex> lock(artifactMutex());
+    static const Dataset data = [] {
+        DatasetConfig config;
+        config.numSamples = testSamples();
+        config.regionChunks = kShortRegionChunks;
+        config.seed = 2002;
+        config.features = featureConfig();
+        return cachedDataset("test_main", config);
+    }();
+    return data;
+}
+
+const Dataset &
+longTrain()
+{
+    std::lock_guard<std::mutex> lock(artifactMutex());
+    static const Dataset data = [] {
+        DatasetConfig config;
+        config.numSamples = longTrainSamples();
+        config.regionChunks = kLongRegionChunks;
+        config.seed = 3003;
+        config.features = featureConfig();
+        return cachedDataset("train_long", config);
+    }();
+    return data;
+}
+
+const Dataset &
+longTest()
+{
+    std::lock_guard<std::mutex> lock(artifactMutex());
+    static const Dataset data = [] {
+        DatasetConfig config;
+        config.numSamples = longTestSamples();
+        config.regionChunks = kLongRegionChunks;
+        config.seed = 4004;
+        config.features = featureConfig();
+        return cachedDataset("test_long", config);
+    }();
+    return data;
+}
+
+const Dataset &
+specN1Train()
+{
+    std::lock_guard<std::mutex> lock(artifactMutex());
+    static const Dataset data = [] {
+        DatasetConfig config;
+        config.numSamples = specSamples();
+        config.regionChunks = kShortRegionChunks;
+        config.seed = 5005;
+        config.features = featureConfig();
+        config.useFixedUarch = true;
+        config.fixedUarch = UarchParams::armN1();
+        config.programFilter = specPrograms();
+        return cachedDataset("train_spec_n1", config);
+    }();
+    return data;
+}
+
+const Dataset &
+specN1Test()
+{
+    std::lock_guard<std::mutex> lock(artifactMutex());
+    static const Dataset data = [] {
+        DatasetConfig config;
+        config.numSamples = std::max<size_t>(specSamples() / 4, 200);
+        config.regionChunks = kShortRegionChunks;
+        config.seed = 6006;
+        config.features = featureConfig();
+        config.useFixedUarch = true;
+        config.fixedUarch = UarchParams::armN1();
+        config.programFilter = specPrograms();
+        return cachedDataset("test_spec_n1", config);
+    }();
+    return data;
+}
+
+Dataset
+onboardPool(int program_id, size_t samples)
+{
+    DatasetConfig config;
+    config.numSamples = samples;
+    config.regionChunks = kShortRegionChunks;
+    config.seed = 7007 + static_cast<uint64_t>(program_id) * 131;
+    config.features = featureConfig();
+    config.programFilter = {program_id};
+    return cachedDataset(
+        "onboard_p" + std::to_string(program_id), config);
+}
+
+TrainedModel
+trainOn(const Dataset &data, const std::string &cache_name,
+        const std::vector<uint8_t> *mask,
+        const std::vector<float> *labels_override)
+{
+    const std::string path = dir() + "/model_" + cache_name + "_"
+        + std::to_string(data.size()) + "x" + std::to_string(epochs())
+        + ".bin";
+    if (fileExists(path))
+        return TrainedModel::load(path);
+    inform("training model '%s' on %zu samples...", cache_name.c_str(),
+           data.size());
+    Stopwatch timer;
+    const auto &labels = labels_override ? *labels_override : data.labels;
+    TrainedModel model =
+        trainMlp(data.features, labels, data.dim, trainConfig(), mask);
+    inform("model '%s' trained in %.1fs (train rel-err %.4f)",
+           cache_name.c_str(), timer.seconds(),
+           model.meanRelativeError(data.features, labels, data.dim));
+    model.save(path);
+    return model;
+}
+
+const TrainedModel &
+fullModel()
+{
+    static const TrainedModel model = trainOn(mainTrain(), "full");
+    return model;
+}
+
+const TrainedModel &
+longModel()
+{
+    static const TrainedModel model = trainOn(longTrain(), "long");
+    return model;
+}
+
+const TrainedModel &
+ablationModel(const std::string &name)
+{
+    const FeatureLayout layout(featureConfig());
+    static std::map<std::string, TrainedModel> cache;
+    static std::mutex mutex;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto it = cache.find(name);
+    if (it != cache.end())
+        return it->second;
+
+    std::vector<FeatureGroup> groups;
+    if (name == "base") {
+        groups = {FeatureGroup::Primary, FeatureGroup::MispredRate,
+                  FeatureGroup::Params};
+    } else if (name == "base_branch") {
+        groups = {FeatureGroup::Primary, FeatureGroup::MispredRate,
+                  FeatureGroup::Stalls, FeatureGroup::Params};
+    } else {
+        fatal("unknown ablation '%s'", name.c_str());
+    }
+    const auto mask = layout.maskFor(groups);
+    auto [pos, inserted] =
+        cache.emplace(name, trainOn(mainTrain(), "ablation_" + name,
+                                    &mask));
+    return pos->second;
+}
+
+void
+ensurePrepared()
+{
+    mainTrain();
+    mainTest();
+    fullModel();
+    longTrain();
+    longTest();
+    longModel();
+    specN1Train();
+    specN1Test();
+    ablationModel("base");
+    ablationModel("base_branch");
+}
+
+} // namespace artifacts
+} // namespace concorde

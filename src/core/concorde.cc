@@ -1,0 +1,76 @@
+#include "core/concorde.hh"
+
+#include "common/logging.hh"
+
+namespace concorde
+{
+
+ConcordePredictor::ConcordePredictor(TrainedModel model,
+                                     FeatureConfig feature_config)
+    : trainedModel(std::move(model)), featureCfg(std::move(feature_config)),
+      featureLayout(featureCfg)
+{
+    panic_if(trainedModel.valid()
+             && trainedModel.inputDim() != featureLayout.dim(),
+             "model input dim %zu != feature layout dim %zu",
+             trainedModel.inputDim(), featureLayout.dim());
+}
+
+double
+ConcordePredictor::predictCpi(FeatureProvider &provider,
+                              const UarchParams &params) const
+{
+    thread_local std::vector<float> features;
+    features.clear();
+    provider.assemble(params, features);
+    return trainedModel.predict(features.data());
+}
+
+double
+ConcordePredictor::predictCpi(const RegionSpec &region,
+                              const UarchParams &params) const
+{
+    FeatureProvider provider(region, featureCfg);
+    return predictCpi(provider, params);
+}
+
+double
+ConcordePredictor::predictLongProgram(const UarchParams &params,
+                                      int program_id, int trace_id,
+                                      uint64_t trace_chunks,
+                                      int num_samples,
+                                      uint32_t region_chunks,
+                                      uint64_t seed) const
+{
+    panic_if(num_samples < 1, "need at least one sample");
+    Rng rng(hashMix(seed, 0x10060ULL));
+    // The long program's CPI prediction is the mean of region predictions
+    // over uniformly sampled region offsets (Section 5.1).
+    double acc = 0.0;
+    for (int s = 0; s < num_samples; ++s) {
+        RegionSpec spec;
+        spec.programId = program_id;
+        spec.traceId = trace_id;
+        spec.numChunks = region_chunks;
+        const uint64_t max_start = trace_chunks > region_chunks
+            ? trace_chunks - region_chunks : 0;
+        spec.startChunk =
+            max_start > 0 ? rng.nextBounded(max_start + 1) : 0;
+        acc += predictCpi(spec, params);
+    }
+    return acc / num_samples;
+}
+
+void
+ConcordePredictor::save(const std::string &path) const
+{
+    trainedModel.save(path);
+}
+
+ConcordePredictor
+ConcordePredictor::load(const std::string &path)
+{
+    return ConcordePredictor(TrainedModel::load(path), FeatureConfig{});
+}
+
+} // namespace concorde

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The public Concorde API: CPI prediction for (program region,
+ * microarchitecture) pairs via the compositional analytical-ML pipeline
+ * (Figure 3): trace analysis -> per-resource analytical models ->
+ * performance distributions -> lightweight MLP.
+ */
+
+#ifndef CONCORDE_CORE_CONCORDE_HH
+#define CONCORDE_CORE_CONCORDE_HH
+
+#include <memory>
+#include <string>
+
+#include "analytical/feature_provider.hh"
+#include "ml/trainer.hh"
+#include "trace/workloads.hh"
+#include "uarch/params.hh"
+
+namespace concorde
+{
+
+/** A trained Concorde CPI predictor. */
+class ConcordePredictor
+{
+  public:
+    ConcordePredictor(TrainedModel model, FeatureConfig feature_config);
+
+    const TrainedModel &model() const { return trainedModel; }
+    const FeatureConfig &featureConfig() const { return featureCfg; }
+    const FeatureLayout &layout() const { return featureLayout; }
+
+    /**
+     * Predict CPI for a region on a design point, reusing a caller-owned
+     * FeatureProvider (the fast path: analytical features are memoized in
+     * the provider, so repeated predictions on the same region cost one
+     * MLP evaluation each).
+     */
+    double predictCpi(FeatureProvider &provider,
+                      const UarchParams &params) const;
+
+    /** One-shot convenience: builds a fresh provider for the region. */
+    double predictCpi(const RegionSpec &region,
+                      const UarchParams &params) const;
+
+    /**
+     * Estimate the CPI of a long program by averaging predictions over
+     * `num_samples` randomly sampled regions (Section 5.1, Figure 9).
+     */
+    double predictLongProgram(const UarchParams &params, int program_id,
+                              int trace_id, uint64_t trace_chunks,
+                              int num_samples, uint32_t region_chunks,
+                              uint64_t seed) const;
+
+    void save(const std::string &path) const;
+    static ConcordePredictor load(const std::string &path);
+
+  private:
+    TrainedModel trainedModel;
+    FeatureConfig featureCfg;
+    FeatureLayout featureLayout;
+};
+
+} // namespace concorde
+
+#endif // CONCORDE_CORE_CONCORDE_HH

@@ -1,0 +1,139 @@
+#include "core/dataset.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/serialize.hh"
+#include "common/thread_pool.hh"
+#include "sim/o3_core.hh"
+
+namespace concorde
+{
+
+std::vector<float>
+Dataset::robOccLabels() const
+{
+    std::vector<float> out(meta.size());
+    for (size_t i = 0; i < meta.size(); ++i)
+        out[i] = meta[i].avgRobOcc;
+    return out;
+}
+
+std::vector<float>
+Dataset::renameOccLabels() const
+{
+    std::vector<float> out(meta.size());
+    for (size_t i = 0; i < meta.size(); ++i)
+        out[i] = meta[i].avgRenameOcc;
+    return out;
+}
+
+Dataset
+Dataset::subset(const std::vector<size_t> &indices) const
+{
+    Dataset out;
+    out.dim = dim;
+    out.features.reserve(indices.size() * dim);
+    out.labels.reserve(indices.size());
+    out.meta.reserve(indices.size());
+    for (size_t i : indices) {
+        panic_if(i >= size(), "subset index out of range");
+        out.features.insert(out.features.end(), row(i), row(i) + dim);
+        out.labels.push_back(labels[i]);
+        out.meta.push_back(meta[i]);
+    }
+    return out;
+}
+
+void
+Dataset::save(const std::string &path) const
+{
+    BinaryWriter out(path);
+    out.put<uint64_t>(0xC04C08DEULL);   // magic
+    out.put<uint64_t>(dim);
+    out.putVector(features);
+    out.putVector(labels);
+    out.putVector(meta);
+}
+
+Dataset
+Dataset::load(const std::string &path)
+{
+    BinaryReader in(path);
+    fatal_if(in.get<uint64_t>() != 0xC04C08DEULL,
+             "'%s' is not a Concorde dataset", path.c_str());
+    Dataset data;
+    data.dim = in.get<uint64_t>();
+    data.features = in.getVector<float>();
+    data.labels = in.getVector<float>();
+    data.meta = in.getVector<SampleMeta>();
+    return data;
+}
+
+Dataset
+buildDataset(const DatasetConfig &config)
+{
+    // Draw all (region, microarchitecture) pairs serially so the dataset
+    // is independent of the thread count.
+    Rng rng(hashMix(config.seed, 0xDA7A5E7ULL));
+    std::vector<SampleMeta> specs(config.numSamples);
+    for (auto &meta : specs) {
+        if (config.programFilter.empty()) {
+            meta.region = sampleRegion(rng, config.regionChunks);
+        } else {
+            const int program = config.programFilter[rng.nextBounded(
+                config.programFilter.size())];
+            meta.region = sampleRegionFromProgram(rng, program,
+                                                  config.regionChunks);
+        }
+        meta.params = config.useFixedUarch ? config.fixedUarch
+                                           : UarchParams::sampleRandom(rng);
+    }
+
+    const FeatureLayout layout(config.features);
+    Dataset data;
+    data.dim = layout.dim();
+    data.features.assign(config.numSamples * layout.dim(), 0.0f);
+    data.labels.assign(config.numSamples, 0.0f);
+    data.meta = std::move(specs);
+
+    parallelFor(config.numSamples, [&](size_t s) {
+        SampleMeta &meta = data.meta[s];
+        FeatureProvider provider(meta.region, config.features);
+
+        // Features.
+        std::vector<float> features;
+        provider.assemble(meta.params, features);
+        std::copy(features.begin(), features.end(),
+                  data.features.begin() + s * layout.dim());
+
+        // Ground-truth label from the cycle-level simulator.
+        const SimResult sim =
+            simulateRegion(meta.params, provider.analysis());
+        meta.cpi = static_cast<float>(sim.cpi());
+        meta.avgRobOcc = static_cast<float>(sim.avgRobOccupancy);
+        meta.avgRenameOcc = static_cast<float>(sim.avgRenameQOccupancy);
+        meta.mispredicts = static_cast<uint32_t>(sim.branchMispredicts);
+
+        // Figure 11 diagnostic: actual vs trace-analysis load time.
+        const auto &dside =
+            provider.analysis().dside(meta.params.memory);
+        uint64_t estimated = 0;
+        const auto &region = provider.analysis().instrs();
+        for (size_t i = 0; i < region.size(); ++i) {
+            if (region[i].isLoad())
+                estimated += static_cast<uint64_t>(dside.execLat[i]);
+        }
+        meta.execRatio = estimated > 0
+            ? static_cast<float>(
+                static_cast<double>(sim.actualLoadLatencySum)
+                / static_cast<double>(estimated))
+            : 1.0f;
+
+        data.labels[s] = meta.cpi;
+    }, config.threads);
+
+    return data;
+}
+
+} // namespace concorde

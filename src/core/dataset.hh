@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Dataset construction (paper Section 4): independently sample a program
+ * region and a microarchitecture per data point, extract Concorde's
+ * features, and label with the reference cycle-level simulator's CPI
+ * (plus occupancy metrics for Section 5.2.6 and diagnostics for
+ * Figures 4 and 11).
+ */
+
+#ifndef CONCORDE_CORE_DATASET_HH
+#define CONCORDE_CORE_DATASET_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytical/feature_provider.hh"
+#include "trace/workloads.hh"
+#include "uarch/params.hh"
+
+namespace concorde
+{
+
+/** Per-sample metadata (POD; serialized alongside features). */
+struct SampleMeta
+{
+    RegionSpec region;
+    UarchParams params;
+    float cpi = 0.0f;
+    float avgRobOcc = 0.0f;     ///< % (Section 5.2.6 target)
+    float avgRenameOcc = 0.0f;  ///< % (Section 5.2.6 target)
+    uint32_t mispredicts = 0;   ///< Table 4 bucketing
+    float execRatio = 1.0f;     ///< actual/estimated load time (Figure 11)
+};
+
+/** Feature matrix + CPI labels + metadata. */
+struct Dataset
+{
+    size_t dim = 0;
+    std::vector<float> features;    ///< size() x dim, row-major
+    std::vector<float> labels;      ///< ground-truth CPI
+    std::vector<SampleMeta> meta;
+
+    size_t size() const { return labels.size(); }
+    const float *row(size_t i) const { return features.data() + i * dim; }
+
+    /** Alternative label vectors for Section 5.2.6. */
+    std::vector<float> robOccLabels() const;
+    std::vector<float> renameOccLabels() const;
+
+    /** Subset by sample indices. */
+    Dataset subset(const std::vector<size_t> &indices) const;
+
+    void save(const std::string &path) const;
+    static Dataset load(const std::string &path);
+};
+
+/** Knobs for dataset construction. */
+struct DatasetConfig
+{
+    size_t numSamples = 1000;
+    uint32_t regionChunks = 8;      ///< 8 x 2048 = 16k-instruction regions
+    uint64_t seed = 99;
+    FeatureConfig features;
+    size_t threads = 0;
+
+    /** Fixed microarchitecture (e.g. ARM N1) instead of random draws. */
+    bool useFixedUarch = false;
+    UarchParams fixedUarch;
+
+    /** Restrict sampling to these programs (empty = whole corpus). */
+    std::vector<int> programFilter;
+};
+
+/** Build a dataset (deterministic given config.seed). */
+Dataset buildDataset(const DatasetConfig &config);
+
+} // namespace concorde
+
+#endif // CONCORDE_CORE_DATASET_HH

@@ -1,0 +1,119 @@
+#include "core/shapley.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace concorde
+{
+
+const std::vector<ShapleyComponent> &
+attributionComponents()
+{
+    static const std::vector<ShapleyComponent> components = {
+        {"L1i/L1d/L2 caches",
+         {ParamId::L1dSize, ParamId::L1iSize, ParamId::L2Size}},
+        {"L1d stride prefetcher", {ParamId::PrefetchDegree}},
+        {"ROB", {ParamId::RobSize}},
+        {"Load queue", {ParamId::LqSize}},
+        {"Store queue", {ParamId::SqSize}},
+        {"Load pipes", {ParamId::LoadPipes}},
+        {"Load-store pipes", {ParamId::LsPipes}},
+        {"ALU issue width", {ParamId::AluWidth}},
+        {"Floating-point issue width", {ParamId::FpWidth}},
+        {"Load-store issue width", {ParamId::LsWidth}},
+        {"Commit width", {ParamId::CommitWidth}},
+        {"Branch predictor",
+         {ParamId::BranchPredictor, ParamId::SimpleMispredictPct}},
+        {"Maximum icache fills", {ParamId::MaxIcacheFills}},
+        {"Fetch buffers", {ParamId::FetchBuffers}},
+        {"Fetch width", {ParamId::FetchWidth}},
+        {"Decode width", {ParamId::DecodeWidth}},
+        {"Rename width", {ParamId::RenameWidth}},
+    };
+    return components;
+}
+
+namespace
+{
+
+void
+applyComponent(UarchParams &params, const ShapleyComponent &component,
+               const UarchParams &source)
+{
+    for (ParamId id : component.params)
+        params.set(id, source.get(id));
+}
+
+/** Walk one permutation, accumulating each component's increment. */
+void
+walkPermutation(const UarchParams &base, const UarchParams &target,
+                const std::vector<ShapleyComponent> &components,
+                const std::vector<int> &order,
+                const std::function<double(const UarchParams &)> &eval,
+                std::vector<double> &acc)
+{
+    UarchParams current = base;
+    double prev = eval(current);
+    for (int idx : order) {
+        applyComponent(current, components[idx], target);
+        const double now = eval(current);
+        acc[idx] += now - prev;
+        prev = now;
+    }
+}
+
+} // anonymous namespace
+
+std::vector<double>
+orderedAblation(const UarchParams &base, const UarchParams &target,
+                const std::vector<ShapleyComponent> &components,
+                const std::vector<int> &order,
+                const std::function<double(const UarchParams &)> &eval)
+{
+    panic_if(order.size() != components.size(),
+             "order must permute all components");
+    std::vector<double> deltas(components.size(), 0.0);
+    walkPermutation(base, target, components, order, eval, deltas);
+    return deltas;
+}
+
+std::vector<double>
+shapleyAttribution(const UarchParams &base, const UarchParams &target,
+                   const std::vector<ShapleyComponent> &components,
+                   const std::function<double(const UarchParams &)> &eval,
+                   const ShapleyConfig &config)
+{
+    const size_t d = components.size();
+    std::vector<double> acc(d, 0.0);
+    std::vector<int> order(d);
+    std::iota(order.begin(), order.end(), 0);
+
+    size_t permutations = 0;
+    if (config.exhaustive) {
+        fatal_if(d > 8, "exhaustive Shapley is limited to d <= 8 (%zu)", d);
+        std::sort(order.begin(), order.end());
+        do {
+            walkPermutation(base, target, components, order, eval, acc);
+            ++permutations;
+        } while (std::next_permutation(order.begin(), order.end()));
+    } else {
+        Rng rng(hashMix(config.seed, 0x5A91E7ULL));
+        for (int s = 0; s < config.numPermutations; ++s) {
+            for (size_t i = d - 1; i > 0; --i) {
+                const size_t j = rng.nextBounded(i + 1);
+                std::swap(order[i], order[j]);
+            }
+            walkPermutation(base, target, components, order, eval, acc);
+            ++permutations;
+        }
+    }
+
+    for (double &phi : acc)
+        phi /= static_cast<double>(permutations);
+    return acc;
+}
+
+} // namespace concorde

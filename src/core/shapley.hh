@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shapley-value performance attribution (paper Section 6): a fair,
+ * order-independent attribution of the CPI difference between a baseline
+ * and a target design to microarchitectural components, computed exactly
+ * (all permutations) for small component sets or by Monte Carlo sampling
+ * of ablation orders.
+ */
+
+#ifndef CONCORDE_CORE_SHAPLEY_HH
+#define CONCORDE_CORE_SHAPLEY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "uarch/params.hh"
+
+namespace concorde
+{
+
+/** A "player": one or more Table-1 parameters moved together. */
+struct ShapleyComponent
+{
+    std::string name;
+    std::vector<ParamId> params;
+};
+
+/**
+ * The 17 components used in Figure 16 (caches grouped; the branch
+ * predictor type and Simple-BP rate grouped).
+ */
+const std::vector<ShapleyComponent> &attributionComponents();
+
+/** Attribution knobs. */
+struct ShapleyConfig
+{
+    int numPermutations = 64;   ///< Monte Carlo sample size
+    uint64_t seed = 7;
+    bool exhaustive = false;    ///< enumerate all d! orders (d <= 8)
+};
+
+/**
+ * Shapley values phi_i for moving each component from its `base` value to
+ * its `target` value, with performance read through `eval`.
+ * sum(phi) = eval(target) - eval(base) (efficiency) holds exactly for the
+ * exhaustive mode and in expectation for Monte Carlo (each sampled
+ * permutation's increments telescope, so it also holds per sample).
+ */
+std::vector<double> shapleyAttribution(
+    const UarchParams &base, const UarchParams &target,
+    const std::vector<ShapleyComponent> &components,
+    const std::function<double(const UarchParams &)> &eval,
+    const ShapleyConfig &config);
+
+/**
+ * Incremental contributions for one explicit ablation order (the biased
+ * estimator Figure 15 warns about); `order` holds component indices.
+ */
+std::vector<double> orderedAblation(
+    const UarchParams &base, const UarchParams &target,
+    const std::vector<ShapleyComponent> &components,
+    const std::vector<int> &order,
+    const std::function<double(const UarchParams &)> &eval);
+
+} // namespace concorde
+
+#endif // CONCORDE_CORE_SHAPLEY_HH

@@ -1,0 +1,174 @@
+#include "memory/cache.hh"
+
+#include "common/logging.hh"
+
+namespace concorde
+{
+
+namespace
+{
+
+bool
+isPow2(uint64_t x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+uint32_t
+log2u(uint64_t x)
+{
+    uint32_t n = 0;
+    while ((1ULL << n) < x)
+        ++n;
+    return n;
+}
+
+} // anonymous namespace
+
+Cache::Cache(uint64_t size_bytes, uint32_t ways)
+    : numSets(size_bytes / 64 / ways), numWays(ways)
+{
+    fatal_if(size_bytes < 64 * ways, "cache too small: %llu bytes",
+             static_cast<unsigned long long>(size_bytes));
+    fatal_if(!isPow2(numSets) || !isPow2(numWays),
+             "sets (%llu) and ways (%u) must be powers of two",
+             static_cast<unsigned long long>(numSets), numWays);
+    setShift = log2u(numSets);
+    entries.resize(numSets * numWays);
+    plruBits.assign(numSets * (numWays > 1 ? numWays - 1 : 1), 0);
+}
+
+bool
+Cache::lookup(uint64_t line) const
+{
+    const uint64_t set = setOf(line);
+    const uint64_t tag = tagOf(line);
+    const Entry *row = &entries[set * numWays];
+    for (uint32_t w = 0; w < numWays; ++w) {
+        if (row[w].valid && row[w].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+bool
+Cache::touch(uint64_t line)
+{
+    const uint64_t set = setOf(line);
+    const uint64_t tag = tagOf(line);
+    Entry *row = &entries[set * numWays];
+    for (uint32_t w = 0; w < numWays; ++w) {
+        if (row[w].valid && row[w].tag == tag) {
+            touchWay(set, w);
+            return true;
+        }
+    }
+    return false;
+}
+
+uint64_t
+Cache::fill(uint64_t line, bool dirty, bool &evicted_dirty)
+{
+    const uint64_t set = setOf(line);
+    const uint64_t tag = tagOf(line);
+    Entry *row = &entries[set * numWays];
+    evicted_dirty = false;
+
+    // Already resident: just update state.
+    for (uint32_t w = 0; w < numWays; ++w) {
+        if (row[w].valid && row[w].tag == tag) {
+            row[w].dirty |= dirty;
+            touchWay(set, w);
+            return kNoLine;
+        }
+    }
+    // Prefer an invalid way.
+    for (uint32_t w = 0; w < numWays; ++w) {
+        if (!row[w].valid) {
+            row[w] = {tag, true, dirty};
+            touchWay(set, w);
+            return kNoLine;
+        }
+    }
+    // Evict the PLRU victim.
+    const uint32_t w = victimWay(set);
+    const uint64_t victim_line = (row[w].tag << setShift) | set;
+    evicted_dirty = row[w].dirty;
+    row[w] = {tag, true, dirty};
+    touchWay(set, w);
+    return victim_line;
+}
+
+bool
+Cache::access(uint64_t line, bool is_write)
+{
+    if (touch(line)) {
+        if (is_write)
+            markDirty(line);
+        return true;
+    }
+    bool evicted_dirty = false;
+    fill(line, is_write, evicted_dirty);
+    return false;
+}
+
+void
+Cache::markDirty(uint64_t line)
+{
+    const uint64_t set = setOf(line);
+    const uint64_t tag = tagOf(line);
+    Entry *row = &entries[set * numWays];
+    for (uint32_t w = 0; w < numWays; ++w) {
+        if (row[w].valid && row[w].tag == tag) {
+            row[w].dirty = true;
+            return;
+        }
+    }
+}
+
+void
+Cache::invalidate(uint64_t line)
+{
+    const uint64_t set = setOf(line);
+    const uint64_t tag = tagOf(line);
+    Entry *row = &entries[set * numWays];
+    for (uint32_t w = 0; w < numWays; ++w) {
+        if (row[w].valid && row[w].tag == tag) {
+            row[w].valid = false;
+            row[w].dirty = false;
+            return;
+        }
+    }
+}
+
+uint32_t
+Cache::victimWay(uint64_t set) const
+{
+    if (numWays == 1)
+        return 0;
+    const uint8_t *bits = &plruBits[set * (numWays - 1)];
+    // Walk the binary tree: bit==0 means "go left", following the
+    // least-recently-protected direction.
+    uint32_t node = 0;
+    while (node < numWays - 1)
+        node = 2 * node + 1 + (bits[node] ? 1 : 0);
+    return node - (numWays - 1);
+}
+
+void
+Cache::touchWay(uint64_t set, uint32_t way)
+{
+    if (numWays == 1)
+        return;
+    uint8_t *bits = &plruBits[set * (numWays - 1)];
+    // Flip internal nodes to point away from the accessed leaf.
+    uint32_t node = way + (numWays - 1);
+    while (node > 0) {
+        const uint32_t parent = (node - 1) / 2;
+        const bool went_right = (node == 2 * parent + 2);
+        bits[parent] = went_right ? 0 : 1;
+        node = parent;
+    }
+}
+
+} // namespace concorde

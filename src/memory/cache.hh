@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Single-level set-associative cache with tree-PLRU replacement, modeled
+ * after gem5's TreePLRURP (paper footnote 2). Tag-only: no data is stored.
+ */
+
+#ifndef CONCORDE_MEMORY_CACHE_HH
+#define CONCORDE_MEMORY_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace concorde
+{
+
+/**
+ * Tag array with tree-PLRU replacement. Addresses are line indices
+ * (byte address >> 6). Sets and ways must be powers of two.
+ */
+class Cache
+{
+  public:
+    /**
+     * @param size_bytes total capacity (power of two)
+     * @param ways associativity (power of two)
+     */
+    Cache(uint64_t size_bytes, uint32_t ways);
+
+    /** Probe without updating replacement state. */
+    bool lookup(uint64_t line) const;
+
+    /** Access: on hit update PLRU and return true; on miss return false. */
+    bool touch(uint64_t line);
+
+    /**
+     * Allocate a line (evicting the PLRU victim if needed).
+     * @return the evicted line index, or kNoLine if none was evicted.
+     * @param dirty mark the installed line dirty (write allocation)
+     * @param evicted_dirty set to true when the victim was dirty
+     */
+    uint64_t fill(uint64_t line, bool dirty, bool &evicted_dirty);
+
+    /** touch(); on miss, fill(). @return true on hit. */
+    bool access(uint64_t line, bool is_write);
+
+    /** Mark a resident line dirty (no-op on miss). */
+    void markDirty(uint64_t line);
+
+    /** Drop a line if resident (back-invalidation). */
+    void invalidate(uint64_t line);
+
+    uint64_t sizeBytes() const { return numSets * numWays * 64ULL; }
+    uint32_t ways() const { return numWays; }
+    uint64_t sets() const { return numSets; }
+
+    static constexpr uint64_t kNoLine = ~0ULL;
+
+  private:
+    uint64_t setOf(uint64_t line) const { return line & (numSets - 1); }
+    uint64_t tagOf(uint64_t line) const { return line >> setShift; }
+
+    /** PLRU victim way within a set. */
+    uint32_t victimWay(uint64_t set) const;
+    /** Update the PLRU tree to protect `way`. */
+    void touchWay(uint64_t set, uint32_t way);
+
+    uint64_t numSets;
+    uint32_t numWays;
+    uint32_t setShift;
+
+    struct Entry
+    {
+        uint64_t tag = ~0ULL;
+        bool valid = false;
+        bool dirty = false;
+    };
+    std::vector<Entry> entries;       ///< numSets * numWays
+    std::vector<uint8_t> plruBits;    ///< (numWays - 1) bits per set
+};
+
+} // namespace concorde
+
+#endif // CONCORDE_MEMORY_CACHE_HH

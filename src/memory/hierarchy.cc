@@ -1,0 +1,217 @@
+#include "memory/hierarchy.hh"
+
+#include "common/logging.hh"
+
+namespace concorde
+{
+
+namespace
+{
+
+constexpr uint32_t kL1Ways = 4;
+constexpr uint32_t kL2Ways = 8;
+constexpr uint32_t kLlcWays = 16;
+
+uint32_t
+l1SizeIndex(uint32_t kb)
+{
+    switch (kb) {
+      case 16: return 0;
+      case 32: return 1;
+      case 64: return 2;
+      case 128: return 3;
+      case 256: return 4;
+      default: fatal("invalid L1 size %u kB", kb);
+    }
+}
+
+uint32_t
+l2SizeIndex(uint32_t kb)
+{
+    switch (kb) {
+      case 512: return 0;
+      case 1024: return 1;
+      case 2048: return 2;
+      case 4096: return 3;
+      default: fatal("invalid L2 size %u kB", kb);
+    }
+}
+
+} // anonymous namespace
+
+uint32_t
+MemoryConfig::key() const
+{
+    return l1SizeIndex(l1dKb) | (l1SizeIndex(l1iKb) << 3)
+        | (l2SizeIndex(l2Kb) << 6) | ((prefetchDegree > 0 ? 1 : 0) << 9);
+}
+
+uint32_t
+MemoryConfig::dSideKey() const
+{
+    return l1SizeIndex(l1dKb) | (l2SizeIndex(l2Kb) << 3)
+        | ((prefetchDegree > 0 ? 1 : 0) << 6);
+}
+
+uint32_t
+MemoryConfig::iSideKey() const
+{
+    return l1SizeIndex(l1iKb) | (l2SizeIndex(l2Kb) << 3);
+}
+
+DataHierarchy::DataHierarchy(const MemoryConfig &config)
+    : l1d(config.l1dKb * 1024ULL, kL1Ways),
+      l2(config.l2Kb * 1024ULL, kL2Ways),
+      llc(MemoryConfig::kLlcKb * 1024ULL, kLlcWays),
+      prefetcher(config.prefetchDegree)
+{
+}
+
+CacheLevel
+DataHierarchy::lookupFill(uint64_t line, bool is_write, bool sequential)
+{
+    if (l1d.touch(line)) {
+        if (is_write)
+            l1d.markDirty(line);
+        return CacheLevel::L1;
+    }
+
+    CacheLevel level;
+    if (l2.touch(line)) {
+        level = CacheLevel::L2;
+    } else if (llc.touch(line)) {
+        level = CacheLevel::LLC;
+    } else {
+        level = CacheLevel::Ram;
+    }
+
+    // Fill path: always allocate in L1 (standard allocation policy);
+    // skip L2/LLC allocation on sequential (streaming) access.
+    bool evicted_dirty = false;
+    const uint64_t victim = l1d.fill(line, is_write, evicted_dirty);
+    if (victim != Cache::kNoLine && evicted_dirty) {
+        // Write-back allocates below (paper: allocate on writebacks).
+        ++hierarchyStats.writebacks;
+        bool wb_dirty = false;
+        l2.fill(victim, true, wb_dirty);
+        if (wb_dirty)
+            llc.fill(victim, true, wb_dirty);
+    }
+    if (!sequential) {
+        if (level == CacheLevel::Ram || level == CacheLevel::LLC) {
+            bool d = false;
+            l2.fill(line, false, d);
+            if (d)
+                llc.fill(line, true, d);
+        }
+        if (level == CacheLevel::Ram) {
+            bool d = false;
+            llc.fill(line, false, d);
+        }
+    }
+    return level;
+}
+
+CacheLevel
+DataHierarchy::access(uint64_t pc, uint64_t addr, bool is_write)
+{
+    const uint64_t line = addr >> 6;
+    const bool sequential = (line == lastLine + 1);
+    lastLine = line;
+
+    const CacheLevel level = lookupFill(line, is_write, sequential);
+    switch (level) {
+      case CacheLevel::L1: ++hierarchyStats.l1Hits; break;
+      case CacheLevel::L2: ++hierarchyStats.l2Hits; break;
+      case CacheLevel::LLC: ++hierarchyStats.llcHits; break;
+      default: ++hierarchyStats.ramAccesses; break;
+    }
+
+    // Stride prefetching into L1d (trained by loads only).
+    if (!is_write && prefetcher.enabled()) {
+        prefetcher.observe(pc, addr, prefetchBuf);
+        for (uint64_t pf_addr : prefetchBuf) {
+            const uint64_t pf_line = pf_addr >> 6;
+            if (!l1d.lookup(pf_line)) {
+                ++hierarchyStats.prefetchesIssued;
+                lookupFill(pf_line, false, false);
+            }
+        }
+    }
+    return level;
+}
+
+InstHierarchy::InstHierarchy(const MemoryConfig &config)
+    : l1i(config.l1iKb * 1024ULL, kL1Ways),
+      l2(config.l2Kb * 1024ULL, kL2Ways),
+      llc(MemoryConfig::kLlcKb * 1024ULL, kLlcWays)
+{
+}
+
+CacheLevel
+InstHierarchy::access(uint64_t line)
+{
+    const bool sequential = (line == lastLine + 1);
+    lastLine = line;
+
+    if (l1i.touch(line)) {
+        ++hierarchyStats.l1Hits;
+        return CacheLevel::L1;
+    }
+    CacheLevel level;
+    if (l2.touch(line)) {
+        level = CacheLevel::L2;
+        ++hierarchyStats.l2Hits;
+    } else if (llc.touch(line)) {
+        level = CacheLevel::LLC;
+        ++hierarchyStats.llcHits;
+    } else {
+        level = CacheLevel::Ram;
+        ++hierarchyStats.ramAccesses;
+    }
+
+    bool d = false;
+    l1i.fill(line, false, d);
+    if (!sequential) {
+        if (level == CacheLevel::Ram || level == CacheLevel::LLC)
+            l2.fill(line, false, d);
+        if (level == CacheLevel::Ram)
+            llc.fill(line, false, d);
+    }
+    return level;
+}
+
+std::vector<MemoryConfig>
+allDataConfigs()
+{
+    std::vector<MemoryConfig> configs;
+    for (uint32_t l1d : {16, 32, 64, 128, 256}) {
+        for (uint32_t l2 : {512, 1024, 2048, 4096}) {
+            for (int pf : {0, 4}) {
+                MemoryConfig c;
+                c.l1dKb = l1d;
+                c.l2Kb = l2;
+                c.prefetchDegree = pf;
+                configs.push_back(c);
+            }
+        }
+    }
+    return configs;
+}
+
+std::vector<MemoryConfig>
+allInstConfigs()
+{
+    std::vector<MemoryConfig> configs;
+    for (uint32_t l1i : {16, 32, 64, 128, 256}) {
+        for (uint32_t l2 : {512, 1024, 2048, 4096}) {
+            MemoryConfig c;
+            c.l1iKb = l1i;
+            c.l2Kb = l2;
+            configs.push_back(c);
+        }
+    }
+    return configs;
+}
+
+} // namespace concorde

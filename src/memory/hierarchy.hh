@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Functional (order-sensitive, untimed) cache hierarchy used by trace
+ * analysis (Section 3.1's "simple in-order cache simulation") and embedded
+ * inside the timing memory of the reference simulator.
+ *
+ * Structure per the paper's reference architecture (footnote 2): private
+ * L1i / L1d, unified L2, 4MB LLC; write-back everywhere; allocate on reads
+ * and writebacks; no allocation on sequential access in L2/LLC.
+ */
+
+#ifndef CONCORDE_MEMORY_HIERARCHY_HH
+#define CONCORDE_MEMORY_HIERARCHY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "memory/cache.hh"
+#include "memory/prefetcher.hh"
+#include "trace/instruction.hh"
+
+namespace concorde
+{
+
+/** The memory-side design parameters from Table 1 (plus fixed LLC). */
+struct MemoryConfig
+{
+    uint32_t l1dKb = 64;        ///< {16,32,64,128,256}
+    uint32_t l1iKb = 64;        ///< {16,32,64,128,256}
+    uint32_t l2Kb = 1024;       ///< {512,1024,2048,4096}
+    int prefetchDegree = 0;     ///< {0 (off), 4 (on)}
+
+    static constexpr uint32_t kLlcKb = 4096;   ///< fixed (footnote 2)
+
+    bool operator==(const MemoryConfig &o) const
+    {
+        return l1dKb == o.l1dKb && l1iKb == o.l1iKb && l2Kb == o.l2Kb
+            && prefetchDegree == o.prefetchDegree;
+    }
+
+    /** Dense key for memoization tables. */
+    uint32_t key() const;
+
+    /** The 40 distinct D-side configs (5 L1d x 4 L2 x 2 prefetch). */
+    uint32_t dSideKey() const;
+    /** The 20 distinct I-side configs (5 L1i x 4 L2). */
+    uint32_t iSideKey() const;
+};
+
+/** Counters for cache experiments and tests. */
+struct HierarchyStats
+{
+    uint64_t l1Hits = 0;
+    uint64_t l2Hits = 0;
+    uint64_t llcHits = 0;
+    uint64_t ramAccesses = 0;
+    uint64_t prefetchesIssued = 0;
+    uint64_t writebacks = 0;
+
+    uint64_t accesses() const
+    {
+        return l1Hits + l2Hits + llcHits + ramAccesses;
+    }
+};
+
+/**
+ * In-order functional simulation of the data-side hierarchy. Returns the
+ * level that served each access and updates the state of every level.
+ */
+class DataHierarchy
+{
+  public:
+    explicit DataHierarchy(const MemoryConfig &config);
+
+    /**
+     * Demand access (load or store).
+     * @param pc of the memory instruction (trains the prefetcher)
+     * @param addr byte address
+     */
+    CacheLevel access(uint64_t pc, uint64_t addr, bool is_write);
+
+    const HierarchyStats &stats() const { return hierarchyStats; }
+
+  private:
+    CacheLevel lookupFill(uint64_t line, bool is_write, bool sequential);
+
+    Cache l1d;
+    Cache l2;
+    Cache llc;
+    StridePrefetcher prefetcher;
+    HierarchyStats hierarchyStats;
+    uint64_t lastLine = ~0ULL;
+    std::vector<uint64_t> prefetchBuf;
+};
+
+/** In-order functional simulation of the instruction-side hierarchy. */
+class InstHierarchy
+{
+  public:
+    explicit InstHierarchy(const MemoryConfig &config);
+
+    /** Fetch access for one instruction-cache line. */
+    CacheLevel access(uint64_t line);
+
+    const HierarchyStats &stats() const { return hierarchyStats; }
+
+  private:
+    Cache l1i;
+    Cache l2;       ///< I-side view of the shared L2 (modeled private)
+    Cache llc;
+    HierarchyStats hierarchyStats;
+    uint64_t lastLine = ~0ULL;
+};
+
+/** All 40 D-side configurations, in a stable order. */
+std::vector<MemoryConfig> allDataConfigs();
+/** All 20 I-side configurations, in a stable order. */
+std::vector<MemoryConfig> allInstConfigs();
+
+} // namespace concorde
+
+#endif // CONCORDE_MEMORY_HIERARCHY_HH

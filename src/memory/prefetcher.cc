@@ -1,0 +1,61 @@
+#include "memory/prefetcher.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace concorde
+{
+
+StridePrefetcher::StridePrefetcher(int degree, uint32_t table_entries)
+    : prefetchDegree(degree), mask(table_entries - 1), table(table_entries)
+{
+    fatal_if(table_entries == 0 || (table_entries & mask) != 0,
+             "table entries must be a power of two");
+    fatal_if(degree < 0, "negative prefetch degree");
+}
+
+void
+StridePrefetcher::observe(uint64_t pc, uint64_t addr,
+                          std::vector<uint64_t> &out)
+{
+    out.clear();
+    if (!enabled())
+        return;
+
+    Entry &e = table[(pc >> 2) & mask];
+    const uint64_t tag = pc;
+    if (e.tag != tag) {
+        e = {tag, addr, 0, 0};
+        return;
+    }
+
+    const int64_t stride = static_cast<int64_t>(addr)
+        - static_cast<int64_t>(e.lastAddr);
+    if (stride == e.stride && stride != 0) {
+        if (e.confidence < kConfMax)
+            ++e.confidence;
+    } else {
+        if (e.confidence > 0) {
+            --e.confidence;
+        } else {
+            e.stride = stride;
+        }
+    }
+    e.lastAddr = addr;
+
+    if (e.confidence >= kConfThreshold && e.stride != 0) {
+        // Sub-line strides still need to cover upcoming lines: prefetch at
+        // line granularity in the stride's direction.
+        const int64_t step = e.stride > 0
+            ? std::max<int64_t>(e.stride, 64)
+            : std::min<int64_t>(e.stride, -64);
+        for (int d = 1; d <= prefetchDegree; ++d) {
+            const int64_t target = static_cast<int64_t>(addr) + step * d;
+            if (target >= 0)
+                out.push_back(static_cast<uint64_t>(target));
+        }
+    }
+}
+
+} // namespace concorde

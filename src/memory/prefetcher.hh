@@ -1,0 +1,54 @@
+/**
+ * @file
+ * PC-indexed stride prefetcher for the L1 data cache (Table 1's
+ * "L1d stride prefetcher degree" parameter: 0 = off, 4 = on).
+ */
+
+#ifndef CONCORDE_MEMORY_PREFETCHER_HH
+#define CONCORDE_MEMORY_PREFETCHER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace concorde
+{
+
+/**
+ * Classic reference-prediction-table stride prefetcher. On a confident
+ * stride match it emits `degree` prefetch addresses ahead of the demand
+ * access.
+ */
+class StridePrefetcher
+{
+  public:
+    explicit StridePrefetcher(int degree, uint32_t table_entries = 256);
+
+    /**
+     * Observe a demand load and collect prefetch addresses (byte
+     * addresses) into `out` (cleared first).
+     */
+    void observe(uint64_t pc, uint64_t addr, std::vector<uint64_t> &out);
+
+    int degree() const { return prefetchDegree; }
+    bool enabled() const { return prefetchDegree > 0; }
+
+  private:
+    struct Entry
+    {
+        uint64_t tag = ~0ULL;
+        uint64_t lastAddr = 0;
+        int64_t stride = 0;
+        int confidence = 0;
+    };
+
+    int prefetchDegree;
+    uint32_t mask;
+    std::vector<Entry> table;
+
+    static constexpr int kConfMax = 3;
+    static constexpr int kConfThreshold = 2;
+};
+
+} // namespace concorde
+
+#endif // CONCORDE_MEMORY_PREFETCHER_HH

@@ -1,0 +1,250 @@
+#include "memory/timing_memory.hh"
+
+namespace concorde
+{
+
+namespace
+{
+
+constexpr uint32_t kL1Ways = 4;
+constexpr uint32_t kL2Ways = 8;
+constexpr uint32_t kLlcWays = 16;
+
+} // anonymous namespace
+
+TimingMemory::TimingMemory(const MemoryConfig &config)
+    : l1d(config.l1dKb * 1024ULL, kL1Ways),
+      l1i(config.l1iKb * 1024ULL, kL1Ways),
+      l2(config.l2Kb * 1024ULL, kL2Ways),
+      llc(MemoryConfig::kLlcKb * 1024ULL, kLlcWays),
+      prefetcher(config.prefetchDegree)
+{
+}
+
+CacheLevel
+TimingMemory::dataLookupFill(uint64_t line, bool is_write, bool sequential)
+{
+    if (l1d.touch(line)) {
+        if (is_write)
+            l1d.markDirty(line);
+        return CacheLevel::L1;
+    }
+    CacheLevel level;
+    if (l2.touch(line)) {
+        level = CacheLevel::L2;
+    } else if (llc.touch(line)) {
+        level = CacheLevel::LLC;
+    } else {
+        level = CacheLevel::Ram;
+    }
+
+    bool evicted_dirty = false;
+    const uint64_t victim = l1d.fill(line, is_write, evicted_dirty);
+    if (victim != Cache::kNoLine && evicted_dirty) {
+        ++dStats.writebacks;
+        bool wb_dirty = false;
+        l2.fill(victim, true, wb_dirty);
+        if (wb_dirty) {
+            llc.fill(victim, true, wb_dirty);
+            if (wb_dirty)
+                dramNextFree += kDramGap;   // LLC victim write-back
+        }
+    }
+    if (!sequential) {
+        bool d = false;
+        if (level == CacheLevel::Ram || level == CacheLevel::LLC)
+            l2.fill(line, false, d);
+        if (level == CacheLevel::Ram)
+            llc.fill(line, false, d);
+    }
+    return level;
+}
+
+CacheLevel
+TimingMemory::instLookupFill(uint64_t line, bool sequential)
+{
+    if (l1i.touch(line))
+        return CacheLevel::L1;
+    CacheLevel level;
+    if (l2.touch(line)) {
+        level = CacheLevel::L2;
+    } else if (llc.touch(line)) {
+        level = CacheLevel::LLC;
+    } else {
+        level = CacheLevel::Ram;
+    }
+    bool d = false;
+    l1i.fill(line, false, d);
+    if (!sequential) {
+        if (level == CacheLevel::Ram || level == CacheLevel::LLC)
+            l2.fill(line, false, d);
+        if (level == CacheLevel::Ram)
+            llc.fill(line, false, d);
+    }
+    return level;
+}
+
+uint64_t
+TimingMemory::dramService(uint64_t cycle)
+{
+    const uint64_t start = std::max(cycle, dramNextFree);
+    dramNextFree = start + kDramGap;
+    return start + kDramLat;
+}
+
+uint64_t
+TimingMemory::mshrAdmit(uint64_t cycle)
+{
+    while (!mshrHeap.empty() && mshrHeap.top() <= cycle)
+        mshrHeap.pop();
+    if (mshrHeap.size() < kMshrs)
+        return cycle;
+    const uint64_t free_at = mshrHeap.top();
+    mshrHeap.pop();
+    return free_at;
+}
+
+void
+TimingMemory::mshrRetire(uint64_t completion)
+{
+    mshrHeap.push(completion);
+}
+
+MemResponse
+TimingMemory::load(uint64_t pc, uint64_t addr, uint64_t cycle)
+{
+    const uint64_t line = addr >> 6;
+    MemResponse resp;
+
+    // Merge with an in-flight fill for the same line (principle 1 of
+    // Algorithm 1, realized in the ground-truth simulator).
+    auto it = inflightData.find(line);
+    if (it != inflightData.end() && it->second > cycle) {
+        resp.readyCycle = it->second;
+        resp.level = CacheLevel::L1;    // will be an L1 hit once filled
+        resp.isFill = false;
+        // Keep replacement state warm.
+        l1d.touch(line);
+        return resp;
+    }
+
+    const bool sequential = (line == lastDataLine + 1);
+    lastDataLine = line;
+    const CacheLevel level = dataLookupFill(line, false, sequential);
+    switch (level) {
+      case CacheLevel::L1: ++dStats.l1Hits; break;
+      case CacheLevel::L2: ++dStats.l2Hits; break;
+      case CacheLevel::LLC: ++dStats.llcHits; break;
+      default: ++dStats.ramAccesses; break;
+    }
+
+    resp.level = level;
+    if (level == CacheLevel::L1) {
+        resp.readyCycle = cycle + loadLatency(CacheLevel::L1);
+    } else {
+        const uint64_t start = mshrAdmit(cycle);
+        uint64_t done;
+        if (level == CacheLevel::Ram)
+            done = dramService(start);
+        else
+            done = start + loadLatency(level);
+        mshrRetire(done);
+        inflightData[line] = done;
+        resp.readyCycle = done;
+        resp.isFill = true;
+    }
+
+    // Prefetching: trained by demand loads, issued in timing order.
+    if (prefetcher.enabled()) {
+        prefetcher.observe(pc, addr, prefetchBuf);
+        for (uint64_t pf_addr : prefetchBuf) {
+            const uint64_t pf_line = pf_addr >> 6;
+            if (l1d.lookup(pf_line))
+                continue;
+            auto in = inflightData.find(pf_line);
+            if (in != inflightData.end() && in->second > cycle)
+                continue;
+            ++dStats.prefetchesIssued;
+            const bool pf_seq = (pf_line == lastDataLine + 1);
+            lastDataLine = pf_line;
+            const CacheLevel pf_level =
+                dataLookupFill(pf_line, false, pf_seq);
+            uint64_t done;
+            if (pf_level == CacheLevel::Ram)
+                done = dramService(cycle);
+            else
+                done = cycle + loadLatency(pf_level);
+            inflightData[pf_line] = done;
+        }
+    }
+    return resp;
+}
+
+void
+TimingMemory::store(uint64_t pc, uint64_t addr, uint64_t cycle)
+{
+    (void)pc;
+    const uint64_t line = addr >> 6;
+    const bool sequential = (line == lastDataLine + 1);
+    lastDataLine = line;
+    const CacheLevel level = dataLookupFill(line, true, sequential);
+    switch (level) {
+      case CacheLevel::L1: ++dStats.l1Hits; break;
+      case CacheLevel::L2: ++dStats.l2Hits; break;
+      case CacheLevel::LLC: ++dStats.llcHits; break;
+      default: ++dStats.ramAccesses; break;
+    }
+    if (level == CacheLevel::Ram)
+        dramNextFree += kDramGap;   // fill bandwidth for the write allocate
+    (void)cycle;
+}
+
+bool
+TimingMemory::instLineNeedsFill(uint64_t line, uint64_t cycle) const
+{
+    if (l1i.lookup(line))
+        return false;
+    auto it = inflightInst.find(line);
+    return !(it != inflightInst.end() && it->second > cycle);
+}
+
+MemResponse
+TimingMemory::fetchLine(uint64_t line, uint64_t cycle)
+{
+    MemResponse resp;
+    auto it = inflightInst.find(line);
+    if (it != inflightInst.end() && it->second > cycle) {
+        resp.readyCycle = it->second;
+        resp.level = CacheLevel::L1;
+        resp.isFill = false;
+        l1i.touch(line);
+        return resp;
+    }
+
+    const bool sequential = (line == lastInstLine + 1);
+    lastInstLine = line;
+    const CacheLevel level = instLookupFill(line, sequential);
+    switch (level) {
+      case CacheLevel::L1: ++iStats.l1Hits; break;
+      case CacheLevel::L2: ++iStats.l2Hits; break;
+      case CacheLevel::LLC: ++iStats.llcHits; break;
+      default: ++iStats.ramAccesses; break;
+    }
+
+    resp.level = level;
+    if (level == CacheLevel::L1) {
+        resp.readyCycle = cycle + 1;
+    } else {
+        uint64_t done;
+        if (level == CacheLevel::Ram)
+            done = dramService(cycle);
+        else
+            done = cycle + loadLatency(level);
+        inflightInst[line] = done;
+        resp.readyCycle = done;
+        resp.isFill = true;
+    }
+    return resp;
+}
+
+} // namespace concorde

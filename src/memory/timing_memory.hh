@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Timed memory system for the reference cycle-level simulator: the
+ * functional hierarchy plus timing-dependent behavior the in-order trace
+ * analysis cannot see -- same-line miss merging, limited MSHRs, DRAM
+ * bandwidth queueing, prefetch timing, and a shared L2/LLC between the
+ * instruction and data sides.
+ *
+ * These effects are a deliberate source of discrepancy between trace
+ * analysis and ground truth (paper Section 5.2.1, Figure 11).
+ */
+
+#ifndef CONCORDE_MEMORY_TIMING_MEMORY_HH
+#define CONCORDE_MEMORY_TIMING_MEMORY_HH
+
+#include <cstdint>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "memory/cache.hh"
+#include "memory/hierarchy.hh"
+#include "memory/prefetcher.hh"
+
+namespace concorde
+{
+
+/** Result of a timed access. */
+struct MemResponse
+{
+    uint64_t readyCycle = 0;    ///< data/line available at this cycle
+    CacheLevel level = CacheLevel::L1;
+    bool isFill = false;        ///< required a fill from below L1
+};
+
+/**
+ * Cycle-addressable memory model. Requests must arrive in non-decreasing
+ * cycle order (the out-of-order core issues them in simulation-time order).
+ */
+class TimingMemory
+{
+  public:
+    explicit TimingMemory(const MemoryConfig &config);
+
+    /** Timed demand load. */
+    MemResponse load(uint64_t pc, uint64_t addr, uint64_t cycle);
+
+    /**
+     * Store performed at commit (write-back, allocate-on-write). Timing
+     * cost is absorbed by the store buffer; this updates cache state and
+     * charges write-back bandwidth.
+     */
+    void store(uint64_t pc, uint64_t addr, uint64_t cycle);
+
+    /** Timed instruction-line fetch. */
+    MemResponse fetchLine(uint64_t line, uint64_t cycle);
+
+    /**
+     * Would a fetch of this line at `cycle` start a new fill (consume an
+     * I-cache fill slot)? Pure query; no state change.
+     */
+    bool instLineNeedsFill(uint64_t line, uint64_t cycle) const;
+
+    const HierarchyStats &dataStats() const { return dStats; }
+    const HierarchyStats &instStats() const { return iStats; }
+
+    /** DRAM line-transfer gap in cycles (37 GB/s at ~2 GHz, 64B lines). */
+    static constexpr uint64_t kDramGap = 4;
+    /** Extra DRAM latency beyond LLC (paper: 90 ns ~ 200 cycles total). */
+    static constexpr uint64_t kDramLat = 200;
+    static constexpr int kMshrs = 16;
+
+  private:
+    /**
+     * Look up the data-side levels and fill upward; returns serving level.
+     * Pure state transition; timing handled by callers.
+     */
+    CacheLevel dataLookupFill(uint64_t line, bool is_write, bool sequential);
+    CacheLevel instLookupFill(uint64_t line, bool sequential);
+
+    /** DRAM queue: next service completion for a request at `cycle`. */
+    uint64_t dramService(uint64_t cycle);
+
+    /** MSHR gate: returns the cycle at which a new miss may start. */
+    uint64_t mshrAdmit(uint64_t cycle);
+    void mshrRetire(uint64_t completion);
+
+    Cache l1d;
+    Cache l1i;
+    Cache l2;
+    Cache llc;
+    StridePrefetcher prefetcher;
+
+    HierarchyStats dStats;
+    HierarchyStats iStats;
+
+    uint64_t lastDataLine = ~0ULL;
+    uint64_t lastInstLine = ~0ULL;
+    uint64_t dramNextFree = 0;
+
+    /** In-flight fills (demand or prefetch): line -> completion cycle. */
+    std::unordered_map<uint64_t, uint64_t> inflightData;
+    std::unordered_map<uint64_t, uint64_t> inflightInst;
+
+    /** Outstanding data-miss completions (min-heap), capped at kMshrs. */
+    std::priority_queue<uint64_t, std::vector<uint64_t>,
+                        std::greater<uint64_t>> mshrHeap;
+
+    std::vector<uint64_t> prefetchBuf;
+};
+
+} // namespace concorde
+
+#endif // CONCORDE_MEMORY_TIMING_MEMORY_HH

@@ -1,0 +1,78 @@
+#include "ml/conformal.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace concorde
+{
+
+ConformalPredictor::ConformalPredictor(TrainedModel model,
+                                       const std::vector<float> &features,
+                                       const std::vector<float> &labels,
+                                       size_t dim)
+    : trainedModel(std::move(model))
+{
+    fatal_if(labels.empty(), "empty calibration set");
+    fatal_if(features.size() != labels.size() * dim,
+             "calibration features/labels shape mismatch");
+
+    const auto preds = trainedModel.predictBatch(features, dim);
+    scores.resize(labels.size());
+    for (size_t i = 0; i < labels.size(); ++i) {
+        const double yhat = std::max(preds[i], 1e-6f);
+        scores[i] = std::abs(labels[i] - preds[i]) / yhat;
+    }
+    std::sort(scores.begin(), scores.end());
+}
+
+double
+ConformalPredictor::quantile(double alpha) const
+{
+    panic_if(alpha <= 0.0 || alpha >= 1.0, "alpha must be in (0, 1)");
+    const size_t n = scores.size();
+    // Finite-sample corrected rank: ceil((n + 1) (1 - alpha)).
+    const double raw_rank =
+        std::ceil((static_cast<double>(n) + 1.0) * (1.0 - alpha));
+    const size_t rank = static_cast<size_t>(raw_rank);
+    if (rank == 0)
+        return scores.front();
+    if (rank > n)
+        return scores.back() * 1.5 + 0.05;  // beyond calibration support
+    return scores[rank - 1];
+}
+
+ConformalPredictor::Interval
+ConformalPredictor::predictInterval(const float *raw_features,
+                                    double alpha) const
+{
+    Interval interval;
+    interval.point = trainedModel.predict(raw_features);
+    const double q = quantile(alpha);
+    interval.lo = static_cast<float>(
+        std::max(0.0, interval.point * (1.0 - q)));
+    interval.hi = static_cast<float>(interval.point * (1.0 + q));
+    return interval;
+}
+
+double
+ConformalPredictor::empiricalCoverage(const std::vector<float> &features,
+                                      const std::vector<float> &labels,
+                                      size_t dim, double alpha) const
+{
+    panic_if(features.size() != labels.size() * dim,
+             "evaluation features/labels shape mismatch");
+    size_t covered = 0;
+    for (size_t i = 0; i < labels.size(); ++i) {
+        const Interval interval =
+            predictInterval(features.data() + i * dim, alpha);
+        covered += interval.contains(labels[i]);
+    }
+    return labels.empty()
+        ? 0.0
+        : static_cast<double>(covered)
+            / static_cast<double>(labels.size());
+}
+
+} // namespace concorde

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Split-conformal prediction intervals around Concorde's CPI predictions
+ * -- the uncertainty-quantification direction the paper's final remarks
+ * point to (Section 8, refs [9, 10]): "Future work on providing
+ * confidence bounds would allow designers to detect predictions with
+ * high potential errors and crosscheck them with other tools."
+ *
+ * Method: split conformal with the symmetric relative residual
+ * s = |y - yhat| / yhat as the conformity score. Calibrating on n held-out
+ * samples gives the (1-alpha)-quantile q of the scores (with the standard
+ * ceil((n+1)(1-alpha))/n finite-sample correction); the interval
+ * [yhat (1 - q), yhat (1 + q)] then covers the true CPI with probability
+ * at least 1-alpha under exchangeability.
+ */
+
+#ifndef CONCORDE_ML_CONFORMAL_HH
+#define CONCORDE_ML_CONFORMAL_HH
+
+#include <vector>
+
+#include "ml/trainer.hh"
+
+namespace concorde
+{
+
+/** A calibrated conformal wrapper around a TrainedModel. */
+class ConformalPredictor
+{
+  public:
+    /** Prediction interval with its point estimate. */
+    struct Interval
+    {
+        float point = 0.0f;
+        float lo = 0.0f;
+        float hi = 0.0f;
+
+        bool contains(float y) const { return y >= lo && y <= hi; }
+        float relativeWidth() const
+        {
+            return point > 0 ? (hi - lo) / point : 0.0f;
+        }
+    };
+
+    /**
+     * Calibrate on a held-out set (never used for training).
+     * @param features calibration features, n x dim row-major
+     * @param labels ground-truth CPIs
+     */
+    ConformalPredictor(TrainedModel model,
+                       const std::vector<float> &features,
+                       const std::vector<float> &labels, size_t dim);
+
+    const TrainedModel &model() const { return trainedModel; }
+    size_t calibrationSize() const { return scores.size(); }
+
+    /**
+     * Conformity-score quantile for miscoverage alpha, with the
+     * finite-sample correction. alpha in (0, 1).
+     */
+    double quantile(double alpha) const;
+
+    /** Point prediction plus a (1-alpha) interval. */
+    Interval predictInterval(const float *raw_features,
+                             double alpha) const;
+
+    /**
+     * Empirical coverage of (1-alpha) intervals on a labeled set
+     * (for validation; should be >= 1-alpha up to sampling noise).
+     */
+    double empiricalCoverage(const std::vector<float> &features,
+                             const std::vector<float> &labels, size_t dim,
+                             double alpha) const;
+
+  private:
+    TrainedModel trainedModel;
+    std::vector<double> scores;     ///< sorted conformity scores
+};
+
+} // namespace concorde
+
+#endif // CONCORDE_ML_CONFORMAL_HH

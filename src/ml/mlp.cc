@@ -1,0 +1,222 @@
+#include "ml/mlp.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace concorde
+{
+
+void
+GradBuffer::zero()
+{
+    for (auto &g : weightGrads)
+        std::fill(g.begin(), g.end(), 0.0f);
+    for (auto &g : biasGrads)
+        std::fill(g.begin(), g.end(), 0.0f);
+    samples = 0;
+}
+
+void
+GradBuffer::add(const GradBuffer &other)
+{
+    for (size_t l = 0; l < weightGrads.size(); ++l) {
+        for (size_t i = 0; i < weightGrads[l].size(); ++i)
+            weightGrads[l][i] += other.weightGrads[l][i];
+        for (size_t i = 0; i < biasGrads[l].size(); ++i)
+            biasGrads[l][i] += other.biasGrads[l][i];
+    }
+    samples += other.samples;
+}
+
+Mlp::Mlp(std::vector<size_t> layer_sizes, uint64_t seed)
+    : layerSizes(std::move(layer_sizes))
+{
+    fatal_if(layerSizes.size() < 2, "need at least input and output layers");
+    fatal_if(layerSizes.back() != 1, "scalar output expected");
+
+    Rng rng(seed);
+    for (size_t l = 0; l + 1 < layerSizes.size(); ++l) {
+        const size_t in = layerSizes[l];
+        const size_t out = layerSizes[l + 1];
+        weights.emplace_back(in * out);
+        biases.emplace_back(out, 0.0f);
+        // He initialization for ReLU layers.
+        const double scale = std::sqrt(2.0 / static_cast<double>(in));
+        for (auto &w : weights.back())
+            w = static_cast<float>(rng.nextGaussian() * scale);
+    }
+    initAdamState();
+}
+
+Mlp::Mlp(BinaryReader &in)
+{
+    layerSizes = in.getVector<size_t>();
+    const size_t layers = layerSizes.size() - 1;
+    for (size_t l = 0; l < layers; ++l) {
+        weights.push_back(in.getVector<float>());
+        biases.push_back(in.getVector<float>());
+    }
+    initAdamState();
+}
+
+void
+Mlp::save(BinaryWriter &out) const
+{
+    out.putVector(layerSizes);
+    for (size_t l = 0; l < weights.size(); ++l) {
+        out.putVector(weights[l]);
+        out.putVector(biases[l]);
+    }
+}
+
+void
+Mlp::initAdamState()
+{
+    mW.clear(); vW.clear(); mB.clear(); vB.clear();
+    for (size_t l = 0; l < weights.size(); ++l) {
+        mW.emplace_back(weights[l].size(), 0.0f);
+        vW.emplace_back(weights[l].size(), 0.0f);
+        mB.emplace_back(biases[l].size(), 0.0f);
+        vB.emplace_back(biases[l].size(), 0.0f);
+    }
+    adamStep = 0;
+}
+
+size_t
+Mlp::parameterCount() const
+{
+    size_t count = 0;
+    for (size_t l = 0; l < weights.size(); ++l)
+        count += weights[l].size() + biases[l].size();
+    return count;
+}
+
+MlpScratch
+Mlp::makeScratch() const
+{
+    MlpScratch scratch;
+    scratch.acts.resize(layerSizes.size());
+    scratch.deltas.resize(layerSizes.size());
+    for (size_t l = 0; l < layerSizes.size(); ++l) {
+        scratch.acts[l].resize(layerSizes[l]);
+        scratch.deltas[l].resize(layerSizes[l]);
+    }
+    return scratch;
+}
+
+GradBuffer
+Mlp::makeGradBuffer() const
+{
+    GradBuffer grads;
+    for (size_t l = 0; l < weights.size(); ++l) {
+        grads.weightGrads.emplace_back(weights[l].size(), 0.0f);
+        grads.biasGrads.emplace_back(biases[l].size(), 0.0f);
+    }
+    return grads;
+}
+
+float
+Mlp::forward(const float *x, MlpScratch &scratch) const
+{
+    const size_t layers = weights.size();
+    std::copy(x, x + layerSizes[0], scratch.acts[0].begin());
+    for (size_t l = 0; l < layers; ++l) {
+        const size_t in = layerSizes[l];
+        const size_t out = layerSizes[l + 1];
+        const float *src = scratch.acts[l].data();
+        float *dst = scratch.acts[l + 1].data();
+        const float *w = weights[l].data();
+        const bool relu = l + 1 < layers;
+        for (size_t o = 0; o < out; ++o) {
+            const float *row = w + o * in;
+            float acc = biases[l][o];
+            for (size_t i = 0; i < in; ++i)
+                acc += row[i] * src[i];
+            dst[o] = relu && acc < 0.0f ? 0.0f : acc;
+        }
+    }
+    return scratch.acts.back()[0];
+}
+
+float
+Mlp::forwardBackward(const float *x, float target, MlpScratch &scratch,
+                     GradBuffer &grads, double &loss_out) const
+{
+    const float yhat = forward(x, scratch);
+
+    // Relative-error loss (Eq. 7): dL/dyhat = sign(yhat - y) / y.
+    const float safe_y = target > 1e-6f ? target : 1e-6f;
+    loss_out = std::abs(yhat - target) / safe_y;
+    const float dl = (yhat >= target ? 1.0f : -1.0f) / safe_y;
+
+    const size_t layers = weights.size();
+    scratch.deltas.back()[0] = dl;
+    for (size_t l = layers; l-- > 0;) {
+        const size_t in = layerSizes[l];
+        const size_t out = layerSizes[l + 1];
+        const float *src = scratch.acts[l].data();
+        const float *act_out = scratch.acts[l + 1].data();
+        float *delta_out = scratch.deltas[l + 1].data();
+        float *delta_in = scratch.deltas[l].data();
+        const float *w = weights[l].data();
+        float *gw = grads.weightGrads[l].data();
+        float *gb = grads.biasGrads[l].data();
+        const bool relu = l + 1 < layers;
+
+        if (l > 0)
+            std::fill(delta_in, delta_in + in, 0.0f);
+        for (size_t o = 0; o < out; ++o) {
+            float d = delta_out[o];
+            if (relu && act_out[o] <= 0.0f)
+                d = 0.0f;
+            if (d == 0.0f)
+                continue;
+            const float *row = w + o * in;
+            float *grow = gw + o * in;
+            gb[o] += d;
+            for (size_t i = 0; i < in; ++i)
+                grow[i] += d * src[i];
+            if (l > 0) {
+                for (size_t i = 0; i < in; ++i)
+                    delta_in[i] += d * row[i];
+            }
+        }
+    }
+    ++grads.samples;
+    return yhat;
+}
+
+void
+Mlp::adamwStep(const GradBuffer &grads, double lr, double beta1,
+               double beta2, double eps, double weight_decay)
+{
+    panic_if(grads.samples == 0, "adamwStep with empty gradient buffer");
+    ++adamStep;
+    const double inv_n = 1.0 / static_cast<double>(grads.samples);
+    const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(adamStep));
+    const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(adamStep));
+
+    auto update = [&](std::vector<float> &param,
+                      const std::vector<float> &grad, std::vector<float> &m,
+                      std::vector<float> &v, bool decay) {
+        for (size_t i = 0; i < param.size(); ++i) {
+            const double g = grad[i] * inv_n;
+            m[i] = static_cast<float>(beta1 * m[i] + (1.0 - beta1) * g);
+            v[i] = static_cast<float>(beta2 * v[i] + (1.0 - beta2) * g * g);
+            const double mhat = m[i] / bc1;
+            const double vhat = v[i] / bc2;
+            double step = lr * mhat / (std::sqrt(vhat) + eps);
+            if (decay)
+                step += lr * weight_decay * param[i];
+            param[i] = static_cast<float>(param[i] - step);
+        }
+    };
+
+    for (size_t l = 0; l < weights.size(); ++l) {
+        update(weights[l], grads.weightGrads[l], mW[l], vW[l], true);
+        update(biases[l], grads.biasGrads[l], mB[l], vB[l], false);
+    }
+}
+
+} // namespace concorde

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Minimal dense MLP with ReLU activations and a scalar output -- the
+ * paper's lightweight ML model (Section 3.3). Implemented from scratch
+ * (forward, backward, AdamW) so the repository is self-contained.
+ */
+
+#ifndef CONCORDE_ML_MLP_HH
+#define CONCORDE_ML_MLP_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/serialize.hh"
+
+namespace concorde
+{
+
+/** Per-thread workspace for forward/backward passes. */
+struct MlpScratch
+{
+    std::vector<std::vector<float>> acts;   ///< activations per layer
+    std::vector<std::vector<float>> deltas; ///< gradients per layer
+};
+
+/** Gradient accumulator with the same shape as the parameters. */
+struct GradBuffer
+{
+    std::vector<std::vector<float>> weightGrads;
+    std::vector<std::vector<float>> biasGrads;
+    size_t samples = 0;
+
+    void zero();
+    void add(const GradBuffer &other);
+};
+
+/** Fully-connected ReLU network with linear scalar output. */
+class Mlp
+{
+  public:
+    /**
+     * @param layer_sizes {input, hidden..., 1}
+     * @param seed He-style weight initialization seed
+     */
+    Mlp(std::vector<size_t> layer_sizes, uint64_t seed);
+
+    /** Deserialize. */
+    explicit Mlp(BinaryReader &in);
+
+    size_t inputDim() const { return layerSizes.front(); }
+    size_t numLayers() const { return weights.size(); }
+    size_t parameterCount() const;
+
+    /** Forward pass (thread-safe with caller-owned scratch). */
+    float forward(const float *x, MlpScratch &scratch) const;
+
+    /**
+     * Forward + backward with the paper's relative-error loss
+     * Loss = |yhat - y| / y (Eq. 7). Accumulates into `grads`.
+     * @return the prediction.
+     */
+    float forwardBackward(const float *x, float target, MlpScratch &scratch,
+                          GradBuffer &grads, double &loss_out) const;
+
+    /** One AdamW step over all parameters with mean gradients. */
+    void adamwStep(const GradBuffer &grads, double lr, double beta1,
+                   double beta2, double eps, double weight_decay);
+
+    GradBuffer makeGradBuffer() const;
+    MlpScratch makeScratch() const;
+
+    void save(BinaryWriter &out) const;
+
+  private:
+    void initAdamState();
+
+    std::vector<size_t> layerSizes;
+    /** weights[l]: [out x in] row-major; biases[l]: [out]. */
+    std::vector<std::vector<float>> weights;
+    std::vector<std::vector<float>> biases;
+
+    // AdamW state.
+    std::vector<std::vector<float>> mW, vW, mB, vB;
+    uint64_t adamStep = 0;
+};
+
+} // namespace concorde
+
+#endif // CONCORDE_ML_MLP_HH

@@ -1,0 +1,231 @@
+#include "ml/trainer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace concorde
+{
+
+TrainedModel::TrainedModel(Mlp mlp, std::vector<float> mean,
+                           std::vector<float> stdev,
+                           std::vector<uint8_t> mask)
+    : net(std::make_shared<Mlp>(std::move(mlp))),
+      featureMean(std::move(mean)), featureStd(std::move(stdev)),
+      featureMask(std::move(mask))
+{
+}
+
+float
+TrainedModel::predict(const float *raw_features) const
+{
+    panic_if(!net, "predict() on an empty model");
+    thread_local MlpScratch scratch;
+    if (scratch.acts.empty() || scratch.acts[0].size() != inputDim())
+        scratch = net->makeScratch();
+
+    thread_local std::vector<float> x;
+    x.resize(inputDim());
+    for (size_t i = 0; i < inputDim(); ++i) {
+        const bool keep = featureMask.empty() || featureMask[i];
+        x[i] = keep
+            ? (raw_features[i] - featureMean[i]) / featureStd[i]
+            : 0.0f;
+    }
+    const float yhat = net->forward(x.data(), scratch);
+    return std::max(yhat, 1e-3f);   // CPI is positive
+}
+
+std::vector<float>
+TrainedModel::predictBatch(const std::vector<float> &features, size_t dim,
+                           size_t threads) const
+{
+    panic_if(dim != inputDim(), "feature dim mismatch: %zu vs %zu", dim,
+             inputDim());
+    const size_t n = features.size() / dim;
+    std::vector<float> out(n);
+    parallelFor(n, [&](size_t i) {
+        out[i] = predict(features.data() + i * dim);
+    }, threads);
+    return out;
+}
+
+double
+TrainedModel::meanRelativeError(const std::vector<float> &features,
+                                const std::vector<float> &labels,
+                                size_t dim) const
+{
+    const auto preds = predictBatch(features, dim);
+    double acc = 0.0;
+    for (size_t i = 0; i < preds.size(); ++i)
+        acc += std::abs(preds[i] - labels[i]) / std::max(labels[i], 1e-6f);
+    return preds.empty() ? 0.0 : acc / static_cast<double>(preds.size());
+}
+
+void
+TrainedModel::save(const std::string &path) const
+{
+    panic_if(!net, "save() on an empty model");
+    BinaryWriter out(path);
+    net->save(out);
+    out.putVector(featureMean);
+    out.putVector(featureStd);
+    out.putVector(featureMask);
+}
+
+TrainedModel
+TrainedModel::load(const std::string &path)
+{
+    BinaryReader in(path);
+    Mlp mlp(in);
+    TrainedModel model;
+    model.net = std::make_shared<Mlp>(std::move(mlp));
+    model.featureMean = in.getVector<float>();
+    model.featureStd = in.getVector<float>();
+    model.featureMask = in.getVector<uint8_t>();
+    return model;
+}
+
+TrainedModel
+trainMlp(const std::vector<float> &features, const std::vector<float> &labels,
+         size_t dim, const TrainConfig &config,
+         const std::vector<uint8_t> *mask)
+{
+    fatal_if(dim == 0 || labels.empty(), "empty training set");
+    fatal_if(features.size() != labels.size() * dim,
+             "features/labels shape mismatch");
+    const size_t n = labels.size();
+    const size_t threads =
+        config.threads == 0 ? defaultThreads() : config.threads;
+
+    // ---- standardization statistics over kept dimensions ----
+    std::vector<float> mean(dim, 0.0f);
+    std::vector<float> stdev(dim, 1.0f);
+    {
+        std::vector<double> sum(dim, 0.0);
+        std::vector<double> sum2(dim, 0.0);
+        for (size_t i = 0; i < n; ++i) {
+            const float *row = features.data() + i * dim;
+            for (size_t d = 0; d < dim; ++d) {
+                sum[d] += row[d];
+                sum2[d] += static_cast<double>(row[d]) * row[d];
+            }
+        }
+        for (size_t d = 0; d < dim; ++d) {
+            const double mu = sum[d] / static_cast<double>(n);
+            const double var =
+                std::max(0.0, sum2[d] / static_cast<double>(n) - mu * mu);
+            mean[d] = static_cast<float>(mu);
+            stdev[d] = static_cast<float>(var > 1e-10 ? std::sqrt(var)
+                                                      : 1.0);
+        }
+    }
+
+    // ---- pre-processed training matrix ----
+    std::vector<float> x(n * dim);
+    parallelFor(n, [&](size_t i) {
+        const float *src = features.data() + i * dim;
+        float *dst = x.data() + i * dim;
+        for (size_t d = 0; d < dim; ++d) {
+            const bool keep = mask == nullptr || (*mask)[d];
+            dst[d] = keep ? (src[d] - mean[d]) / stdev[d] : 0.0f;
+        }
+    }, threads);
+
+    std::vector<size_t> layers;
+    layers.push_back(dim);
+    for (size_t h : config.hiddenSizes)
+        layers.push_back(h);
+    layers.push_back(1);
+    Mlp mlp(layers, config.seed);
+
+    const size_t steps_per_epoch =
+        (n + config.batchSize - 1) / config.batchSize;
+    const size_t total_steps = steps_per_epoch * config.epochs;
+    std::vector<size_t> halve_steps;
+    for (double frac : config.lrHalveAt)
+        halve_steps.push_back(static_cast<size_t>(frac * total_steps));
+
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    Rng shuffle_rng(hashMix(config.seed, 0x50FFULL));
+
+    std::vector<GradBuffer> thread_grads;
+    std::vector<MlpScratch> thread_scratch;
+    for (size_t t = 0; t < threads; ++t) {
+        thread_grads.push_back(mlp.makeGradBuffer());
+        thread_scratch.push_back(mlp.makeScratch());
+    }
+    std::vector<double> thread_loss(threads, 0.0);
+
+    double lr = config.learningRate;
+    size_t step = 0;
+    for (size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        // Fisher-Yates shuffle.
+        for (size_t i = n - 1; i > 0; --i) {
+            const size_t j = shuffle_rng.nextBounded(i + 1);
+            std::swap(order[i], order[j]);
+        }
+
+        double epoch_loss = 0.0;
+        size_t epoch_count = 0;
+        for (size_t begin = 0; begin < n; begin += config.batchSize) {
+            const size_t end = std::min(n, begin + config.batchSize);
+
+            std::fill(thread_loss.begin(), thread_loss.end(), 0.0);
+            // Threads that receive no shard must not contribute stale
+            // gradients from the previous batch.
+            for (auto &grads : thread_grads)
+                grads.samples = 0;
+            parallelShards(end - begin,
+                           [&](size_t t, size_t lo, size_t hi) {
+                thread_grads[t].zero();
+                double loss = 0.0;
+                for (size_t s = lo; s < hi; ++s) {
+                    const size_t row = order[begin + s];
+                    double sample_loss = 0.0;
+                    mlp.forwardBackward(x.data() + row * dim, labels[row],
+                                        thread_scratch[t], thread_grads[t],
+                                        sample_loss);
+                    loss += sample_loss;
+                }
+                thread_loss[t] = loss;
+            }, threads);
+
+            GradBuffer &total = thread_grads[0];
+            for (size_t t = 1; t < threads; ++t) {
+                if (thread_grads[t].samples > 0)
+                    total.add(thread_grads[t]);
+            }
+            for (double l : thread_loss)
+                epoch_loss += l;
+            epoch_count += end - begin;
+
+            // Halving LR schedule.
+            ++step;
+            for (size_t hs : halve_steps) {
+                if (step == hs)
+                    lr *= 0.5;
+            }
+            if (total.samples > 0) {
+                mlp.adamwStep(total, lr, config.beta1, config.beta2,
+                              config.adamEps, config.weightDecay);
+            }
+        }
+
+        if (config.verbose && (epoch % 5 == 0
+                               || epoch + 1 == config.epochs)) {
+            inform("epoch %zu/%zu: train rel-err %.4f (lr %.2e)", epoch + 1,
+                   config.epochs,
+                   epoch_loss / static_cast<double>(epoch_count), lr);
+        }
+    }
+
+    return TrainedModel(std::move(mlp), std::move(mean), std::move(stdev),
+                        mask ? *mask : std::vector<uint8_t>{});
+}
+
+} // namespace concorde

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Training harness for Concorde's MLP: input standardization, feature
+ * masking (for the Figure-12 ablations), minibatch AdamW with a halving
+ * learning-rate schedule (Section 4), and multithreaded gradient
+ * accumulation.
+ */
+
+#ifndef CONCORDE_ML_TRAINER_HH
+#define CONCORDE_ML_TRAINER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/mlp.hh"
+
+namespace concorde
+{
+
+/** Training hyperparameters (paper Section 4, scaled to CPU training). */
+struct TrainConfig
+{
+    std::vector<size_t> hiddenSizes = {192, 96};
+    double learningRate = 1e-3;
+    /** Fractions of total steps at which the LR halves. */
+    std::vector<double> lrHalveAt = {0.5, 0.65, 0.8, 0.9};
+    double weightDecay = 0.01;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double adamEps = 1e-8;
+    size_t batchSize = 512;
+    size_t epochs = 60;
+    uint64_t seed = 1234;
+    size_t threads = 0;         ///< 0 = hardware concurrency
+    bool verbose = false;
+};
+
+/**
+ * A trained CPI predictor: the MLP plus its input pre-processing
+ * (feature mask and standardization statistics).
+ */
+class TrainedModel
+{
+  public:
+    TrainedModel() = default;
+    TrainedModel(Mlp mlp, std::vector<float> mean, std::vector<float> stdev,
+                 std::vector<uint8_t> mask);
+
+    bool valid() const { return net != nullptr; }
+    size_t inputDim() const { return featureMean.size(); }
+
+    /** Predict from raw (unmasked, unstandardized) features. */
+    float predict(const float *raw_features) const;
+
+    /** Batch prediction, multithreaded. */
+    std::vector<float> predictBatch(const std::vector<float> &features,
+                                    size_t dim, size_t threads = 0) const;
+
+    /** Mean relative error over a labeled set. */
+    double meanRelativeError(const std::vector<float> &features,
+                             const std::vector<float> &labels,
+                             size_t dim) const;
+
+    void save(const std::string &path) const;
+    static TrainedModel load(const std::string &path);
+
+  private:
+    std::shared_ptr<const Mlp> net;
+    std::vector<float> featureMean;
+    std::vector<float> featureStd;
+    std::vector<uint8_t> featureMask;   ///< empty = keep everything
+};
+
+/**
+ * Train an MLP CPI predictor.
+ *
+ * @param features n x dim row-major raw features
+ * @param labels n CPI targets
+ * @param mask optional keep-mask (masked-out dims are zeroed)
+ */
+TrainedModel trainMlp(const std::vector<float> &features,
+                      const std::vector<float> &labels, size_t dim,
+                      const TrainConfig &config,
+                      const std::vector<uint8_t> *mask = nullptr);
+
+} // namespace concorde
+
+#endif // CONCORDE_ML_TRAINER_HH

@@ -1,0 +1,638 @@
+#include "sim/o3_core.hh"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+
+#include "common/logging.hh"
+#include "memory/timing_memory.hh"
+
+namespace concorde
+{
+
+namespace
+{
+
+/** Frontend refill penalty after a branch redirect (cycles). */
+constexpr uint64_t kRedirectPenalty = 6;
+/** Decode-to-rename pipeline latency. */
+constexpr uint64_t kDecodeLat = 1;
+/** Capacity of the decode and rename queues. */
+constexpr size_t kDecodeQCap = 48;
+constexpr size_t kRenameQCap = 32;
+/** Store-to-load forwarding latency. */
+constexpr uint64_t kForwardLat = 1;
+/** Runaway guard: no region should take this many cycles per instruction. */
+constexpr uint64_t kMaxCpi = 2000;
+
+constexpr uint64_t kNever = ~0ULL;
+
+/** A run of consecutive instructions sharing one I-cache line. */
+struct LineRun
+{
+    uint32_t begin;
+    uint32_t end;       // exclusive
+    uint64_t line;
+};
+
+struct Engine
+{
+    const UarchParams &p;
+    const std::vector<Instruction> &instrs;   // warmup + region
+    const std::vector<uint8_t> &mispredict;   // aligned with instrs
+    const size_t warmupCount;
+
+    TimingMemory mem;
+
+    // ---- per-instruction dynamic state ----
+    std::vector<uint64_t> readyCycle;   // kNever until finished
+    std::vector<uint8_t> finished;
+    std::vector<uint8_t> committedFlag;
+    std::vector<int8_t> depCount;
+    std::vector<uint64_t> issuedAt;
+
+    // Wakeup edges: per producer, an intrusive chain of waiting consumers.
+    std::vector<int32_t> waiterHead;    // producer -> first edge (-1)
+    std::vector<int32_t> edgeWaiter;    // edge -> consumer index
+    std::vector<int32_t> edgeNext;      // edge -> next edge
+    int32_t edgeCount = 0;
+
+    // ---- frontend ----
+    std::vector<LineRun> runs;
+    std::vector<uint32_t> runOf;        // instruction -> run index
+    std::vector<uint32_t> horizonEvents; // mispredicted branches and ISBs
+    size_t horizonPtr = 0;
+
+    struct ActiveRun
+    {
+        uint32_t runIdx;
+        uint64_t ready;
+    };
+    std::deque<ActiveRun> activeRuns;   // fetch buffers in flight
+    uint32_t nextRunToRequest = 0;
+    std::priority_queue<uint64_t, std::vector<uint64_t>,
+                        std::greater<uint64_t>> fillHeap;
+
+    uint32_t deliverPtr = 0;            // next instruction to fetch-deliver
+    int64_t blockedBranch = -1;         // mispredicted branch awaiting exec
+    uint64_t branchResumeCycle = kNever;
+    int64_t blockedIsb = -1;            // ISB awaiting commit
+
+    std::deque<std::pair<uint64_t, uint32_t>> decodeQ; // (readyAt, idx)
+    std::deque<std::pair<uint64_t, uint32_t>> renameQ;
+
+    // ---- backend ----
+    std::deque<uint32_t> rob;           // dispatched, not committed
+    uint32_t lqOcc = 0;
+    uint32_t sqOcc = 0;
+
+    // Age-ordered ready queues per issue class.
+    using ReadyQ = std::priority_queue<uint32_t, std::vector<uint32_t>,
+                                       std::greater<uint32_t>>;
+    ReadyQ readyAlu, readyFp, readyLs;
+
+    std::vector<uint8_t> dispatched;
+    std::vector<uint64_t> dispatchCycle;
+
+    // Completion events (cycle, instruction).
+    using Event = std::pair<uint64_t, uint32_t>;
+    std::priority_queue<Event, std::vector<Event>, std::greater<Event>>
+        events;
+
+    uint32_t committed = 0;
+    uint64_t cycle = 0;
+    int windowK = 0;
+
+    // ---- statistics ----
+    bool inRegion = false;              // all warmup committed
+    uint64_t regionStartCycle = 0;
+    uint64_t occSamples = 0;
+    uint64_t robOccSum = 0;
+    uint64_t renameOccSum = 0;
+    uint64_t lqOccSum = 0;
+    SimResult result;
+
+    Engine(const UarchParams &params,
+           const std::vector<Instruction> &all,
+           const std::vector<uint8_t> &flags, size_t warmup_count)
+        : p(params), instrs(all), mispredict(flags),
+          warmupCount(warmup_count), mem(params.memory)
+    {
+        const size_t n = instrs.size();
+        readyCycle.assign(n, kNever);
+        finished.assign(n, 0);
+        committedFlag.assign(n, 0);
+        depCount.assign(n, 0);
+        issuedAt.assign(n, 0);
+        waiterHead.assign(n, -1);
+        edgeWaiter.resize((kMaxSrcDeps + 1) * n);
+        edgeNext.resize((kMaxSrcDeps + 1) * n);
+        dispatched.assign(n, 0);
+        dispatchCycle.assign(n, 0);
+        buildRuns();
+        buildHorizon();
+        if (warmupCount == 0) {
+            inRegion = true;
+            regionStartCycle = 0;
+        }
+    }
+
+    void
+    buildRuns()
+    {
+        runOf.resize(instrs.size());
+        uint64_t cur_line = ~0ULL;
+        for (uint32_t i = 0; i < instrs.size(); ++i) {
+            const uint64_t line = instrs[i].instLine();
+            if (line != cur_line) {
+                runs.push_back({i, i + 1, line});
+                cur_line = line;
+            } else {
+                runs.back().end = i + 1;
+            }
+            runOf[i] = static_cast<uint32_t>(runs.size() - 1);
+        }
+    }
+
+    void
+    buildHorizon()
+    {
+        for (uint32_t i = 0; i < instrs.size(); ++i) {
+            if (mispredict[i] || instrs[i].isIsb())
+                horizonEvents.push_back(i);
+        }
+    }
+
+    /** Highest instruction index fetch may request lines for (inclusive). */
+    uint32_t
+    fetchHorizon()
+    {
+        while (horizonPtr < horizonEvents.size()
+               && horizonEvents[horizonPtr] < deliverPtr) {
+            ++horizonPtr;
+        }
+        // Unresolved control event: cannot fetch past it. The event's own
+        // run is allowed.
+        if (horizonPtr < horizonEvents.size()) {
+            const uint32_t ev = horizonEvents[horizonPtr];
+            if (ev < instrs.size() && !resolvedControl(ev))
+                return ev;
+        }
+        return static_cast<uint32_t>(instrs.size() - 1);
+    }
+
+    bool
+    resolvedControl(uint32_t i)
+    {
+        if (instrs[i].isIsb())
+            return committedFlag[i];
+        return finished[i];
+    }
+
+    size_t
+    outstandingFills()
+    {
+        while (!fillHeap.empty() && fillHeap.top() <= cycle)
+            fillHeap.pop();
+        return fillHeap.size();
+    }
+
+    // ------------------------------------------------------------------
+    // Pipeline stages (called newest-to-oldest each cycle).
+    // ------------------------------------------------------------------
+
+    bool
+    commitStage()
+    {
+        bool any = false;
+        for (int w = 0; w < p.commitWidth && !rob.empty(); ++w) {
+            const uint32_t head = rob.front();
+            if (!finished[head] || readyCycle[head] > cycle)
+                break;
+            rob.pop_front();
+            committedFlag[head] = 1;
+            ++committed;
+            any = true;
+            const Instruction &instr = instrs[head];
+            if (instr.isLoad()) {
+                --lqOcc;
+            } else if (instr.isStore()) {
+                --sqOcc;
+                mem.store(instr.pc, instr.memAddr, cycle);
+            }
+            if (!inRegion && committed == warmupCount) {
+                inRegion = true;
+                regionStartCycle = cycle;
+            }
+            if (windowK > 0 && committed > warmupCount
+                && (committed - warmupCount)
+                    % static_cast<uint32_t>(windowK) == 0) {
+                result.windowCommitCycles.push_back(
+                    cycle - regionStartCycle);
+            }
+        }
+        return any;
+    }
+
+    bool
+    writebackStage()
+    {
+        bool any = false;
+        while (!events.empty() && events.top().first <= cycle) {
+            const uint32_t i = events.top().second;
+            events.pop();
+            finished[i] = 1;
+            any = true;
+            // Wake waiters.
+            for (int32_t e = waiterHead[i]; e >= 0; e = edgeNext[e]) {
+                const int32_t w = edgeWaiter[e];
+                if (--depCount[w] == 0 && dispatched[w])
+                    pushReady(static_cast<uint32_t>(w));
+            }
+            waiterHead[i] = -1;
+        }
+        return any;
+    }
+
+    void
+    pushReady(uint32_t i)
+    {
+        switch (issueClassOf(instrs[i].type)) {
+          case IssueClass::Alu: readyAlu.push(i); break;
+          case IssueClass::Fp: readyFp.push(i); break;
+          case IssueClass::LoadStore: readyLs.push(i); break;
+        }
+    }
+
+    void
+    execute(uint32_t i)
+    {
+        const Instruction &instr = instrs[i];
+        issuedAt[i] = cycle;
+        uint64_t done;
+        if (instr.isLoad()) {
+            if (instr.memDep >= 0 && !committedFlag[instr.memDep]) {
+                // Store-to-load forwarding from the store buffer.
+                done = cycle + kForwardLat;
+            } else {
+                done = mem.load(instr.pc, instr.memAddr, cycle).readyCycle;
+            }
+            if (inRegion) {
+                result.actualLoadLatencySum += done - cycle;
+                ++result.loadCount;
+            }
+        } else {
+            done = cycle + static_cast<uint64_t>(fixedLatency(instr.type));
+        }
+        readyCycle[i] = done;
+        if (done <= cycle) {
+            finished[i] = 1;
+        } else {
+            events.emplace(done, i);
+        }
+    }
+
+    bool
+    issueStage()
+    {
+        bool any = false;
+        auto drain = [&](ReadyQ &q, int width) {
+            int issued = 0;
+            while (issued < width && !q.empty()) {
+                const uint32_t i = q.top();
+                if (dispatchCycle[i] >= cycle)
+                    break;      // dispatched this cycle; issue next cycle
+                q.pop();
+                execute(i);
+                ++issued;
+                any = true;
+            }
+            return issued;
+        };
+
+        drain(readyAlu, p.aluWidth);
+        drain(readyFp, p.fpWidth);
+
+        // Load-store class: issue width plus pipe constraints. Stores may
+        // only use load-store pipes; loads prefer load pipes.
+        {
+            int issued = 0;
+            int ls_pipes_used = 0;
+            int load_pipes_used = 0;
+            std::vector<uint32_t> deferred;
+            while (issued < p.lsWidth && !readyLs.empty()) {
+                const uint32_t i = readyLs.top();
+                if (dispatchCycle[i] >= cycle)
+                    break;
+                const bool is_store = instrs[i].isStore();
+                bool can_issue;
+                if (is_store) {
+                    can_issue = ls_pipes_used < p.lsPipes;
+                } else {
+                    can_issue = load_pipes_used < p.loadPipes
+                        || ls_pipes_used < p.lsPipes;
+                }
+                if (!can_issue) {
+                    // Pipe-starved; skip this op and look for one of the
+                    // other kind (out-of-order selection).
+                    deferred.push_back(i);
+                    readyLs.pop();
+                    continue;
+                }
+                readyLs.pop();
+                if (is_store) {
+                    ++ls_pipes_used;
+                } else if (load_pipes_used < p.loadPipes) {
+                    ++load_pipes_used;
+                } else {
+                    ++ls_pipes_used;
+                }
+                execute(i);
+                ++issued;
+                any = true;
+            }
+            for (uint32_t i : deferred)
+                readyLs.push(i);
+        }
+        return any;
+    }
+
+    bool
+    renameStage()
+    {
+        bool any = false;
+        for (int w = 0; w < p.renameWidth && !renameQ.empty(); ++w) {
+            const auto [ready_at, i] = renameQ.front();
+            if (ready_at > cycle)
+                break;
+            const Instruction &instr = instrs[i];
+            if (rob.size() >= static_cast<size_t>(p.robSize))
+                break;
+            if (instr.isLoad() && lqOcc >= static_cast<uint32_t>(p.lqSize))
+                break;
+            if (instr.isStore() && sqOcc >= static_cast<uint32_t>(p.sqSize))
+                break;
+            renameQ.pop_front();
+            rob.push_back(i);
+            if (instr.isLoad())
+                ++lqOcc;
+            if (instr.isStore())
+                ++sqOcc;
+            dispatched[i] = 1;
+            dispatchCycle[i] = cycle;
+
+            // Register dependency edges for unfinished producers.
+            int deps = 0;
+            auto add_dep = [&](int32_t d) {
+                if (d >= 0 && !finished[d]) {
+                    edgeWaiter[edgeCount] = static_cast<int32_t>(i);
+                    edgeNext[edgeCount] = waiterHead[d];
+                    waiterHead[d] = edgeCount;
+                    ++edgeCount;
+                    ++deps;
+                }
+            };
+            for (int s = 0; s < kMaxSrcDeps; ++s)
+                add_dep(instr.srcDeps[s]);
+            if (instr.memDep >= 0)
+                add_dep(instr.memDep);
+            depCount[i] = static_cast<int8_t>(deps);
+            if (deps == 0)
+                pushReady(i);
+            any = true;
+        }
+        return any;
+    }
+
+    bool
+    decodeStage()
+    {
+        bool any = false;
+        for (int w = 0; w < p.decodeWidth && !decodeQ.empty(); ++w) {
+            const auto [fetched_at, i] = decodeQ.front();
+            if (fetched_at > cycle || renameQ.size() >= kRenameQCap)
+                break;
+            decodeQ.pop_front();
+            renameQ.emplace_back(cycle + kDecodeLat, i);
+            any = true;
+        }
+        return any;
+    }
+
+    bool
+    fetchStage()
+    {
+        bool any = false;
+
+        // Resolve frontend blocks.
+        if (blockedBranch >= 0) {
+            if (branchResumeCycle == kNever && finished[blockedBranch]) {
+                branchResumeCycle =
+                    std::max(readyCycle[blockedBranch] + kRedirectPenalty,
+                             cycle);
+            }
+            if (branchResumeCycle != kNever && cycle >= branchResumeCycle) {
+                blockedBranch = -1;
+                branchResumeCycle = kNever;
+            }
+        }
+        if (blockedIsb >= 0 && committedFlag[blockedIsb])
+            blockedIsb = -1;
+        const bool blocked = blockedBranch >= 0 || blockedIsb >= 0;
+
+        // Request line fetches ahead of delivery.
+        if (!blocked) {
+            const uint32_t horizon = fetchHorizon();
+            while (nextRunToRequest < runs.size()
+                   && runs[nextRunToRequest].begin <= horizon
+                   && activeRuns.size()
+                      < static_cast<size_t>(p.fetchBuffers)) {
+                const LineRun &run = runs[nextRunToRequest];
+                if (mem.instLineNeedsFill(run.line, cycle)
+                    && outstandingFills()
+                       >= static_cast<size_t>(p.maxIcacheFills)) {
+                    break;
+                }
+                const MemResponse resp = mem.fetchLine(run.line, cycle);
+                if (resp.isFill)
+                    fillHeap.push(resp.readyCycle);
+                activeRuns.push_back({nextRunToRequest, resp.readyCycle});
+                ++nextRunToRequest;
+                any = true;
+            }
+        }
+
+        // Deliver instructions in order.
+        if (!blocked) {
+            for (int w = 0; w < p.fetchWidth; ++w) {
+                if (deliverPtr >= instrs.size()
+                    || decodeQ.size() >= kDecodeQCap) {
+                    break;
+                }
+                if (activeRuns.empty()
+                    || runs[activeRuns.front().runIdx].begin > deliverPtr) {
+                    break;  // line not requested yet
+                }
+                const ActiveRun &front = activeRuns.front();
+                panic_if(runOf[deliverPtr] != front.runIdx,
+                         "fetch run desync");
+                if (front.ready > cycle)
+                    break;  // line still in flight
+
+                const uint32_t i = deliverPtr;
+                decodeQ.emplace_back(cycle + 1, i);
+                ++deliverPtr;
+                any = true;
+                if (deliverPtr >= runs[front.runIdx].end)
+                    activeRuns.pop_front();
+
+                if (mispredict[i]) {
+                    if (i >= warmupCount)
+                        ++result.branchMispredicts;
+                    blockedBranch = i;
+                    branchResumeCycle = kNever;
+                    squashFetchAhead();
+                    break;
+                }
+                if (instrs[i].isIsb()) {
+                    blockedIsb = i;
+                    squashFetchAhead();
+                    break;
+                }
+            }
+        }
+        return any;
+    }
+
+    /**
+     * Drop fetched-ahead lines past the current delivery point (redirect /
+     * drain): wholly undelivered runs give their fetch buffers back and
+     * will be re-requested after the frontend resumes.
+     */
+    void
+    squashFetchAhead()
+    {
+        while (!activeRuns.empty()
+               && runs[activeRuns.back().runIdx].begin >= deliverPtr) {
+            activeRuns.pop_back();
+        }
+        if (!activeRuns.empty())
+            nextRunToRequest = activeRuns.back().runIdx + 1;
+        else if (deliverPtr < instrs.size())
+            nextRunToRequest = runOf[deliverPtr];
+    }
+
+    /** Earliest future cycle at which anything can happen. */
+    uint64_t
+    nextInterestingCycle()
+    {
+        uint64_t next = kNever;
+        if (!events.empty())
+            next = std::min(next, events.top().first);
+        if (!activeRuns.empty())
+            next = std::min(next, activeRuns.front().ready);
+        if (!fillHeap.empty())
+            next = std::min(next, fillHeap.top());
+        if (blockedBranch >= 0 && branchResumeCycle != kNever)
+            next = std::min(next, branchResumeCycle);
+        if (!renameQ.empty())
+            next = std::min(next, renameQ.front().first);
+        if (!decodeQ.empty())
+            next = std::min(next, decodeQ.front().first);
+        return next == kNever ? cycle + 1 : std::max(next, cycle + 1);
+    }
+
+    SimResult
+    run()
+    {
+        const uint64_t limit =
+            static_cast<uint64_t>(instrs.size()) * kMaxCpi + 100000;
+        while (committed < instrs.size()) {
+            panic_if(cycle > limit, "simulator runaway at cycle %llu "
+                     "(%u/%zu committed)",
+                     static_cast<unsigned long long>(cycle), committed,
+                     instrs.size());
+            bool any = false;
+            any |= commitStage();
+            any |= writebackStage();
+            any |= issueStage();
+            any |= renameStage();
+            any |= decodeStage();
+            any |= fetchStage();
+
+            if (inRegion) {
+                ++occSamples;
+                robOccSum += rob.size();
+                renameOccSum += renameQ.size();
+                lqOccSum += lqOcc;
+            }
+
+            if (any) {
+                ++cycle;
+            } else {
+                cycle = nextInterestingCycle();
+            }
+        }
+
+        result.instructions = instrs.size() - warmupCount;
+        result.cycles = cycle - regionStartCycle;
+        if (occSamples > 0) {
+            const double samples = static_cast<double>(occSamples);
+            result.avgRobOccupancy =
+                100.0 * static_cast<double>(robOccSum) / samples / p.robSize;
+            result.avgRenameQOccupancy =
+                100.0 * static_cast<double>(renameOccSum) / samples
+                / static_cast<double>(kRenameQCap);
+            result.avgLqOccupancy =
+                100.0 * static_cast<double>(lqOccSum) / samples / p.lqSize;
+        }
+        return result;
+    }
+};
+
+} // anonymous namespace
+
+SimResult
+simulateTrace(const UarchParams &params,
+              const std::vector<Instruction> &warmup,
+              const std::vector<Instruction> &region,
+              const std::vector<uint8_t> &mispredict_flags, int window_k)
+{
+    panic_if(mispredict_flags.size() != region.size(),
+             "mispredict flags (%zu) != region size (%zu)",
+             mispredict_flags.size(), region.size());
+
+    // Concatenate warmup + region with zero flags for warmup: warmup only
+    // exists to fill caches and timing state.
+    std::vector<Instruction> all;
+    all.reserve(warmup.size() + region.size());
+    all.insert(all.end(), warmup.begin(), warmup.end());
+    const int32_t offset = static_cast<int32_t>(warmup.size());
+    for (Instruction instr : region) {
+        for (int d = 0; d < kMaxSrcDeps; ++d) {
+            if (instr.srcDeps[d] >= 0)
+                instr.srcDeps[d] += offset;
+        }
+        if (instr.memDep >= 0)
+            instr.memDep += offset;
+        all.push_back(instr);
+    }
+    std::vector<uint8_t> flags(all.size(), 0);
+    std::copy(mispredict_flags.begin(), mispredict_flags.end(),
+              flags.begin() + offset);
+
+    Engine engine(params, all, flags, warmup.size());
+    engine.windowK = window_k;
+    return engine.run();
+}
+
+SimResult
+simulateRegion(const UarchParams &params, RegionAnalysis &analysis,
+               int window_k)
+{
+    const auto &branch_info = analysis.branches(params.branch);
+    return simulateTrace(params, analysis.warmupInstrs(), analysis.instrs(),
+                         branch_info.mispredict, window_k);
+}
+
+} // namespace concorde

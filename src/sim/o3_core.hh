@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Reference cycle-level simulator: a generic parameterized out-of-order
+ * core in the style of gem5's O3 CPU (paper Section 3), used as the
+ * ground-truth oracle f(x, p) that Concorde learns.
+ *
+ * Modeled structure:
+ *  - Fetch: in-order line fetch along the (known) correct path, limited by
+ *    fetch buffers, maximum outstanding I-cache fills, and fetch width;
+ *    redirects on mispredicted branches (resolved at execute) and ISB
+ *    pipeline drains (resolved at commit).
+ *  - Decode / rename: width-limited queues (the rename queue's occupancy
+ *    is one of the Section 5.2.6 alternative targets).
+ *  - Backend: ROB / load queue / store queue dispatch, per-class issue
+ *    widths (ALU, FP, load-store), load and load-store pipes,
+ *    dependency-driven wakeup, store-to-load forwarding, and in-order
+ *    commit with commit width.
+ *  - Memory: TimingMemory (shared L2/LLC, MSHRs, DRAM bandwidth, stride
+ *    prefetcher), accessed in issue order -- deliberately richer than the
+ *    in-order trace analysis so that Figure 11's discrepancies arise.
+ */
+
+#ifndef CONCORDE_SIM_O3_CORE_HH
+#define CONCORDE_SIM_O3_CORE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "analysis/trace_analyzer.hh"
+#include "trace/instruction.hh"
+#include "uarch/params.hh"
+
+namespace concorde
+{
+
+/** Ground-truth metrics for one simulated region. */
+struct SimResult
+{
+    uint64_t cycles = 0;            ///< region cycles (warmup excluded)
+    uint64_t instructions = 0;      ///< region instructions
+    double avgRobOccupancy = 0.0;   ///< mean ROB entries / capacity (%)
+    double avgRenameQOccupancy = 0.0; ///< mean rename-queue fill (%)
+    double avgLqOccupancy = 0.0;    ///< mean LQ entries / capacity (%)
+    uint64_t branchMispredicts = 0;
+    /** Sum of actual issued-load latencies (Figure 11 numerator). */
+    uint64_t actualLoadLatencySum = 0;
+    /** Number of region loads (Figure 11 denominator pairing). */
+    uint64_t loadCount = 0;
+    /**
+     * Region commit cycle at each window boundary (when a window length
+     * was requested); yields the ground-truth per-window IPC of Figure 1.
+     */
+    std::vector<uint64_t> windowCommitCycles;
+
+    double
+    cpi() const
+    {
+        return instructions
+            ? static_cast<double>(cycles)
+                / static_cast<double>(instructions)
+            : 0.0;
+    }
+    double ipc() const { return cpi() > 0 ? 1.0 / cpi() : 0.0; }
+};
+
+/**
+ * Simulate `region` (preceded by `warmup`, which fills caches and timing
+ * state but is excluded from all statistics).
+ *
+ * @param mispredict_flags one flag per region instruction (from trace
+ *        analysis with the same BranchConfig as `params.branch`)
+ * @param window_k when > 0, record region commit cycles every window_k
+ *        committed region instructions (per-window IPC ground truth)
+ */
+SimResult simulateTrace(const UarchParams &params,
+                        const std::vector<Instruction> &warmup,
+                        const std::vector<Instruction> &region,
+                        const std::vector<uint8_t> &mispredict_flags,
+                        int window_k = 0);
+
+/** Convenience wrapper: pulls warmup, region, and flags from an analysis. */
+SimResult simulateRegion(const UarchParams &params, RegionAnalysis &analysis,
+                         int window_k = 0);
+
+} // namespace concorde
+
+#endif // CONCORDE_SIM_O3_CORE_HH

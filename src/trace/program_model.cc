@@ -1,0 +1,434 @@
+#include "trace/program_model.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace concorde
+{
+
+namespace
+{
+
+// Fixed virtual-address layout. Every analysis / simulation run owns its own
+// cold cache state, so traces never share a cache and can share a layout.
+constexpr uint64_t kCodeBase = 0x40000000ULL;
+constexpr uint64_t kWsBase = 0x80000000ULL;
+constexpr uint64_t kSeqBase = 0x100000000ULL;
+constexpr uint64_t kStrideBase = 0x800000000ULL;
+constexpr uint64_t kWriteBase = 0xF00000000ULL;
+
+/** Per-static-slot private streams (so the stride prefetcher can train). */
+constexpr uint64_t kStreamSpacing = 16ULL << 20;   // 16MB per stream
+constexpr uint64_t kStreamLines = (16ULL << 20) / 64;
+
+constexpr size_t kProducerRing = 512;
+constexpr size_t kStoreRing = 16;
+
+/**
+ * Static per-block personality: everything TAGE / the I-cache / the
+ * prefetcher could learn about a block is a pure function of
+ * (program seed, block id).
+ */
+struct BlockPersona
+{
+    enum class Kind : uint8_t { Cond, Uncond, Indirect, LoopTail };
+
+    uint32_t bodyLen;
+    Kind kind;
+    double bias;            ///< taken-probability of the Cond branch
+    bool randomBranch;      ///< 50/50 conditional
+    uint32_t loopLen;       ///< LoopTail: blocks in the loop body (0=self)
+    int64_t baseTrips;      ///< LoopTail: nominal trip count
+};
+
+/** Mutable generation state, reset at every chunk boundary. */
+struct ChunkState
+{
+    // Control flow.
+    uint32_t curBlock = 0;
+    bool loopActive = false;
+    uint32_t loopHead = 0;
+    uint32_t loopTail = 0;
+    int64_t tripsLeft = 0;
+
+    // Dependency tracking (absolute instruction indices).
+    int64_t producers[kProducerRing];
+    size_t numProducers = 0;
+    int64_t lastChase = -1;
+
+    // Recent stores for forwarding loads: (index, address).
+    int64_t storeIdx[kStoreRing];
+    uint64_t storeAddr[kStoreRing];
+    size_t numStores = 0;
+
+    // Per-static-slot stream cursors and per-block dynamic history.
+    std::unordered_map<uint64_t, uint64_t> streamCursor;
+    std::unordered_map<uint32_t, uint16_t> lastIndirect;
+    std::unordered_map<uint32_t, uint32_t> loopVisits;
+
+    // Pointer-chase state.
+    uint64_t chaseState = 0;
+};
+
+} // anonymous namespace
+
+ProgramModel::ProgramModel(WorkloadProfile profile, uint64_t seed_in)
+    : prof(std::move(profile)), seed(seed_in)
+{
+    fatal_if(prof.phases.empty(), "workload '%s' has no phases",
+             prof.name.c_str());
+    fatal_if(prof.numBlocks < 4, "workload '%s': need >= 4 blocks",
+             prof.name.c_str());
+}
+
+size_t
+ProgramModel::phaseOf(uint64_t chunk_index) const
+{
+    const uint64_t period = std::max<uint32_t>(1, prof.chunksPerPhase);
+    return (chunk_index / period) % prof.phases.size();
+}
+
+std::vector<Instruction>
+ProgramModel::generateRegion(const RegionSpec &spec) const
+{
+    std::vector<Instruction> out;
+    out.reserve(spec.numInstructions());
+    for (uint32_t c = 0; c < spec.numChunks; ++c) {
+        generateChunk(spec.traceId, spec.startChunk + c, out,
+                      static_cast<int64_t>(out.size()));
+    }
+    return out;
+}
+
+void
+ProgramModel::generateChunk(int trace_id, uint64_t chunk_index,
+                            std::vector<Instruction> &out,
+                            int64_t base) const
+{
+    const PhaseProfile &phase = prof.phases[phaseOf(chunk_index)];
+    Rng rng(hashMix(seed, static_cast<uint64_t>(trace_id) + 1,
+                    chunk_index + 0x5eedULL));
+
+    ChunkState st;
+    st.curBlock = static_cast<uint32_t>(rng.nextBounded(prof.numBlocks));
+    st.chaseState = rng.next();
+
+    const uint64_t ws_lines = std::max<uint64_t>(1, phase.wsBytes / 64);
+    const double isb_prob = prof.isbPer1k / 1000.0;
+
+    auto record_producer = [&](int64_t idx) {
+        st.producers[st.numProducers % kProducerRing] = idx;
+        ++st.numProducers;
+    };
+
+    auto pick_producer = [&](double mean_dist) -> int32_t {
+        if (st.numProducers == 0)
+            return -1;
+        const uint64_t avail = std::min(st.numProducers, kProducerRing);
+        uint64_t dist = rng.nextGeometric(mean_dist);
+        if (dist > avail)
+            dist = avail;
+        const size_t slot = (st.numProducers - dist) % kProducerRing;
+        return static_cast<int32_t>(st.producers[slot]);
+    };
+
+    auto random_ws_line = [&](uint64_t salt) -> uint64_t {
+        // Zipf rank -> stable pseudo-random permutation of WS lines so that
+        // hot lines are the same in every chunk of the trace.
+        const uint64_t rank = rng.nextZipf(ws_lines, phase.wsZipf);
+        return hashMix(seed ^ 0xDA7Au, rank, salt) % ws_lines;
+    };
+
+    // A static slot's private stream cursor; starts at a chunk-dependent
+    // offset and advances per execution, giving the slot a constant stride.
+    auto stream_addr = [&](uint64_t stream_base, uint64_t slot_key,
+                           uint64_t stride) -> uint64_t {
+        const uint64_t stream_id = hashMix(seed, slot_key, 0x57F3A8ULL);
+        auto [it, inserted] = st.streamCursor.try_emplace(
+            stream_id, hashMix(stream_id, chunk_index) % kStreamLines);
+        const uint64_t pos = it->second++;
+        const uint64_t span = kStreamLines * 64 / std::max<uint64_t>(
+            1, stride);
+        return stream_base + (stream_id % 1024) * kStreamSpacing
+            + (pos % std::max<uint64_t>(1, span)) * stride;
+    };
+
+    const uint64_t target_count = kChunkLen;
+    uint64_t emitted = 0;
+
+    while (emitted < target_count) {
+        // ---- static block personality ----
+        Rng block_rng(hashMix(seed, 0xB10CULL, st.curBlock));
+        BlockPersona persona;
+        persona.bodyLen = static_cast<uint32_t>(std::clamp<uint64_t>(
+            block_rng.nextGeometric(prof.branchEvery), 1,
+            prof.blockCapacity - 1));
+        // Branch bias skews heavily toward predictable: most real
+        // conditionals are 95%+ one-sided. condBias controls the skew.
+        const double bias_u = block_rng.nextDouble();
+        const double one_sided =
+            1.0 - (1.0 - prof.condBias) * bias_u * bias_u;
+        persona.bias = block_rng.nextBool(0.7) ? one_sided
+                                               : 1.0 - one_sided;
+        persona.randomBranch = block_rng.nextBool(prof.condRandomFrac);
+        persona.loopLen = static_cast<uint32_t>(block_rng.nextBounded(3));
+        // Cap static trip counts: unbounded geometric draws create blocks
+        // that trap control flow for thousands of instructions.
+        persona.baseTrips = 2 + static_cast<int64_t>(std::min(
+            block_rng.nextGeometric(prof.meanTrip),
+            static_cast<uint64_t>(3.0 * prof.meanTrip)));
+        {
+            const double ku = block_rng.nextDouble();
+            const double p_loop = prof.loopFrac / 3.0;
+            if (ku < prof.indirectFrac) {
+                persona.kind = BlockPersona::Kind::Indirect;
+            } else if (ku < prof.indirectFrac + prof.uncondFrac) {
+                persona.kind = BlockPersona::Kind::Uncond;
+            } else if (ku < prof.indirectFrac + prof.uncondFrac + p_loop) {
+                persona.kind = BlockPersona::Kind::LoopTail;
+            } else {
+                persona.kind = BlockPersona::Kind::Cond;
+            }
+        }
+
+        // ---- block body ----
+        for (uint32_t slot = 0;
+             slot < persona.bodyLen && emitted < target_count;
+             ++slot, ++emitted) {
+            Instruction instr;
+            instr.pc = kCodeBase
+                + (static_cast<uint64_t>(st.curBlock) * prof.blockCapacity
+                   + slot) * 4;
+
+            // Opcode class is a static property of the slot.
+            InstrType type;
+            const double u = block_rng.nextDouble();
+            if (u < prof.fracLoad) {
+                type = InstrType::Load;
+            } else if (u < prof.fracLoad + prof.fracStore) {
+                type = InstrType::Store;
+            } else if (block_rng.nextBool(prof.fracFp)) {
+                type = block_rng.nextBool(prof.fracDivOfFp)
+                    ? InstrType::FpDiv : InstrType::FpAlu;
+            } else if (block_rng.nextBool(prof.fracMulDiv)) {
+                type = block_rng.nextBool(0.15)
+                    ? InstrType::IntDiv : InstrType::IntMul;
+            } else {
+                type = InstrType::IntAlu;
+            }
+            // Memory role and stream binding are also static: a given
+            // static load walks one stream with one stride.
+            const double role_u = block_rng.nextDouble();
+            const uint64_t slot_key = instr.pc;
+
+            // Barriers are rare dynamic events, not static slots.
+            if (isb_prob > 0 && rng.nextBool(isb_prob))
+                type = InstrType::Isb;
+
+            instr.type = type;
+            const int64_t self = base + static_cast<int64_t>(emitted);
+
+            switch (type) {
+              case InstrType::Load: {
+                const double m = role_u;
+                const PhaseProfile &ph = phase;
+                if (m < ph.seqFrac) {
+                    // Sequential element streams: 8-byte elements, so most
+                    // accesses hit the line fetched by the previous ones.
+                    instr.memAddr = stream_addr(kSeqBase, slot_key, 8);
+                    instr.srcDeps[0] = pick_producer(prof.depMeanDist);
+                } else if (m < ph.seqFrac + ph.strideFrac) {
+                    instr.memAddr = stream_addr(
+                        kStrideBase, slot_key,
+                        std::max<uint64_t>(64, ph.strideBytes));
+                    instr.srcDeps[0] = pick_producer(prof.depMeanDist);
+                } else if (m < ph.seqFrac + ph.strideFrac + ph.chaseFrac) {
+                    st.chaseState = hashMix(st.chaseState, 0xC4A5EULL);
+                    const uint64_t rank = st.chaseState % ws_lines;
+                    instr.memAddr = kWsBase
+                        + (hashMix(seed ^ 0xDA7Au, rank, 1) % ws_lines) * 64;
+                    // The defining property of a chase: the address depends
+                    // on the previous chase load's value.
+                    if (st.lastChase >= 0) {
+                        instr.srcDeps[0] =
+                            static_cast<int32_t>(st.lastChase);
+                    }
+                    st.lastChase = self;
+                } else if (m < ph.seqFrac + ph.strideFrac + ph.chaseFrac
+                               + ph.forwardFrac
+                           && st.numStores > 0) {
+                    const size_t pick = rng.nextBounded(
+                        std::min(st.numStores, kStoreRing));
+                    const size_t slot_ix =
+                        (st.numStores - 1 - pick) % kStoreRing;
+                    instr.memAddr = st.storeAddr[slot_ix];
+                    instr.memDep =
+                        static_cast<int32_t>(st.storeIdx[slot_ix]);
+                    instr.srcDeps[0] = pick_producer(prof.depMeanDist);
+                } else {
+                    instr.memAddr = kWsBase + random_ws_line(2) * 64;
+                    instr.srcDeps[0] = pick_producer(prof.depMeanDist);
+                }
+                record_producer(self);
+                break;
+              }
+              case InstrType::Store: {
+                if (role_u < phase.storeSeqFrac) {
+                    instr.memAddr = stream_addr(kWriteBase, slot_key, 8);
+                } else {
+                    instr.memAddr = kWsBase + random_ws_line(3) * 64;
+                }
+                instr.srcDeps[0] = pick_producer(prof.depMeanDist);
+                if (rng.nextBool(prof.secondSrcProb))
+                    instr.srcDeps[1] = pick_producer(prof.depMeanDist);
+                st.storeIdx[st.numStores % kStoreRing] = self;
+                st.storeAddr[st.numStores % kStoreRing] = instr.memAddr;
+                ++st.numStores;
+                break;
+              }
+              case InstrType::Isb:
+                break;
+              default: {
+                instr.srcDeps[0] = pick_producer(prof.depMeanDist);
+                if (rng.nextBool(prof.secondSrcProb))
+                    instr.srcDeps[1] = pick_producer(prof.depMeanDist);
+                record_producer(self);
+                break;
+              }
+            }
+            out.push_back(instr);
+        }
+        if (emitted >= target_count)
+            break;
+
+        // ---- terminating branch ----
+        Instruction br;
+        br.type = InstrType::Branch;
+        br.pc = kCodeBase
+            + (static_cast<uint64_t>(st.curBlock) * prof.blockCapacity
+               + persona.bodyLen) * 4;
+        // Branch resolution waits on a recent producer.
+        br.srcDeps[0] = pick_producer(3.0);
+
+        uint32_t next_block;
+        const uint32_t linear_next = (st.curBlock + 1) % prof.numBlocks;
+        const uint32_t hot = std::max<uint32_t>(
+            2, static_cast<uint32_t>(prof.hotGroupFrac * prof.numBlocks));
+
+        if (st.loopActive && st.curBlock == st.loopTail) {
+            // Active loop back-edge: taken while iterations remain. On
+            // exit, hop past the immediate successor occasionally so
+            // adjacent loop families do not recapture control forever.
+            br.branchKind = BranchKind::DirectCond;
+            --st.tripsLeft;
+            br.taken = st.tripsLeft > 0;
+            if (br.taken) {
+                next_block = st.loopHead;
+            } else {
+                next_block = (st.curBlock + 1
+                              + static_cast<uint32_t>(rng.nextBounded(2)))
+                    % prof.numBlocks;
+                st.loopActive = false;
+            }
+        } else {
+            switch (persona.kind) {
+              case BlockPersona::Kind::Indirect: {
+                br.branchKind = BranchKind::Indirect;
+                br.taken = true;
+                // Indirect targets repeat with temporal locality, like
+                // interpreter dispatch: hard but not hopeless to predict.
+                // Each site's default target is a static property, so a
+                // site revisited across chunks stays predictable.
+                const auto static_target = static_cast<uint16_t>(
+                    hashMix(seed, st.curBlock, 0x7A26E7ULL)
+                    % std::max(1, prof.indirectTargets));
+                auto [it, inserted] = st.lastIndirect.try_emplace(
+                    st.curBlock, static_target);
+                if (!rng.nextBool(prof.indirectRepeat)) {
+                    it->second = static_cast<uint16_t>(rng.nextZipf(
+                        std::max(1, prof.indirectTargets),
+                        prof.indirectZipf));
+                }
+                br.targetId = it->second;
+                // Dispatch within the neighborhood (handler locality).
+                next_block = static_cast<uint32_t>(
+                    (st.curBlock
+                     + hashMix(seed, st.curBlock, br.targetId + 17) % hot
+                     + 1)
+                    % prof.numBlocks);
+                st.loopActive = false;
+                break;
+              }
+              case BlockPersona::Kind::Uncond: {
+                br.branchKind = BranchKind::DirectUncond;
+                br.taken = true;
+                if (rng.nextBool(prof.coldJumpProb)) {
+                    next_block = static_cast<uint32_t>(
+                        rng.nextBounded(prof.numBlocks));
+                } else {
+                    next_block = (st.curBlock
+                                  + 1
+                                  + static_cast<uint32_t>(
+                                      rng.nextBounded(hot)))
+                        % prof.numBlocks;
+                }
+                st.loopActive = false;
+                break;
+              }
+              case BlockPersona::Kind::LoopTail: {
+                br.branchKind = BranchKind::DirectCond;
+                // Deterministic periodic loop entry (2 of 3 visits): a
+                // tail reached right after exiting often falls through,
+                // which keeps loop families from trapping control flow --
+                // and the period is history-predictable, like real
+                // enclosing iteration patterns.
+                const uint32_t visit = st.loopVisits[st.curBlock]++;
+                if (visit % 3 == 2) {
+                    br.taken = false;
+                    next_block = linear_next;
+                    break;
+                }
+                st.loopActive = true;
+                st.loopTail = st.curBlock;
+                st.loopHead = (st.curBlock + prof.numBlocks
+                               - persona.loopLen) % prof.numBlocks;
+                // Trips: stable per block with mild jitter, so TAGE can
+                // learn the exit of short loops.
+                st.tripsLeft = persona.baseTrips;
+                if (rng.nextBool(0.2))
+                    st.tripsLeft += rng.nextRange(-1, 1);
+                if (st.tripsLeft < 1)
+                    st.tripsLeft = 1;
+                --st.tripsLeft;
+                br.taken = st.tripsLeft > 0;
+                next_block = br.taken ? st.loopHead : linear_next;
+                if (!br.taken)
+                    st.loopActive = false;
+                break;
+              }
+              case BlockPersona::Kind::Cond:
+              default: {
+                br.branchKind = BranchKind::DirectCond;
+                br.taken = persona.randomBranch
+                    ? rng.nextBool(0.5) : rng.nextBool(persona.bias);
+                // Taken conditionals skip a block or two forward.
+                next_block = br.taken
+                    ? (st.curBlock + 1
+                       + static_cast<uint32_t>(rng.nextBounded(2) + 1))
+                      % prof.numBlocks
+                    : linear_next;
+                break;
+              }
+            }
+        }
+
+        out.push_back(br);
+        ++emitted;
+        st.curBlock = next_block;
+    }
+}
+
+} // namespace concorde

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Synthetic program model: deterministic, seeded generation of dynamic
+ * instruction traces with controllable instruction mix, dependency
+ * structure, memory-access behavior (streams, strided, random working set,
+ * pointer chasing, store-to-load forwarding), branch behavior (loops,
+ * biased and random conditionals, indirect branches), code footprint, and
+ * phase structure.
+ *
+ * This substitutes for the paper's DynamoRIO traces of proprietary / cloud /
+ * open / SPEC2017 programs (Table 2). Traces are never stored: a trace is a
+ * sequence of fixed-size chunks, and every chunk is a pure function of
+ * (program seed, trace id, chunk index), so regions of any length can be
+ * materialized from any chunk-aligned offset in O(length).
+ */
+
+#ifndef CONCORDE_TRACE_PROGRAM_MODEL_HH
+#define CONCORDE_TRACE_PROGRAM_MODEL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/instruction.hh"
+
+namespace concorde
+{
+
+/** Instructions per generation chunk; regions are chunk-aligned. */
+constexpr uint32_t kChunkLen = 2048;
+
+/**
+ * One memory-behavior phase. A program cycles deterministically through its
+ * phases as a function of chunk index, reproducing the phase behavior that
+ * Figure 17 of the paper highlights.
+ */
+struct PhaseProfile
+{
+    double seqFrac = 0.25;      ///< loads from sequential (line) streams
+    double strideFrac = 0.0;    ///< loads from strided streams
+    double chaseFrac = 0.0;     ///< dependent pointer-chase loads
+    double forwardFrac = 0.05;  ///< loads reading a recent store (forwarding)
+    // remaining loads: random accesses within the working set
+    uint64_t wsBytes = 1 << 20; ///< random/chase working-set size
+    double wsZipf = 0.6;        ///< skew of random WS accesses
+    int strideBytes = 256;      ///< stride of strided streams
+    double storeSeqFrac = 0.5;  ///< stores to write streams vs random WS
+};
+
+/** Full workload profile: one per Table-2 program. */
+struct WorkloadProfile
+{
+    std::string name;           ///< e.g. "S1.505.mcf_r"
+    std::string group;          ///< Proprietary / Cloud / Open / SPEC2017
+
+    // Instruction mix (fractions of non-branch body instructions).
+    double fracLoad = 0.25;
+    double fracStore = 0.10;
+    double fracFp = 0.05;       ///< of ALU-ish instructions, share that is FP
+    double fracMulDiv = 0.05;   ///< of int ALU instructions, share mul/div
+    double fracDivOfFp = 0.1;   ///< of FP instructions, share that is FpDiv
+    double isbPer1k = 0.0;      ///< barriers per 1000 instructions
+
+    // Dependency structure.
+    double depMeanDist = 6.0;   ///< geometric mean distance (in producers)
+    double secondSrcProb = 0.4;
+
+    // Branch behavior.
+    double branchEvery = 8.0;   ///< mean basic-block length (instructions)
+    double loopFrac = 0.55;     ///< branches that are loop back-edges
+    double meanTrip = 12.0;     ///< mean loop trip count
+    double condBias = 0.85;     ///< taken-bias of plain conditionals
+    double condRandomFrac = 0.1;///< conditionals with 50/50 outcomes
+    double uncondFrac = 0.10;   ///< direct unconditional (calls/jumps)
+    double indirectFrac = 0.02; ///< indirect branches
+    int indirectTargets = 4;    ///< fan-out of indirect branches
+    double indirectZipf = 0.9;  ///< skew of indirect target selection
+    double indirectRepeat = 0.65; ///< probability the last target repeats
+
+    // Code footprint.
+    uint32_t numBlocks = 128;   ///< basic blocks in the binary
+    uint32_t blockCapacity = 16;///< max instructions per static block
+    double hotGroupFrac = 0.25; ///< fraction of blocks forming the hot set
+    double coldJumpProb = 0.04; ///< probability a control transfer leaves
+                                ///< the hot set (instruction-cache pressure)
+
+    // Phases.
+    std::vector<PhaseProfile> phases{PhaseProfile{}};
+    uint32_t chunksPerPhase = 32;
+};
+
+/** Identifies a region of a program trace (chunk granularity). */
+struct RegionSpec
+{
+    int programId = 0;      ///< index into the workload corpus
+    int traceId = 0;        ///< which trace of the program
+    uint64_t startChunk = 0;
+    uint32_t numChunks = 8; ///< region length = numChunks * kChunkLen
+
+    uint64_t numInstructions() const
+    {
+        return static_cast<uint64_t>(numChunks) * kChunkLen;
+    }
+    uint64_t startInstr() const { return startChunk * kChunkLen; }
+};
+
+/**
+ * Generator for a single program. Stateless between calls: chunk content is
+ * fully determined by (seed, traceId, chunkIndex).
+ */
+class ProgramModel
+{
+  public:
+    ProgramModel(WorkloadProfile profile, uint64_t seed);
+
+    const WorkloadProfile &profile() const { return prof; }
+
+    /** Phase index active during a given chunk. */
+    size_t phaseOf(uint64_t chunk_index) const;
+
+    /**
+     * Append exactly kChunkLen instructions for the given chunk.
+     * Dependency indices are relative to `base` (the index the chunk's
+     * first instruction will occupy in the caller's vector).
+     */
+    void generateChunk(int trace_id, uint64_t chunk_index,
+                       std::vector<Instruction> &out, int64_t base) const;
+
+    /** Materialize a contiguous region (numChunks chunks from startChunk). */
+    std::vector<Instruction> generateRegion(const RegionSpec &spec) const;
+
+  private:
+    WorkloadProfile prof;
+    uint64_t seed;
+};
+
+} // namespace concorde
+
+#endif // CONCORDE_TRACE_PROGRAM_MODEL_HH

@@ -1,0 +1,295 @@
+#include "uarch/params.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace concorde
+{
+
+UarchParams
+UarchParams::armN1()
+{
+    UarchParams p;           // defaults are the N1 column of Table 1
+    p.branch.type = BranchConfig::Type::Tage;
+    p.memory.l1dKb = 64;
+    p.memory.l1iKb = 64;
+    p.memory.l2Kb = 1024;
+    p.memory.prefetchDegree = 0;
+    return p;
+}
+
+UarchParams
+UarchParams::bigCore()
+{
+    UarchParams p;
+    p.robSize = 1024;
+    p.commitWidth = 12;
+    p.lqSize = 256;
+    p.sqSize = 256;
+    p.aluWidth = 8;
+    p.fpWidth = 8;
+    p.lsWidth = 8;
+    p.lsPipes = 8;
+    p.loadPipes = 8;
+    p.fetchWidth = 12;
+    p.decodeWidth = 12;
+    p.renameWidth = 12;
+    p.fetchBuffers = 8;
+    p.maxIcacheFills = 32;
+    p.branch.type = BranchConfig::Type::Simple;
+    p.branch.simpleMispredictPct = 0;   // perfect branch prediction
+    p.memory.l1dKb = 256;
+    p.memory.l1iKb = 256;
+    p.memory.l2Kb = 4096;
+    p.memory.prefetchDegree = 4;
+    return p;
+}
+
+UarchParams
+UarchParams::sampleRandom(Rng &rng)
+{
+    UarchParams p;
+    for (const auto &info : paramTable()) {
+        const auto values = sweepValues(info.id, /*quantized=*/false);
+        p.set(info.id, values[rng.nextBounded(values.size())]);
+    }
+    return p;
+}
+
+int64_t
+UarchParams::get(ParamId id) const
+{
+    switch (id) {
+      case ParamId::RobSize: return robSize;
+      case ParamId::CommitWidth: return commitWidth;
+      case ParamId::LqSize: return lqSize;
+      case ParamId::SqSize: return sqSize;
+      case ParamId::AluWidth: return aluWidth;
+      case ParamId::FpWidth: return fpWidth;
+      case ParamId::LsWidth: return lsWidth;
+      case ParamId::LsPipes: return lsPipes;
+      case ParamId::LoadPipes: return loadPipes;
+      case ParamId::FetchWidth: return fetchWidth;
+      case ParamId::DecodeWidth: return decodeWidth;
+      case ParamId::RenameWidth: return renameWidth;
+      case ParamId::FetchBuffers: return fetchBuffers;
+      case ParamId::MaxIcacheFills: return maxIcacheFills;
+      case ParamId::BranchPredictor:
+        return branch.type == BranchConfig::Type::Tage ? 1 : 0;
+      case ParamId::SimpleMispredictPct: return branch.simpleMispredictPct;
+      case ParamId::L1dSize: return memory.l1dKb;
+      case ParamId::L1iSize: return memory.l1iKb;
+      case ParamId::L2Size: return memory.l2Kb;
+      case ParamId::PrefetchDegree: return memory.prefetchDegree;
+      default: panic("bad ParamId %d", static_cast<int>(id));
+    }
+}
+
+void
+UarchParams::set(ParamId id, int64_t value)
+{
+    const int v = static_cast<int>(value);
+    switch (id) {
+      case ParamId::RobSize: robSize = v; break;
+      case ParamId::CommitWidth: commitWidth = v; break;
+      case ParamId::LqSize: lqSize = v; break;
+      case ParamId::SqSize: sqSize = v; break;
+      case ParamId::AluWidth: aluWidth = v; break;
+      case ParamId::FpWidth: fpWidth = v; break;
+      case ParamId::LsWidth: lsWidth = v; break;
+      case ParamId::LsPipes: lsPipes = v; break;
+      case ParamId::LoadPipes: loadPipes = v; break;
+      case ParamId::FetchWidth: fetchWidth = v; break;
+      case ParamId::DecodeWidth: decodeWidth = v; break;
+      case ParamId::RenameWidth: renameWidth = v; break;
+      case ParamId::FetchBuffers: fetchBuffers = v; break;
+      case ParamId::MaxIcacheFills: maxIcacheFills = v; break;
+      case ParamId::BranchPredictor:
+        branch.type = v ? BranchConfig::Type::Tage
+                        : BranchConfig::Type::Simple;
+        break;
+      case ParamId::SimpleMispredictPct:
+        branch.simpleMispredictPct = v;
+        break;
+      case ParamId::L1dSize: memory.l1dKb = static_cast<uint32_t>(v); break;
+      case ParamId::L1iSize: memory.l1iKb = static_cast<uint32_t>(v); break;
+      case ParamId::L2Size: memory.l2Kb = static_cast<uint32_t>(v); break;
+      case ParamId::PrefetchDegree: memory.prefetchDegree = v; break;
+      default: panic("bad ParamId %d", static_cast<int>(id));
+    }
+}
+
+std::string
+UarchParams::toString() const
+{
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "rob=%d commit=%d lq=%d sq=%d alu=%d fp=%d ls=%d "
+                  "lsp=%d lp=%d fetch=%d decode=%d rename=%d fbuf=%d "
+                  "ifills=%d bp=%s(%d%%) l1d=%uk l1i=%uk l2=%uk pf=%d",
+                  robSize, commitWidth, lqSize, sqSize, aluWidth, fpWidth,
+                  lsWidth, lsPipes, loadPipes, fetchWidth, decodeWidth,
+                  renameWidth, fetchBuffers, maxIcacheFills,
+                  branch.type == BranchConfig::Type::Tage ? "TAGE"
+                                                          : "Simple",
+                  branch.simpleMispredictPct, memory.l1dKb, memory.l1iKb,
+                  memory.l2Kb, memory.prefetchDegree);
+    return buf;
+}
+
+bool
+UarchParams::operator==(const UarchParams &o) const
+{
+    for (int i = 0; i < kNumParams; ++i) {
+        const auto id = static_cast<ParamId>(i);
+        if (get(id) != o.get(id))
+            return false;
+    }
+    return true;
+}
+
+const std::vector<ParamInfo> &
+paramTable()
+{
+    static const std::vector<ParamInfo> table = {
+        {ParamId::RobSize, "ROB size", 1, 1024, 1024},
+        {ParamId::CommitWidth, "Commit width", 1, 12, 12},
+        {ParamId::LqSize, "Load queue size", 1, 256, 256},
+        {ParamId::SqSize, "Store queue size", 1, 256, 256},
+        {ParamId::AluWidth, "ALU issue width", 1, 8, 8},
+        {ParamId::FpWidth, "Floating-point issue width", 1, 8, 8},
+        {ParamId::LsWidth, "Load-store issue width", 1, 8, 8},
+        {ParamId::LsPipes, "Number of load-store pipes", 1, 8, 8},
+        {ParamId::LoadPipes, "Number of load pipes", 0, 8, 9},
+        {ParamId::FetchWidth, "Fetch width", 1, 12, 12},
+        {ParamId::DecodeWidth, "Decode width", 1, 12, 12},
+        {ParamId::RenameWidth, "Rename width", 1, 12, 12},
+        {ParamId::FetchBuffers, "Number of fetch buffers", 1, 8, 8},
+        {ParamId::MaxIcacheFills, "Maximum I-cache fills", 1, 32, 32},
+        {ParamId::BranchPredictor, "Branch predictor", 0, 1, 2},
+        {ParamId::SimpleMispredictPct, "Percent misprediction (Simple BP)",
+         0, 100, 101},
+        {ParamId::L1dSize, "L1d cache size (kB)", 16, 256, 5},
+        {ParamId::L1iSize, "L1i cache size (kB)", 16, 256, 5},
+        {ParamId::L2Size, "L2 cache size (kB)", 512, 4096, 4},
+        {ParamId::PrefetchDegree, "L1d stride prefetcher degree", 0, 4, 2},
+    };
+    return table;
+}
+
+std::vector<int64_t>
+sweepValues(ParamId id, bool quantized)
+{
+    auto dense = [](int64_t lo, int64_t hi) {
+        std::vector<int64_t> v;
+        for (int64_t x = lo; x <= hi; ++x)
+            v.push_back(x);
+        return v;
+    };
+    auto pow2 = [](int64_t lo, int64_t hi) {
+        std::vector<int64_t> v;
+        for (int64_t x = lo; x <= hi; x *= 2)
+            v.push_back(x);
+        return v;
+    };
+
+    switch (id) {
+      case ParamId::RobSize:
+        return quantized ? pow2(1, 1024) : dense(1, 1024);
+      case ParamId::LqSize:
+      case ParamId::SqSize:
+        return quantized ? pow2(1, 256) : dense(1, 256);
+      case ParamId::CommitWidth:
+      case ParamId::FetchWidth:
+      case ParamId::DecodeWidth:
+      case ParamId::RenameWidth:
+        return dense(1, 12);
+      case ParamId::AluWidth:
+      case ParamId::FpWidth:
+      case ParamId::LsWidth:
+      case ParamId::LsPipes:
+      case ParamId::FetchBuffers:
+        return dense(1, 8);
+      case ParamId::LoadPipes:
+        return dense(0, 8);
+      case ParamId::MaxIcacheFills:
+        return quantized ? pow2(1, 32) : dense(1, 32);
+      case ParamId::BranchPredictor:
+        return {0, 1};
+      case ParamId::SimpleMispredictPct:
+        if (quantized) {
+            std::vector<int64_t> v;
+            for (int64_t x = 0; x <= 100; x += 5)
+                v.push_back(x);
+            return v;
+        }
+        return dense(0, 100);
+      case ParamId::L1dSize:
+      case ParamId::L1iSize:
+        return {16, 32, 64, 128, 256};
+      case ParamId::L2Size:
+        return {512, 1024, 2048, 4096};
+      case ParamId::PrefetchDegree:
+        return {0, 4};
+      default:
+        panic("bad ParamId %d", static_cast<int>(id));
+    }
+}
+
+double
+designSpaceSize(bool quantized)
+{
+    double total = 1.0;
+    for (const auto &info : paramTable())
+        total *= static_cast<double>(sweepValues(info.id, quantized).size());
+    return total;
+}
+
+void
+encodeParams(const UarchParams &params, std::vector<float> &out)
+{
+    auto log_norm = [](int64_t v, int64_t max_v) {
+        return static_cast<float>(std::log2(static_cast<double>(v) + 1.0)
+                                  / std::log2(static_cast<double>(max_v)
+                                              + 1.0));
+    };
+    auto lin_norm = [](int64_t v, int64_t max_v) {
+        return static_cast<float>(static_cast<double>(v)
+                                  / static_cast<double>(max_v));
+    };
+
+    // 18 scalar parameters (branch type and prefetch state are one-hot).
+    out.push_back(log_norm(params.robSize, 1024));
+    out.push_back(lin_norm(params.commitWidth, 12));
+    out.push_back(log_norm(params.lqSize, 256));
+    out.push_back(log_norm(params.sqSize, 256));
+    out.push_back(lin_norm(params.aluWidth, 8));
+    out.push_back(lin_norm(params.fpWidth, 8));
+    out.push_back(lin_norm(params.lsWidth, 8));
+    out.push_back(lin_norm(params.lsPipes, 8));
+    out.push_back(lin_norm(params.loadPipes, 8));
+    out.push_back(lin_norm(params.fetchWidth, 12));
+    out.push_back(lin_norm(params.decodeWidth, 12));
+    out.push_back(lin_norm(params.renameWidth, 12));
+    out.push_back(lin_norm(params.fetchBuffers, 8));
+    out.push_back(log_norm(params.maxIcacheFills, 32));
+    const bool simple = params.branch.type == BranchConfig::Type::Simple;
+    out.push_back(simple
+                  ? lin_norm(params.branch.simpleMispredictPct, 100)
+                  : 0.0f);
+    out.push_back(log_norm(params.memory.l1dKb, 256));
+    out.push_back(log_norm(params.memory.l1iKb, 256));
+    out.push_back(log_norm(params.memory.l2Kb, 4096));
+
+    // One-hot: branch predictor type.
+    out.push_back(simple ? 1.0f : 0.0f);
+    out.push_back(simple ? 0.0f : 1.0f);
+    // One-hot: prefetcher state.
+    const bool pf = params.memory.prefetchDegree > 0;
+    out.push_back(pf ? 0.0f : 1.0f);
+    out.push_back(pf ? 1.0f : 0.0f);
+}
+
+} // namespace concorde

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * The 20-parameter microarchitecture design space of Table 1, with the
+ * ARM-N1-based core, the "big core" attribution baseline (Section 6),
+ * uniform random sampling, sweep grids, and the MLP parameter encoding.
+ */
+
+#ifndef CONCORDE_UARCH_PARAMS_HH
+#define CONCORDE_UARCH_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "branch/predictor.hh"
+#include "common/rng.hh"
+#include "memory/hierarchy.hh"
+
+namespace concorde
+{
+
+/** Identifier for each of the 20 Table-1 parameters. */
+enum class ParamId : int
+{
+    RobSize = 0,
+    CommitWidth,
+    LqSize,
+    SqSize,
+    AluWidth,
+    FpWidth,
+    LsWidth,
+    LsPipes,
+    LoadPipes,
+    FetchWidth,
+    DecodeWidth,
+    RenameWidth,
+    FetchBuffers,
+    MaxIcacheFills,
+    BranchPredictor,
+    SimpleMispredictPct,
+    L1dSize,
+    L1iSize,
+    L2Size,
+    PrefetchDegree,
+    NumParams,
+};
+
+constexpr int kNumParams = static_cast<int>(ParamId::NumParams);
+
+/** One microarchitecture design point (the paper's p-vector). */
+struct UarchParams
+{
+    int robSize = 128;          ///< 1..1024
+    int commitWidth = 8;        ///< 1..12
+    int lqSize = 12;            ///< 1..256
+    int sqSize = 18;            ///< 1..256
+    int aluWidth = 3;           ///< 1..8
+    int fpWidth = 2;            ///< 1..8
+    int lsWidth = 2;            ///< 1..8
+    int lsPipes = 2;            ///< 1..8
+    int loadPipes = 0;          ///< 0..8
+    int fetchWidth = 4;         ///< 1..12
+    int decodeWidth = 4;        ///< 1..12
+    int renameWidth = 4;        ///< 1..12
+    int fetchBuffers = 1;       ///< 1..8
+    int maxIcacheFills = 8;     ///< 1..32
+    BranchConfig branch;
+    MemoryConfig memory;
+
+    /** The ARM N1 design point of Table 1. */
+    static UarchParams armN1();
+
+    /**
+     * The "big core" attribution baseline (Section 6): every parameter at
+     * its maximum, perfect branch prediction (Simple @ 0%), prefetch on.
+     */
+    static UarchParams bigCore();
+
+    /** Independent uniform draw from every Table-1 range. */
+    static UarchParams sampleRandom(Rng &rng);
+
+    /** Generic accessors used by the Shapley engine and encoders. */
+    int64_t get(ParamId id) const;
+    void set(ParamId id, int64_t value);
+
+    /** Human-readable one-line summary. */
+    std::string toString() const;
+
+    bool operator==(const UarchParams &o) const;
+};
+
+/** Metadata for one parameter. */
+struct ParamInfo
+{
+    ParamId id;
+    const char *name;
+    int64_t minValue;
+    int64_t maxValue;
+    int64_t cardinality;    ///< number of legal values
+};
+
+/** Stable table of all 20 parameters. */
+const std::vector<ParamInfo> &paramTable();
+
+/**
+ * Sweep grid for one parameter. Quantized grids use powers of two for
+ * the large ranges (ROB, LQ, SQ), matching Section 5.2.3's quantization.
+ */
+std::vector<int64_t> sweepValues(ParamId id, bool quantized);
+
+/** Total number of parameter combinations (~2.2e23 full, 1.8e18 quantized). */
+double designSpaceSize(bool quantized);
+
+/**
+ * Encode a design point for the ML model: 18 scalars normalized to [0, 1]
+ * (log-scaled for the size-like parameters) + one-hot(2) branch-predictor
+ * type + one-hot(2) prefetcher state = 22 values.
+ */
+void encodeParams(const UarchParams &params, std::vector<float> &out);
+
+/** Number of values produced by encodeParams. */
+constexpr size_t kParamEncodingDim = 22;
+
+} // namespace concorde
+
+#endif // CONCORDE_UARCH_PARAMS_HH

@@ -1,0 +1,330 @@
+/**
+ * @file
+ * Tests for the cache model, hierarchy, prefetcher, and timing memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hh"
+#include "memory/cache.hh"
+#include "memory/hierarchy.hh"
+#include "memory/prefetcher.hh"
+#include "memory/timing_memory.hh"
+
+namespace concorde
+{
+namespace
+{
+
+TEST(Cache, HitAfterFill)
+{
+    Cache cache(16 * 1024, 4);
+    EXPECT_FALSE(cache.lookup(100));
+    EXPECT_FALSE(cache.access(100, false));
+    EXPECT_TRUE(cache.lookup(100));
+    EXPECT_TRUE(cache.access(100, false));
+}
+
+TEST(Cache, DirectMappedConflict)
+{
+    Cache cache(64 * 64, 1);    // 64 sets, direct mapped
+    EXPECT_FALSE(cache.access(0, false));
+    EXPECT_FALSE(cache.access(64, false));  // same set, evicts line 0
+    EXPECT_FALSE(cache.lookup(0));
+    EXPECT_TRUE(cache.lookup(64));
+}
+
+TEST(Cache, PlruProtectsRecentlyUsed)
+{
+    Cache cache(4 * 64, 4);     // one set, 4 ways
+    for (uint64_t line = 0; line < 4; ++line)
+        cache.access(line, false);
+    // Touch line 0 (most recent), then insert a new line.
+    EXPECT_TRUE(cache.access(0, false));
+    cache.access(10, false);
+    EXPECT_TRUE(cache.lookup(0)) << "MRU line must survive";
+    EXPECT_TRUE(cache.lookup(10));
+}
+
+TEST(Cache, PlruEvictsApproximateLru)
+{
+    Cache cache(4 * 64, 4);
+    for (uint64_t line = 0; line < 4; ++line)
+        cache.access(line, false);
+    // Touch 1, 2, 3: line 0 becomes the PLRU victim.
+    cache.access(1, false);
+    cache.access(2, false);
+    cache.access(3, false);
+    cache.access(20, false);
+    EXPECT_FALSE(cache.lookup(0));
+}
+
+TEST(Cache, DirtyEvictionReported)
+{
+    Cache cache(64, 1);         // one line total
+    bool dirty = false;
+    cache.fill(1, true, dirty);
+    EXPECT_FALSE(dirty);
+    const uint64_t victim = cache.fill(2, false, dirty);
+    EXPECT_EQ(victim, 1u);
+    EXPECT_TRUE(dirty);
+}
+
+TEST(Cache, InvalidateDropsLine)
+{
+    Cache cache(16 * 1024, 4);
+    cache.access(5, false);
+    cache.invalidate(5);
+    EXPECT_FALSE(cache.lookup(5));
+}
+
+TEST(Cache, FillExistingLineKeepsSingleCopy)
+{
+    Cache cache(4 * 64, 4);
+    bool dirty = false;
+    cache.fill(7, false, dirty);
+    cache.fill(7, true, dirty);
+    // Fill three more; all four coexist => 7 occupied one way only.
+    cache.fill(1, false, dirty);
+    cache.fill(2, false, dirty);
+    cache.fill(3, false, dirty);
+    EXPECT_TRUE(cache.lookup(7));
+    EXPECT_TRUE(cache.lookup(1));
+    EXPECT_TRUE(cache.lookup(2));
+    EXPECT_TRUE(cache.lookup(3));
+}
+
+TEST(Hierarchy, LevelsServeInOrder)
+{
+    MemoryConfig config;
+    DataHierarchy h(config);
+    // Cold access: RAM. Second: L1.
+    EXPECT_EQ(h.access(0x1000, 0x400000, false), CacheLevel::Ram);
+    EXPECT_EQ(h.access(0x1000, 0x400000, false), CacheLevel::L1);
+    EXPECT_EQ(h.stats().ramAccesses, 1u);
+    EXPECT_EQ(h.stats().l1Hits, 1u);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    MemoryConfig config;
+    config.l1dKb = 16;          // 256 lines, 64 sets x 4 ways
+    DataHierarchy h(config);
+    // Fill a set-conflicting series of non-sequential lines.
+    const uint64_t set_stride = 64 * 64;    // same set each time
+    for (int i = 0; i < 8; ++i)
+        h.access(0x1000, 0x1000000 + 2 * i * set_stride, false);
+    // The first line fell out of L1 but must still be in L2.
+    const CacheLevel level = h.access(0x1000, 0x1000000, false);
+    EXPECT_EQ(level, CacheLevel::L2);
+}
+
+TEST(Hierarchy, SequentialStreamsBypassL2Allocation)
+{
+    MemoryConfig config;
+    DataHierarchy h(config);
+    // Pin a hot line into L2 (non-sequential accesses).
+    h.access(0x10, 0x8000000, false);
+    // A long sequential sweep (> L2 capacity) must not evict it.
+    for (uint64_t i = 0; i < (8ULL << 20) / 64; ++i)
+        h.access(0x20, 0x10000000 + i * 64, false);
+    // Evict from L1 by conflict; then the hot line should hit in L2.
+    // (Verify it was not flushed by the stream.)
+    const HierarchyStats before = h.stats();
+    (void)before;
+    // Direct probe: re-access; it may be L1 or L2, never RAM.
+    const CacheLevel level = h.access(0x10, 0x8000000, false);
+    EXPECT_NE(level, CacheLevel::Ram);
+}
+
+TEST(Prefetcher, DetectsConstantStride)
+{
+    StridePrefetcher pf(4);
+    std::vector<uint64_t> out;
+    const uint64_t pc = 0x4444;
+    pf.observe(pc, 1000, out);
+    EXPECT_TRUE(out.empty());
+    pf.observe(pc, 1064, out);
+    pf.observe(pc, 1128, out);
+    pf.observe(pc, 1192, out);      // confidence reached
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], 1192u + 64);
+    EXPECT_EQ(out[3], 1192u + 4 * 64);
+}
+
+TEST(Prefetcher, SubLineStridesCoverNextLines)
+{
+    StridePrefetcher pf(2);
+    std::vector<uint64_t> out;
+    for (int i = 0; i < 8; ++i)
+        pf.observe(0x8, 5000 + i * 8, out);
+    ASSERT_FALSE(out.empty());
+    // Line-granular stepping: first prefetch at least one line ahead.
+    EXPECT_GE(out[0], 5000u + 7 * 8 + 64);
+}
+
+TEST(Prefetcher, DisabledEmitsNothing)
+{
+    StridePrefetcher pf(0);
+    std::vector<uint64_t> out;
+    for (int i = 0; i < 10; ++i)
+        pf.observe(0x8, 1000 + i * 64, out);
+    EXPECT_TRUE(out.empty());
+    EXPECT_FALSE(pf.enabled());
+}
+
+TEST(Prefetcher, RandomAccessesStayQuiet)
+{
+    StridePrefetcher pf(4);
+    std::vector<uint64_t> out;
+    Rng rng(5);
+    size_t total = 0;
+    for (int i = 0; i < 1000; ++i) {
+        pf.observe(0x8, rng.next() % (1 << 30), out);
+        total += out.size();
+    }
+    EXPECT_LT(total, 100u);
+}
+
+TEST(HierarchyPrefetch, StreamBecomesHitsWithPrefetchOn)
+{
+    MemoryConfig off;
+    off.prefetchDegree = 0;
+    MemoryConfig on;
+    on.prefetchDegree = 4;
+    DataHierarchy h_off(off), h_on(on);
+    for (uint64_t i = 0; i < 4000; ++i) {
+        h_off.access(0x100, 0x20000000 + i * 64, false);
+        h_on.access(0x100, 0x20000000 + i * 64, false);
+    }
+    EXPECT_GT(h_on.stats().prefetchesIssued, 1000u);
+    EXPECT_GT(h_on.stats().l1Hits, 4 * h_off.stats().l1Hits);
+}
+
+TEST(InstHierarchy, HitsAfterWarm)
+{
+    MemoryConfig config;
+    InstHierarchy h(config);
+    EXPECT_EQ(h.access(1000), CacheLevel::Ram);
+    EXPECT_EQ(h.access(1001), CacheLevel::Ram);
+    EXPECT_EQ(h.access(1000), CacheLevel::L1);
+}
+
+TEST(TimingMemory, L1HitLatency)
+{
+    MemoryConfig config;
+    TimingMemory mem(config);
+    mem.load(0x10, 0x5000, 0);              // miss, fills
+    const MemResponse resp = mem.load(0x10, 0x5000, 1000);
+    EXPECT_EQ(resp.level, CacheLevel::L1);
+    EXPECT_EQ(resp.readyCycle, 1000u + loadLatency(CacheLevel::L1));
+}
+
+TEST(TimingMemory, SameLineMissesMerge)
+{
+    MemoryConfig config;
+    TimingMemory mem(config);
+    const MemResponse first = mem.load(0x10, 0x765000, 0);
+    EXPECT_GE(first.readyCycle, TimingMemory::kDramLat);
+    const MemResponse second = mem.load(0x20, 0x765008, 1);
+    // Second load to the same in-flight line completes with the first,
+    // never earlier (Algorithm 1's first principle in the ground truth).
+    EXPECT_EQ(second.readyCycle, first.readyCycle);
+}
+
+TEST(TimingMemory, DramBandwidthSpacing)
+{
+    MemoryConfig config;
+    TimingMemory mem(config);
+    uint64_t prev = 0;
+    for (int i = 0; i < 32; ++i) {
+        const MemResponse resp =
+            mem.load(0x10, 0x9000000 + i * 4096, 0);
+        if (i > 0)
+            EXPECT_GE(resp.readyCycle, prev + TimingMemory::kDramGap);
+        prev = resp.readyCycle;
+    }
+}
+
+TEST(TimingMemory, MshrLimitDelaysExcessMisses)
+{
+    MemoryConfig config;
+    TimingMemory mem(config);
+    // More concurrent misses than MSHRs: the tail must wait.
+    uint64_t last = 0;
+    for (int i = 0; i < TimingMemory::kMshrs + 8; ++i)
+        last = mem.load(0x10, 0x9000000 + i * 4096, 0).readyCycle;
+    EXPECT_GT(last, TimingMemory::kDramLat
+              + (TimingMemory::kMshrs + 7) * TimingMemory::kDramGap);
+}
+
+TEST(TimingMemory, InstLineNeedsFillQuery)
+{
+    MemoryConfig config;
+    TimingMemory mem(config);
+    EXPECT_TRUE(mem.instLineNeedsFill(500, 0));
+    const MemResponse resp = mem.fetchLine(500, 0);
+    EXPECT_TRUE(resp.isFill);
+    // While in flight, no new fill is needed.
+    EXPECT_FALSE(mem.instLineNeedsFill(500, resp.readyCycle - 1));
+    // After it lands, it is resident in L1i: still no fill.
+    EXPECT_FALSE(mem.instLineNeedsFill(500, resp.readyCycle + 1));
+}
+
+TEST(TimingMemory, StoresUpdateState)
+{
+    MemoryConfig config;
+    TimingMemory mem(config);
+    mem.store(0x10, 0x345000, 0);
+    const MemResponse resp = mem.load(0x20, 0x345000, 100);
+    EXPECT_EQ(resp.level, CacheLevel::L1);
+}
+
+TEST(MemoryConfig, KeysDistinguishConfigs)
+{
+    const auto d_configs = allDataConfigs();
+    EXPECT_EQ(d_configs.size(), 40u);
+    std::set<uint32_t> keys;
+    for (const auto &config : d_configs)
+        keys.insert(config.dSideKey());
+    EXPECT_EQ(keys.size(), 40u);
+
+    const auto i_configs = allInstConfigs();
+    EXPECT_EQ(i_configs.size(), 20u);
+    std::set<uint32_t> ikeys;
+    for (const auto &config : i_configs)
+        ikeys.insert(config.iSideKey());
+    EXPECT_EQ(ikeys.size(), 20u);
+}
+
+class CacheSizeSweep : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(CacheSizeSweep, BiggerL1NeverHitsLess)
+{
+    // Property: on a zipf-random access stream, a larger L1d yields at
+    // least as many L1 hits.
+    const uint32_t kb = GetParam();
+    if (kb == 16)
+        return;     // compared against the next smaller size
+    MemoryConfig small_cfg, big_cfg;
+    small_cfg.l1dKb = kb / 2;
+    big_cfg.l1dKb = kb;
+    DataHierarchy small_h(small_cfg), big_h(big_cfg);
+    Rng rng(kb);
+    for (int i = 0; i < 40000; ++i) {
+        const uint64_t line = rng.nextZipf(16384, 1.0);
+        small_h.access(0x10, line * 64, false);
+        big_h.access(0x10, line * 64, false);
+    }
+    EXPECT_GE(big_h.stats().l1Hits, small_h.stats().l1Hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CacheSizeSweep,
+                         ::testing::Values(16, 32, 64, 128, 256));
+
+} // anonymous namespace
+} // namespace concorde

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * End-to-end integration tests: features -> ground truth -> training ->
+ * prediction, plus cross-model consistency properties (analytical bound vs
+ * simulator, trained model vs pure-analytical baseline, Shapley on the
+ * real predictor).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/concorde.hh"
+#include "core/dataset.hh"
+#include "core/shapley.hh"
+#include "sim/o3_core.hh"
+
+namespace concorde
+{
+namespace
+{
+
+TEST(Integration, MinBoundIsOptimisticForMostRegions)
+{
+    // The per-window minimum of resource bounds overestimates IPC (i.e.
+    // underestimates CPI) in the vast majority of cases -- it ignores
+    // bottleneck interactions (Section 2).
+    Rng rng(21);
+    int optimistic = 0;
+    const int trials = 10;
+    for (int t = 0; t < trials; ++t) {
+        const RegionSpec spec = sampleRegion(rng, 2);
+        const UarchParams params = UarchParams::sampleRandom(rng);
+        FeatureProvider provider(spec);
+        const double bound_cpi = provider.cpiMinBound(params);
+        const double true_cpi =
+            simulateRegion(params, provider.analysis()).cpi();
+        optimistic += bound_cpi <= true_cpi * 1.05;
+    }
+    EXPECT_GE(optimistic, trials - 2);
+}
+
+TEST(Integration, TrainedModelBeatsAnalyticalMinBound)
+{
+    DatasetConfig config;
+    config.numSamples = 620;
+    config.regionChunks = 2;
+    config.seed = 77;
+    const Dataset data = buildDataset(config);
+
+    // Split 520 train / 100 test.
+    std::vector<size_t> train_idx, test_idx;
+    for (size_t i = 0; i < data.size(); ++i)
+        (i < 520 ? train_idx : test_idx).push_back(i);
+    const Dataset train = data.subset(train_idx);
+    const Dataset test = data.subset(test_idx);
+
+    TrainConfig tc;
+    tc.epochs = 40;
+    TrainedModel model =
+        trainMlp(train.features, train.labels, train.dim, tc);
+
+    double ml_err = 0.0, bound_err = 0.0;
+    for (size_t i = 0; i < test.size(); ++i) {
+        const float pred = model.predict(test.row(i));
+        ml_err += std::abs(pred - test.labels[i]) / test.labels[i];
+        FeatureProvider provider(test.meta[i].region);
+        const double bound = provider.cpiMinBound(test.meta[i].params);
+        bound_err +=
+            std::abs(bound - test.labels[i]) / test.labels[i];
+    }
+    ml_err /= test.size();
+    bound_err /= test.size();
+    EXPECT_LT(ml_err, bound_err)
+        << "ML fusion must beat the raw analytical bound";
+    EXPECT_LT(ml_err, 0.35);
+}
+
+TEST(Integration, ShapleyOnRealPredictorSatisfiesEfficiency)
+{
+    DatasetConfig config;
+    config.numSamples = 120;
+    config.regionChunks = 2;
+    config.seed = 88;
+    const Dataset data = buildDataset(config);
+    TrainConfig tc;
+    tc.epochs = 8;
+    TrainedModel model =
+        trainMlp(data.features, data.labels, data.dim, tc);
+    ConcordePredictor predictor(std::move(model), FeatureConfig{});
+
+    const RegionSpec spec = data.meta[0].region;
+    FeatureProvider provider(spec, FeatureConfig{});
+    auto eval = [&](const UarchParams &p) {
+        return predictor.predictCpi(provider, p);
+    };
+
+    const UarchParams base = UarchParams::bigCore();
+    const UarchParams target = UarchParams::armN1();
+    ShapleyConfig sc;
+    sc.numPermutations = 6;
+    const auto phi = shapleyAttribution(base, target,
+                                        attributionComponents(), eval, sc);
+    double sum = 0.0;
+    for (double v : phi)
+        sum += v;
+    EXPECT_NEAR(sum, eval(target) - eval(base), 1e-6);
+}
+
+TEST(Integration, PredictionRespondsToParameters)
+{
+    // A trained model must prefer the big core to a tiny core on a
+    // compute-bound region (directional sanity of the fused model).
+    DatasetConfig config;
+    config.numSamples = 300;
+    config.regionChunks = 2;
+    config.seed = 99;
+    const Dataset data = buildDataset(config);
+    TrainConfig tc;
+    tc.epochs = 25;
+    TrainedModel model =
+        trainMlp(data.features, data.labels, data.dim, tc);
+    ConcordePredictor predictor(std::move(model), FeatureConfig{});
+
+    RegionSpec spec{programIdByCode("O2"), 0, 4, 2};
+    FeatureProvider provider(spec, FeatureConfig{});
+    UarchParams tiny = UarchParams::armN1();
+    tiny.robSize = 8;
+    tiny.aluWidth = 1;
+    tiny.fetchWidth = 1;
+    tiny.decodeWidth = 1;
+    tiny.renameWidth = 1;
+    tiny.commitWidth = 1;
+    const double big_cpi =
+        predictor.predictCpi(provider, UarchParams::bigCore());
+    const double tiny_cpi = predictor.predictCpi(provider, tiny);
+    EXPECT_LT(big_cpi, tiny_cpi);
+}
+
+TEST(Integration, ExecRatioCorrelatesWithMemoryIntensity)
+{
+    // The Figure-11 diagnostic: timing-dependent memory behavior makes
+    // actual load latencies deviate from trace-analysis estimates; the
+    // ratio must be finite and positive everywhere.
+    DatasetConfig config;
+    config.numSamples = 24;
+    config.regionChunks = 2;
+    config.seed = 111;
+    const Dataset data = buildDataset(config);
+    for (const auto &meta : data.meta) {
+        EXPECT_GT(meta.execRatio, 0.05f);
+        EXPECT_LT(meta.execRatio, 50.0f);
+    }
+}
+
+} // anonymous namespace
+} // namespace concorde

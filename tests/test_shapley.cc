@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Tests for the Shapley attribution engine (Section 6): the classical
+ * axioms (efficiency, symmetry, dummy), exactness on additive functions,
+ * and the order-dependence of naive ablations that Figure 15 illustrates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/shapley.hh"
+
+namespace concorde
+{
+namespace
+{
+
+std::vector<ShapleyComponent>
+firstComponents(size_t d)
+{
+    const auto &all = attributionComponents();
+    return {all.begin(), all.begin() + d};
+}
+
+/** 1 if the component's first param is at its target value. */
+double
+indicator(const UarchParams &p, const UarchParams &target,
+          const ShapleyComponent &component)
+{
+    return p.get(component.params[0]) == target.get(component.params[0])
+        ? 1.0 : 0.0;
+}
+
+TEST(Components, CoverAllTwentyParamsOnce)
+{
+    std::set<ParamId> seen;
+    for (const auto &component : attributionComponents()) {
+        for (ParamId id : component.params) {
+            EXPECT_TRUE(seen.insert(id).second)
+                << "param " << static_cast<int>(id) << " repeated";
+        }
+    }
+    EXPECT_EQ(seen.size(), static_cast<size_t>(kNumParams));
+    EXPECT_EQ(attributionComponents().size(), 17u);
+}
+
+TEST(Shapley, AdditiveFunctionIsExact)
+{
+    // f = sum of independent per-component contributions: Shapley values
+    // equal the contributions exactly, even with few sampled permutations.
+    const auto components = firstComponents(5);
+    const UarchParams base = UarchParams::bigCore();
+    const UarchParams target = UarchParams::armN1();
+    const std::vector<double> weights = {1.0, -2.0, 0.5, 3.0, 0.25};
+
+    auto eval = [&](const UarchParams &p) {
+        double acc = 10.0;
+        for (size_t i = 0; i < components.size(); ++i)
+            acc += weights[i] * indicator(p, target, components[i]);
+        return acc;
+    };
+
+    ShapleyConfig config;
+    config.numPermutations = 4;
+    const auto phi =
+        shapleyAttribution(base, target, components, eval, config);
+    for (size_t i = 0; i < weights.size(); ++i)
+        EXPECT_NEAR(phi[i], weights[i], 1e-12);
+}
+
+TEST(Shapley, EfficiencyAxiomExhaustive)
+{
+    // With interactions, exhaustive Shapley still sums to f(T) - f(B).
+    const auto components = firstComponents(4);
+    const UarchParams base = UarchParams::bigCore();
+    const UarchParams target = UarchParams::armN1();
+
+    auto eval = [&](const UarchParams &p) {
+        const double a = indicator(p, target, components[0]);
+        const double b = indicator(p, target, components[1]);
+        const double c = indicator(p, target, components[2]);
+        const double d = indicator(p, target, components[3]);
+        return 5.0 + a + 2 * b + 4 * a * b - c * d + 0.5 * c;
+    };
+
+    ShapleyConfig config;
+    config.exhaustive = true;
+    const auto phi =
+        shapleyAttribution(base, target, components, eval, config);
+    double sum = 0.0;
+    for (double v : phi)
+        sum += v;
+    EXPECT_NEAR(sum, eval(target) - eval(base), 1e-10);
+}
+
+TEST(Shapley, EfficiencyHoldsForMonteCarlo)
+{
+    // Every sampled permutation telescopes, so efficiency is exact for
+    // the Monte Carlo estimator too.
+    const auto components = firstComponents(6);
+    const UarchParams base = UarchParams::bigCore();
+    const UarchParams target = UarchParams::armN1();
+    auto eval = [&](const UarchParams &p) {
+        double acc = 1.0;
+        for (size_t i = 0; i < components.size(); ++i)
+            acc *= 1.0 + indicator(p, target, components[i]) * (i + 1)
+                * 0.1;
+        return acc;
+    };
+    ShapleyConfig config;
+    config.numPermutations = 7;
+    const auto phi =
+        shapleyAttribution(base, target, components, eval, config);
+    double sum = 0.0;
+    for (double v : phi)
+        sum += v;
+    EXPECT_NEAR(sum, eval(target) - eval(base), 1e-10);
+}
+
+TEST(Shapley, SymmetryAxiom)
+{
+    // Interchangeable players receive equal attribution (exhaustive).
+    const auto components = firstComponents(3);
+    const UarchParams base = UarchParams::bigCore();
+    const UarchParams target = UarchParams::armN1();
+    auto eval = [&](const UarchParams &p) {
+        const double a = indicator(p, target, components[0]);
+        const double b = indicator(p, target, components[1]);
+        // Symmetric in (a, b): value only via a + b and their product.
+        return (a + b) * 2.0 + 3.0 * a * b;
+    };
+    ShapleyConfig config;
+    config.exhaustive = true;
+    const auto phi =
+        shapleyAttribution(base, target, components, eval, config);
+    EXPECT_NEAR(phi[0], phi[1], 1e-10);
+}
+
+TEST(Shapley, DummyPlayerGetsZero)
+{
+    const auto components = firstComponents(4);
+    const UarchParams base = UarchParams::bigCore();
+    const UarchParams target = UarchParams::armN1();
+    auto eval = [&](const UarchParams &p) {
+        return 7.0 + indicator(p, target, components[0]) * 2.0
+            + indicator(p, target, components[2]) * 5.0;
+    };
+    ShapleyConfig config;
+    config.exhaustive = true;
+    const auto phi =
+        shapleyAttribution(base, target, components, eval, config);
+    EXPECT_NEAR(phi[1], 0.0, 1e-12);
+    EXPECT_NEAR(phi[3], 0.0, 1e-12);
+}
+
+TEST(Shapley, ResolvesOrderDependence)
+{
+    // The Figure-15 scenario in miniature: f = 1 only when BOTH players
+    // are at their small (target) values. Naive A->B attributes all to B;
+    // B->A attributes all to A; Shapley splits evenly.
+    const auto components = firstComponents(2);
+    const UarchParams base = UarchParams::bigCore();
+    const UarchParams target = UarchParams::armN1();
+    auto eval = [&](const UarchParams &p) {
+        return indicator(p, target, components[0])
+            * indicator(p, target, components[1]);
+    };
+
+    const auto ab =
+        orderedAblation(base, target, components, {0, 1}, eval);
+    const auto ba =
+        orderedAblation(base, target, components, {1, 0}, eval);
+    EXPECT_NEAR(ab[0], 0.0, 1e-12);
+    EXPECT_NEAR(ab[1], 1.0, 1e-12);
+    EXPECT_NEAR(ba[0], 1.0, 1e-12);
+    EXPECT_NEAR(ba[1], 0.0, 1e-12);
+
+    ShapleyConfig config;
+    config.exhaustive = true;
+    const auto phi =
+        shapleyAttribution(base, target, components, eval, config);
+    EXPECT_NEAR(phi[0], 0.5, 1e-12);
+    EXPECT_NEAR(phi[1], 0.5, 1e-12);
+}
+
+TEST(Shapley, MonteCarloApproachesExhaustive)
+{
+    const auto components = firstComponents(5);
+    const UarchParams base = UarchParams::bigCore();
+    const UarchParams target = UarchParams::armN1();
+    auto eval = [&](const UarchParams &p) {
+        double acc = 0.0;
+        double prod = 1.0;
+        for (size_t i = 0; i < components.size(); ++i) {
+            const double x = indicator(p, target, components[i]);
+            acc += x * (i + 0.5);
+            prod *= 0.7 + 0.3 * x;
+        }
+        return acc + 4.0 * prod;
+    };
+    ShapleyConfig exact_cfg;
+    exact_cfg.exhaustive = true;
+    const auto exact =
+        shapleyAttribution(base, target, components, eval, exact_cfg);
+    ShapleyConfig mc_cfg;
+    mc_cfg.numPermutations = 2000;
+    mc_cfg.seed = 3;
+    const auto approx =
+        shapleyAttribution(base, target, components, eval, mc_cfg);
+    for (size_t i = 0; i < exact.size(); ++i)
+        EXPECT_NEAR(approx[i], exact[i], 0.05);
+}
+
+TEST(Shapley, GroupedComponentMovesAllItsParams)
+{
+    // The cache component moves L1d, L1i, and L2 together: an eval
+    // function sensitive to any of the three sees exactly one step.
+    const std::vector<ShapleyComponent> components = {
+        attributionComponents()[0],     // caches
+        attributionComponents()[2],     // ROB
+    };
+    const UarchParams base = UarchParams::bigCore();
+    const UarchParams target = UarchParams::armN1();
+    int evals_with_partial_caches = 0;
+    auto eval = [&](const UarchParams &p) {
+        const bool l1d = p.memory.l1dKb == target.memory.l1dKb;
+        const bool l1i = p.memory.l1iKb == target.memory.l1iKb;
+        const bool l2 = p.memory.l2Kb == target.memory.l2Kb;
+        if (l1d != l1i || l1i != l2)
+            ++evals_with_partial_caches;
+        return l1d ? 2.0 : 1.0;
+    };
+    ShapleyConfig config;
+    config.exhaustive = true;
+    (void)shapleyAttribution(base, target, components, eval, config);
+    EXPECT_EQ(evals_with_partial_caches, 0)
+        << "grouped parameters must move atomically";
+}
+
+TEST(Shapley, SeedChangesMonteCarloSamples)
+{
+    const auto components = firstComponents(6);
+    const UarchParams base = UarchParams::bigCore();
+    const UarchParams target = UarchParams::armN1();
+    auto eval = [&](const UarchParams &p) {
+        double acc = 1.0;
+        for (size_t i = 0; i < components.size(); ++i)
+            acc += indicator(p, target, components[i])
+                * indicator(p, target, components[(i + 1) % 6]) * (i + 1);
+        return acc;
+    };
+    ShapleyConfig a;
+    a.numPermutations = 3;
+    a.seed = 1;
+    ShapleyConfig b = a;
+    b.seed = 2;
+    const auto phi_a =
+        shapleyAttribution(base, target, components, eval, a);
+    const auto phi_b =
+        shapleyAttribution(base, target, components, eval, b);
+    bool any_diff = false;
+    for (size_t i = 0; i < phi_a.size(); ++i)
+        any_diff |= std::abs(phi_a[i] - phi_b[i]) > 1e-12;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(OrderedAblation, TelescopesToTotal)
+{
+    const auto components = firstComponents(5);
+    const UarchParams base = UarchParams::bigCore();
+    const UarchParams target = UarchParams::armN1();
+    auto eval = [&](const UarchParams &p) {
+        double acc = 0.0;
+        for (size_t i = 0; i < components.size(); ++i)
+            acc += indicator(p, target, components[i]) * (i + 1.0);
+        return acc * acc;
+    };
+    const auto deltas =
+        orderedAblation(base, target, components, {4, 2, 0, 1, 3}, eval);
+    double sum = 0.0;
+    for (double d : deltas)
+        sum += d;
+    EXPECT_NEAR(sum, eval(target) - eval(base), 1e-10);
+}
+
+} // anonymous namespace
+} // namespace concorde

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Tests for the Table-1 design space: parameter metadata, canonical design
+ * points, random sampling, sweep grids, and the ML encoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "uarch/params.hh"
+
+namespace concorde
+{
+namespace
+{
+
+TEST(ParamTable, TwentyParameters)
+{
+    EXPECT_EQ(paramTable().size(), 20u);
+    EXPECT_EQ(kNumParams, 20);
+    std::set<ParamId> seen;
+    for (const auto &info : paramTable())
+        seen.insert(info.id);
+    EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(ParamTable, ArmN1MatchesPaperColumn)
+{
+    const UarchParams n1 = UarchParams::armN1();
+    EXPECT_EQ(n1.robSize, 128);
+    EXPECT_EQ(n1.commitWidth, 8);
+    EXPECT_EQ(n1.lqSize, 12);
+    EXPECT_EQ(n1.sqSize, 18);
+    EXPECT_EQ(n1.aluWidth, 3);
+    EXPECT_EQ(n1.fpWidth, 2);
+    EXPECT_EQ(n1.lsWidth, 2);
+    EXPECT_EQ(n1.lsPipes, 2);
+    EXPECT_EQ(n1.loadPipes, 0);
+    EXPECT_EQ(n1.fetchWidth, 4);
+    EXPECT_EQ(n1.decodeWidth, 4);
+    EXPECT_EQ(n1.renameWidth, 4);
+    EXPECT_EQ(n1.fetchBuffers, 1);
+    EXPECT_EQ(n1.maxIcacheFills, 8);
+    EXPECT_EQ(n1.branch.type, BranchConfig::Type::Tage);
+    EXPECT_EQ(n1.memory.l1dKb, 64u);
+    EXPECT_EQ(n1.memory.l1iKb, 64u);
+    EXPECT_EQ(n1.memory.l2Kb, 1024u);
+    EXPECT_EQ(n1.memory.prefetchDegree, 0);
+}
+
+TEST(ParamTable, BigCoreIsMaximal)
+{
+    const UarchParams big = UarchParams::bigCore();
+    for (const auto &info : paramTable()) {
+        if (info.id == ParamId::BranchPredictor
+            || info.id == ParamId::SimpleMispredictPct) {
+            continue;   // perfect prediction = Simple @ 0%
+        }
+        EXPECT_EQ(big.get(info.id), info.maxValue)
+            << "param " << info.name;
+    }
+    EXPECT_EQ(big.branch.type, BranchConfig::Type::Simple);
+    EXPECT_EQ(big.branch.simpleMispredictPct, 0);
+}
+
+TEST(ParamTable, GetSetRoundTrip)
+{
+    UarchParams p = UarchParams::armN1();
+    for (const auto &info : paramTable()) {
+        for (int64_t value : sweepValues(info.id, true)) {
+            p.set(info.id, value);
+            EXPECT_EQ(p.get(info.id), value) << info.name;
+        }
+    }
+}
+
+TEST(ParamTable, EqualityComparesAllParams)
+{
+    UarchParams a = UarchParams::armN1();
+    UarchParams b = UarchParams::armN1();
+    EXPECT_TRUE(a == b);
+    b.set(ParamId::RobSize, 256);
+    EXPECT_FALSE(a == b);
+}
+
+class SweepTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SweepTest, ValuesWithinRangeAndSorted)
+{
+    const auto &info = paramTable()[GetParam()];
+    for (bool quantized : {false, true}) {
+        const auto values = sweepValues(info.id, quantized);
+        ASSERT_FALSE(values.empty());
+        EXPECT_EQ(values.front(), info.minValue);
+        EXPECT_EQ(values.back(), info.maxValue);
+        for (size_t i = 1; i < values.size(); ++i)
+            EXPECT_LT(values[i - 1], values[i]);
+        if (!quantized) {
+            EXPECT_EQ(values.size(),
+                      static_cast<size_t>(info.cardinality));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllParams, SweepTest, ::testing::Range(0, 20));
+
+TEST(DesignSpace, MatchesPaperOrderOfMagnitude)
+{
+    // Paper: ~2.2e23 full, ~1.8e18 quantized.
+    const double full = designSpaceSize(false);
+    EXPECT_GT(full, 1e23);
+    EXPECT_LT(full, 1e24);
+    const double quantized = designSpaceSize(true);
+    EXPECT_GT(quantized, 1e17);
+    EXPECT_LT(quantized, 1e19);
+}
+
+TEST(Sampling, RandomDrawsStayInRange)
+{
+    Rng rng(5);
+    for (int s = 0; s < 300; ++s) {
+        const UarchParams p = UarchParams::sampleRandom(rng);
+        for (const auto &info : paramTable()) {
+            EXPECT_GE(p.get(info.id), info.minValue) << info.name;
+            EXPECT_LE(p.get(info.id), info.maxValue) << info.name;
+        }
+    }
+}
+
+TEST(Sampling, CoversBothPredictors)
+{
+    Rng rng(6);
+    int simple = 0, tage = 0;
+    for (int s = 0; s < 200; ++s) {
+        const UarchParams p = UarchParams::sampleRandom(rng);
+        if (p.branch.type == BranchConfig::Type::Simple)
+            ++simple;
+        else
+            ++tage;
+    }
+    EXPECT_GT(simple, 50);
+    EXPECT_GT(tage, 50);
+}
+
+TEST(Encoding, DimensionAndRange)
+{
+    std::vector<float> out;
+    encodeParams(UarchParams::armN1(), out);
+    ASSERT_EQ(out.size(), kParamEncodingDim);
+    for (float v : out) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LE(v, 1.0f);
+    }
+}
+
+TEST(Encoding, OneHotsAreConsistent)
+{
+    std::vector<float> tage_enc, simple_enc;
+    UarchParams p = UarchParams::armN1();
+    encodeParams(p, tage_enc);
+    p.branch.type = BranchConfig::Type::Simple;
+    p.branch.simpleMispredictPct = 50;
+    p.memory.prefetchDegree = 4;
+    encodeParams(p, simple_enc);
+    const size_t n = kParamEncodingDim;
+    // Branch one-hot occupies [n-4, n-2); prefetch one-hot [n-2, n).
+    EXPECT_EQ(tage_enc[n - 4], 0.0f);
+    EXPECT_EQ(tage_enc[n - 3], 1.0f);
+    EXPECT_EQ(simple_enc[n - 4], 1.0f);
+    EXPECT_EQ(simple_enc[n - 3], 0.0f);
+    EXPECT_EQ(tage_enc[n - 2], 1.0f);   // prefetch off
+    EXPECT_EQ(simple_enc[n - 1], 1.0f); // prefetch on
+}
+
+TEST(Encoding, DistinguishesDesigns)
+{
+    std::vector<float> a, b;
+    encodeParams(UarchParams::armN1(), a);
+    encodeParams(UarchParams::bigCore(), b);
+    EXPECT_NE(a, b);
+}
+
+TEST(ToString, MentionsKeyFields)
+{
+    const std::string s = UarchParams::armN1().toString();
+    EXPECT_NE(s.find("rob=128"), std::string::npos);
+    EXPECT_NE(s.find("TAGE"), std::string::npos);
+}
+
+} // anonymous namespace
+} // namespace concorde

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Command-line front end for the Concorde library.
+ *
+ *   concorde_cli predict <program> [param=value ...]
+ *   concorde_cli sweep <program> <param> [param=value ...]
+ *   concorde_cli attribute <program> [permutations]
+ *   concorde_cli simulate <program> [param=value ...]
+ *   concorde_cli list
+ *
+ * Programs are Table-2 codes (P1..P13, C1, C2, O1..O4, S1..S10).
+ * Parameters use the short names printed by `list` (e.g. rob=256
+ * l1d=128 bp=simple pct=10 pf=4). Unspecified parameters default to
+ * ARM N1. Models and datasets are cached under artifacts/ (the first
+ * invocation trains them).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/artifacts.hh"
+#include "core/concorde.hh"
+#include "core/shapley.hh"
+#include "sim/o3_core.hh"
+
+using namespace concorde;
+
+namespace
+{
+
+const std::map<std::string, ParamId> kShortNames = {
+    {"rob", ParamId::RobSize},
+    {"commit", ParamId::CommitWidth},
+    {"lq", ParamId::LqSize},
+    {"sq", ParamId::SqSize},
+    {"alu", ParamId::AluWidth},
+    {"fp", ParamId::FpWidth},
+    {"ls", ParamId::LsWidth},
+    {"lsp", ParamId::LsPipes},
+    {"lp", ParamId::LoadPipes},
+    {"fetch", ParamId::FetchWidth},
+    {"decode", ParamId::DecodeWidth},
+    {"rename", ParamId::RenameWidth},
+    {"fbuf", ParamId::FetchBuffers},
+    {"ifills", ParamId::MaxIcacheFills},
+    {"bp", ParamId::BranchPredictor},
+    {"pct", ParamId::SimpleMispredictPct},
+    {"l1d", ParamId::L1dSize},
+    {"l1i", ParamId::L1iSize},
+    {"l2", ParamId::L2Size},
+    {"pf", ParamId::PrefetchDegree},
+};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: concorde_cli <predict|sweep|attribute|simulate|"
+                 "list> <program> [args]\n"
+                 "run with 'list' for programs and parameter names\n");
+    return 2;
+}
+
+bool
+applyOverride(UarchParams &params, const std::string &arg)
+{
+    const auto eq = arg.find('=');
+    if (eq == std::string::npos)
+        return false;
+    const std::string key = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    const auto it = kShortNames.find(key);
+    if (it == kShortNames.end()) {
+        std::fprintf(stderr, "unknown parameter '%s'\n", key.c_str());
+        return false;
+    }
+    if (it->second == ParamId::BranchPredictor) {
+        params.set(it->second, value == "tage" ? 1 : 0);
+    } else {
+        params.set(it->second, std::atoll(value.c_str()));
+    }
+    return true;
+}
+
+RegionSpec
+regionFor(int pid)
+{
+    RegionSpec spec;
+    spec.programId = pid;
+    spec.traceId = 0;
+    spec.startChunk = 16;
+    spec.numChunks = artifacts::kShortRegionChunks;
+    return spec;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+
+    if (command == "list") {
+        std::printf("programs:\n");
+        for (const auto &info : workloadCorpus()) {
+            std::printf("  %-5s %s (%s)\n", info.code().c_str(),
+                        info.profile.name.c_str(),
+                        info.profile.group.c_str());
+        }
+        std::printf("\nparameters (short=long, ARM N1 default):\n");
+        const UarchParams n1 = UarchParams::armN1();
+        for (const auto &[name, id] : kShortNames) {
+            std::printf("  %-8s %-38s %lld\n", name.c_str(),
+                        paramTable()[static_cast<int>(id)].name,
+                        static_cast<long long>(n1.get(id)));
+        }
+        return 0;
+    }
+
+    if (argc < 3)
+        return usage();
+    const int pid = programIdByCode(argv[2]);
+    if (pid < 0) {
+        std::fprintf(stderr, "unknown program '%s'\n", argv[2]);
+        return 2;
+    }
+
+    UarchParams params = UarchParams::armN1();
+    int first_override = command == "sweep" ? 4 : 3;
+    for (int i = first_override; i < argc; ++i) {
+        if (!applyOverride(params, argv[i]) && command != "attribute")
+            return 2;
+    }
+
+    if (command == "simulate") {
+        RegionAnalysis analysis(regionFor(pid));
+        const SimResult result = simulateRegion(params, analysis);
+        std::printf("cycle-level simulation of %s @ %s\n", argv[2],
+                    params.toString().c_str());
+        std::printf("  CPI %.4f (%llu cycles, %llu instructions, "
+                    "%llu mispredicts)\n", result.cpi(),
+                    static_cast<unsigned long long>(result.cycles),
+                    static_cast<unsigned long long>(result.instructions),
+                    static_cast<unsigned long long>(
+                        result.branchMispredicts));
+        return 0;
+    }
+
+    ConcordePredictor predictor(artifacts::fullModel(),
+                                artifacts::featureConfig());
+    FeatureProvider provider(regionFor(pid), artifacts::featureConfig());
+
+    if (command == "predict") {
+        const double cpi = predictor.predictCpi(provider, params);
+        std::printf("%s @ %s\n  predicted CPI %.4f\n", argv[2],
+                    params.toString().c_str(), cpi);
+        return 0;
+    }
+
+    if (command == "sweep") {
+        if (argc < 4)
+            return usage();
+        const auto it = kShortNames.find(argv[3]);
+        if (it == kShortNames.end()) {
+            std::fprintf(stderr, "unknown parameter '%s'\n", argv[3]);
+            return 2;
+        }
+        std::printf("sweep of %s for %s:\n",
+                    paramTable()[static_cast<int>(it->second)].name,
+                    argv[2]);
+        for (int64_t value : sweepValues(it->second, true)) {
+            params.set(it->second, value);
+            std::printf("  %6lld -> CPI %.4f\n",
+                        static_cast<long long>(value),
+                        predictor.predictCpi(provider, params));
+        }
+        return 0;
+    }
+
+    if (command == "attribute") {
+        const int permutations = argc > 3 ? std::atoi(argv[3]) : 48;
+        auto eval = [&](const UarchParams &p) {
+            return predictor.predictCpi(provider, p);
+        };
+        const UarchParams base = UarchParams::bigCore();
+        ShapleyConfig config;
+        config.numPermutations = permutations;
+        const auto &components = attributionComponents();
+        const auto phi =
+            shapleyAttribution(base, params, components, eval, config);
+        std::printf("CPI attribution for %s (target vs big core):\n",
+                    argv[2]);
+        std::printf("  big core %.3f -> target %.3f\n", eval(base),
+                    eval(params));
+        for (size_t c = 0; c < components.size(); ++c) {
+            if (std::abs(phi[c]) >= 0.005) {
+                std::printf("  %-30s %+8.3f\n",
+                            components[c].name.c_str(), phi[c]);
+            }
+        }
+        return 0;
+    }
+    return usage();
+}
