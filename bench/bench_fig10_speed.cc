@@ -109,6 +109,54 @@ main(int argc, char **argv)
                         "ms");
     benchutil::printCdf("cycle-level sim (16k instrs)", sim_ms, "ms");
 
+    // ---- batched inference engine vs scalar prediction loop ----
+    // The design-space-exploration serving pattern: one region, many
+    // design points. The batched path assembles all feature rows into
+    // one matrix and runs the MLP as a blocked GEMM.
+    {
+        std::printf("\n--- batched inference (batch=%d design points) "
+                    "---\n", 512);
+        RegionSpec spec{programIdByCode("S7"), 0, 16,
+                        artifacts::kShortRegionChunks};
+        FeatureProvider provider(spec, artifacts::featureConfig());
+        Rng rng(21);
+        std::vector<UarchParams> points;
+        for (size_t i = 0; i < 512; ++i)
+            points.push_back(UarchParams::sampleRandom(rng));
+
+        // Warm the analytical memo caches (the one-time precompute) so
+        // both paths measure prediction cost only.
+        (void)predictor.predictCpiBatch(provider, points);
+
+        const int reps = 5;
+        double scalar_s = 1e30, batch_s = 1e30;
+        std::vector<double> scalar_cpis(points.size());
+        std::vector<double> batch_cpis;
+        for (int r = 0; r < reps; ++r) {
+            Stopwatch t1;
+            for (size_t i = 0; i < points.size(); ++i)
+                scalar_cpis[i] = predictor.predictCpi(provider, points[i]);
+            scalar_s = std::min(scalar_s, t1.seconds());
+
+            Stopwatch t2;
+            batch_cpis = predictor.predictCpiBatch(provider, points);
+            batch_s = std::min(batch_s, t2.seconds());
+        }
+
+        double max_diff = 0.0;
+        for (size_t i = 0; i < points.size(); ++i) {
+            max_diff = std::max(max_diff,
+                                std::abs(scalar_cpis[i] - batch_cpis[i]));
+        }
+        const double n = static_cast<double>(points.size());
+        std::printf("  scalar predictCpi loop:   %10.0f predictions/s\n",
+                    n / scalar_s);
+        std::printf("  batched predictCpiBatch:  %10.0f predictions/s\n",
+                    n / batch_s);
+        std::printf("  batched speedup: %.2fx  (max |scalar - batched| "
+                    "CPI diff %.2e)\n", scalar_s / batch_s, max_diff);
+    }
+
     double mean_us = 0, mean_sim = 0;
     for (double v : predict_us)
         mean_us += v;

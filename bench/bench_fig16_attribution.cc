@@ -69,14 +69,17 @@ main()
                 rng, static_cast<int>(pid),
                 artifacts::kShortRegionChunks);
             FeatureProvider provider(spec, artifacts::featureConfig());
-            auto eval = [&](const UarchParams &p) {
-                return predictor.predictCpi(provider, p);
-            };
+            const BatchEval eval =
+                [&](const std::vector<UarchParams> &pts) {
+                    return predictor.predictCpiBatch(provider, pts, 1);
+                };
             config.seed = rng.next();
             const auto phi = shapleyAttribution(base, target, components,
                                                 eval, config);
-            base_cpi[pid] += eval(base);
-            target_cpi[pid] += eval(target);
+            const auto ends = predictor.predictCpiBatch(
+                provider, std::vector<UarchParams>{base, target}, 1);
+            base_cpi[pid] += ends[0];
+            target_cpi[pid] += ends[1];
             for (size_t c = 0; c < components.size(); ++c)
                 attribution[pid][c] += phi[c];
         }

@@ -38,17 +38,19 @@ main()
         const RegionSpec spec = sampleRegionFromProgram(
             rng, pid, artifacts::kShortRegionChunks);
         FeatureProvider provider(spec, artifacts::featureConfig());
-        auto eval = [&](const UarchParams &p) {
-            return predictor.predictCpi(provider, p);
+        const BatchEval eval = [&](const std::vector<UarchParams> &pts) {
+            return predictor.predictCpiBatch(provider, pts, 1);
         };
         ShapleyConfig config;
         config.numPermutations = 16;
         config.seed = r;
         const auto phi = shapleyAttribution(base, target, components,
                                             eval, config);
+        const auto ends = predictor.predictCpiBatch(
+            provider, std::vector<UarchParams>{base, target}, 1);
         results[r].cacheShap = phi[cache_idx];
-        results[r].targetCpi = eval(target);
-        results[r].totalDelta = results[r].targetCpi - eval(base);
+        results[r].targetCpi = ends[1];
+        results[r].totalDelta = ends[1] - ends[0];
     });
 
     std::sort(results.begin(), results.end(),

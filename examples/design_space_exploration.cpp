@@ -69,27 +69,39 @@ main()
         double score = 1e30;
         UarchParams params;
     } best;
-    size_t feasible = 0;
-    std::vector<UarchParams> sampled;
-    for (size_t c = 0; c < candidates; ++c)
-        sampled.push_back(UarchParams::sampleRandom(rng));
+    // Uniform draws over the full Table-1 space are almost always far
+    // bigger than the budget, so rejection-sample until enough feasible
+    // candidates are found (sampling is just RNG, the expensive part is
+    // the prediction pass below).
+    std::vector<UarchParams> feasible;
+    size_t attempts = 0;
+    const size_t max_attempts = 400 * candidates;
+    while (feasible.size() < candidates && attempts < max_attempts) {
+        ++attempts;
+        const UarchParams params = UarchParams::sampleRandom(rng);
+        if (areaCost(params) <= budget)
+            feasible.push_back(params);
+    }
 
-    for (const auto &params : sampled) {
-        if (areaCost(params) > budget)
-            continue;
-        ++feasible;
-        double log_sum = 0.0;
-        for (auto &provider : providers)
-            log_sum += std::log(predictor.predictCpi(*provider, params));
-        const double geomean = std::exp(log_sum / providers.size());
+    // One batched-inference pass per workload: all feasible candidates
+    // are assembled into one feature matrix and evaluated through the
+    // blocked-GEMM engine.
+    std::vector<double> log_sum(feasible.size(), 0.0);
+    for (auto &provider : providers) {
+        const auto cpis = predictor.predictCpiBatch(*provider, feasible);
+        for (size_t i = 0; i < feasible.size(); ++i)
+            log_sum[i] += std::log(cpis[i]);
+    }
+    for (size_t i = 0; i < feasible.size(); ++i) {
+        const double geomean = std::exp(log_sum[i] / providers.size());
         if (geomean < best.score) {
             best.score = geomean;
-            best.params = params;
+            best.params = feasible[i];
         }
     }
 
-    std::printf("evaluated %zu random candidates (%zu feasible) in "
-                "%.2fs\n", candidates, feasible, timer.seconds());
+    std::printf("evaluated %zu feasible designs (of %zu sampled) in "
+                "%.2fs\n", feasible.size(), attempts, timer.seconds());
 
     double n1_log = 0.0;
     for (auto &provider : providers) {

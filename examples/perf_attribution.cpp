@@ -32,14 +32,18 @@ main(int argc, char **argv)
                                 artifacts::featureConfig());
     RegionSpec spec{pid, 0, 16, artifacts::kShortRegionChunks};
     FeatureProvider provider(spec, artifacts::featureConfig());
-    auto eval = [&](const UarchParams &p) {
-        return predictor.predictCpi(provider, p);
+    // Batched evaluator: all Shapley permutation scan points go through
+    // one blocked-GEMM inference pass.
+    const BatchEval eval = [&](const std::vector<UarchParams> &pts) {
+        return predictor.predictCpiBatch(provider, pts);
     };
 
     const UarchParams base = UarchParams::bigCore();
     const UarchParams target = UarchParams::armN1();
-    const double base_cpi = eval(base);
-    const double target_cpi = eval(target);
+    const auto endpoints = predictor.predictCpiBatch(
+        provider, std::vector<UarchParams>{base, target});
+    const double base_cpi = endpoints[0];
+    const double target_cpi = endpoints[1];
 
     std::printf("CPI attribution for %s on ARM N1 (vs idealized big "
                 "core)\n", workloadCorpus()[pid].profile.name.c_str());

@@ -90,7 +90,7 @@ FeatureProvider::RobEntry &
 FeatureProvider::robEntry(int rob_size, const MemoryConfig &mem,
                           bool need_latencies)
 {
-    const auto key = std::make_pair(rob_size, mem.dSideKey());
+    const uint64_t key = packKey(rob_size, mem.dSideKey());
     auto it = robCache.find(key);
     if (it != robCache.end()
         && (!need_latencies || it->second.hasLatencies)) {
@@ -134,57 +134,67 @@ FeatureProvider::robOverallIpc(int rob_size, const MemoryConfig &mem)
     return robEntry(rob_size, mem, false).overallIpc;
 }
 
+FeatureProvider::BoundEntry &
+FeatureProvider::lqEntry(int lq_size, const MemoryConfig &mem)
+{
+    return boundEntry(lqCache, packKey(lq_size, mem.dSideKey()), [&] {
+        const auto &dside = region.dside(mem);
+        return runLoadQueueModel(region.instrs(), region.loadIndex(),
+                                 dside.execLat, lq_size, cfg.windowK);
+    });
+}
+
 const std::vector<double> &
 FeatureProvider::lqWindows(int lq_size, const MemoryConfig &mem)
 {
-    const auto key = std::make_pair(lq_size, mem.dSideKey());
-    auto it = lqCache.find(key);
-    if (it != lqCache.end())
-        return it->second;
-    const auto &dside = region.dside(mem);
-    ++totalModelRuns;
-    return lqCache[key] =
-        runLoadQueueModel(region.instrs(), region.loadIndex(),
-                          dside.execLat, lq_size, cfg.windowK);
+    return lqEntry(lq_size, mem).windows;
+}
+
+FeatureProvider::BoundEntry &
+FeatureProvider::sqEntry(int sq_size)
+{
+    return boundEntry(sqCache, packKey(sq_size, 0), [&] {
+        return runStoreQueueModel(region.instrs(), sq_size, cfg.windowK);
+    });
 }
 
 const std::vector<double> &
 FeatureProvider::sqWindows(int sq_size)
 {
-    auto it = sqCache.find(sq_size);
-    if (it != sqCache.end())
-        return it->second;
-    ++totalModelRuns;
-    return sqCache[sq_size] =
-        runStoreQueueModel(region.instrs(), sq_size, cfg.windowK);
+    return sqEntry(sq_size).windows;
+}
+
+FeatureProvider::BoundEntry &
+FeatureProvider::ifillEntry(int max_fills, const MemoryConfig &mem)
+{
+    return boundEntry(ifillCache, packKey(max_fills, mem.iSideKey()),
+                      [&] {
+        return runIcacheFillsModel(region.instrs(), region.iside(mem),
+                                   max_fills, cfg.windowK);
+    });
 }
 
 const std::vector<double> &
 FeatureProvider::icacheFillWindows(int max_fills, const MemoryConfig &mem)
 {
-    const auto key = std::make_pair(max_fills, mem.iSideKey());
-    auto it = ifillCache.find(key);
-    if (it != ifillCache.end())
-        return it->second;
-    const auto &iside = region.iside(mem);
-    ++totalModelRuns;
-    return ifillCache[key] =
-        runIcacheFillsModel(region.instrs(), iside, max_fills, cfg.windowK);
+    return ifillEntry(max_fills, mem).windows;
+}
+
+FeatureProvider::BoundEntry &
+FeatureProvider::fbufEntry(int num_buffers, const MemoryConfig &mem)
+{
+    return boundEntry(fbufCache, packKey(num_buffers, mem.iSideKey()),
+                      [&] {
+        return runFetchBufferModel(region.instrs(), region.iside(mem),
+                                   num_buffers, cfg.windowK);
+    });
 }
 
 const std::vector<double> &
 FeatureProvider::fetchBufferWindows(int num_buffers,
                                     const MemoryConfig &mem)
 {
-    const auto key = std::make_pair(num_buffers, mem.iSideKey());
-    auto it = fbufCache.find(key);
-    if (it != fbufCache.end())
-        return it->second;
-    const auto &iside = region.iside(mem);
-    ++totalModelRuns;
-    return fbufCache[key] =
-        runFetchBufferModel(region.instrs(), iside, num_buffers,
-                            cfg.windowK);
+    return fbufEntry(num_buffers, mem).windows;
 }
 
 void
@@ -192,6 +202,44 @@ FeatureProvider::encodeWindows(const std::vector<double> &windows,
                                std::vector<float> &out) const
 {
     encoder.encode(windows, out);
+}
+
+const std::vector<float> &
+FeatureProvider::encoded(BoundEntry &entry)
+{
+    if (entry.enc.empty())
+        encodeWindows(entry.windows, entry.enc);
+    return entry.enc;
+}
+
+FeatureProvider::BoundEntry &
+FeatureProvider::widthEntry(BoundCache &cache,
+                            const std::vector<uint32_t> &class_counts,
+                            int width)
+{
+    const uint64_t key = packKey(width, 0);
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    BoundEntry &entry = cache[key];
+    entry.windows = issueWidthBound(class_counts, width, cfg.windowK);
+    return entry;
+}
+
+FeatureProvider::BoundEntry &
+FeatureProvider::pipesEntry(bool upper, int ls_pipes, int load_pipes)
+{
+    BoundCache &cache = upper ? pipesUpperCache : pipesLowerCache;
+    const uint64_t key =
+        packKey(ls_pipes, static_cast<uint32_t>(load_pipes));
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+    BoundEntry &entry = cache[key];
+    entry.windows = upper
+        ? pipesUpperBound(counts(), ls_pipes, load_pipes)
+        : pipesLowerBound(counts(), ls_pipes, load_pipes);
+    return entry;
 }
 
 void
@@ -210,10 +258,10 @@ FeatureProvider::minBoundWindows(const UarchParams &params,
     apply(robWindows(params.robSize, params.memory));
     apply(lqWindows(params.lqSize, params.memory));
     apply(sqWindows(params.sqSize));
-    apply(issueWidthBound(wc.nAlu, params.aluWidth, cfg.windowK));
-    apply(issueWidthBound(wc.nFp, params.fpWidth, cfg.windowK));
-    apply(issueWidthBound(wc.nLs, params.lsWidth, cfg.windowK));
-    apply(pipesLowerBound(wc, params.lsPipes, params.loadPipes));
+    apply(widthEntry(aluCache, wc.nAlu, params.aluWidth).windows);
+    apply(widthEntry(fpCache, wc.nFp, params.fpWidth).windows);
+    apply(widthEntry(lsCache, wc.nLs, params.lsWidth).windows);
+    apply(pipesEntry(false, params.lsPipes, params.loadPipes).windows);
     apply(icacheFillWindows(params.maxIcacheFills, params.memory));
     apply(fetchBufferWindows(params.fetchBuffers, params.memory));
 
@@ -244,24 +292,30 @@ FeatureProvider::assemble(const UarchParams &params, std::vector<float> &out)
     out.reserve(out.size() + lay.dim());
     const WindowCounts &wc = counts();
 
+    // All parameter-value-dependent blocks are memoized together with
+    // their encodings, so a warm assemble is mostly memcpy; only the
+    // min-bound block (a function of the whole parameter vector) is
+    // re-encoded per call.
+    auto append = [&out](const std::vector<float> &enc) {
+        out.insert(out.end(), enc.begin(), enc.end());
+    };
+
     // ---- primary throughput distributions ----
-    encodeWindows(robWindows(params.robSize, params.memory), out);
-    encodeWindows(lqWindows(params.lqSize, params.memory), out);
-    encodeWindows(sqWindows(params.sqSize), out);
-    encodeWindows(issueWidthBound(wc.nAlu, params.aluWidth, cfg.windowK),
-                  out);
-    encodeWindows(issueWidthBound(wc.nFp, params.fpWidth, cfg.windowK),
-                  out);
-    encodeWindows(issueWidthBound(wc.nLs, params.lsWidth, cfg.windowK),
-                  out);
-    encodeWindows(pipesLowerBound(wc, params.lsPipes, params.loadPipes),
-                  out);
-    encodeWindows(pipesUpperBound(wc, params.lsPipes, params.loadPipes),
-                  out);
-    encodeWindows(icacheFillWindows(params.maxIcacheFills, params.memory),
-                  out);
-    encodeWindows(fetchBufferWindows(params.fetchBuffers, params.memory),
-                  out);
+    {
+        RobEntry &rob = robEntry(params.robSize, params.memory, false);
+        if (rob.encWindows.empty())
+            encodeWindows(rob.windows, rob.encWindows);
+        append(rob.encWindows);
+    }
+    append(encoded(lqEntry(params.lqSize, params.memory)));
+    append(encoded(sqEntry(params.sqSize)));
+    append(encoded(widthEntry(aluCache, wc.nAlu, params.aluWidth)));
+    append(encoded(widthEntry(fpCache, wc.nFp, params.fpWidth)));
+    append(encoded(widthEntry(lsCache, wc.nLs, params.lsWidth)));
+    append(encoded(pipesEntry(false, params.lsPipes, params.loadPipes)));
+    append(encoded(pipesEntry(true, params.lsPipes, params.loadPipes)));
+    append(encoded(ifillEntry(params.maxIcacheFills, params.memory)));
+    append(encoded(fbufEntry(params.fetchBuffers, params.memory)));
     minBoundWindows(params, scratch);
     encodeWindows(scratch, out);
 
@@ -269,15 +323,19 @@ FeatureProvider::assemble(const UarchParams &params, std::vector<float> &out)
     const auto &branch_info = region.branches(params.branch);
     out.push_back(static_cast<float>(branch_info.mispredictRate()));
 
-    // ---- pipeline-stall features ----
-    auto encode_counts = [&](const std::vector<uint32_t> &counts_vec) {
-        std::vector<double> samples(counts_vec.begin(), counts_vec.end());
-        encoder.encode(std::move(samples), out);
-    };
-    encode_counts(wc.nIsb);
-    encode_counts(wc.nCondBr);
-    encode_counts(wc.nUncondBr);
-    encode_counts(wc.nIndirectBr);
+    // ---- pipeline-stall features (parameter independent, cached) ----
+    if (encCountDists.empty()) {
+        auto encode_counts = [&](const std::vector<uint32_t> &counts_vec) {
+            std::vector<double> samples(counts_vec.begin(),
+                                        counts_vec.end());
+            encoder.encode(std::move(samples), encCountDists);
+        };
+        encode_counts(wc.nIsb);
+        encode_counts(wc.nCondBr);
+        encode_counts(wc.nUncondBr);
+        encode_counts(wc.nIndirectBr);
+    }
+    append(encCountDists);
     for (int size : cfg.robSweep) {
         out.push_back(static_cast<float>(
             robOverallIpc(size, params.memory)));

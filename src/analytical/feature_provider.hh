@@ -23,8 +23,8 @@
 #define CONCORDE_ANALYTICAL_FEATURE_PROVIDER_HH
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "analysis/trace_analyzer.hh"
@@ -135,6 +135,7 @@ class FeatureProvider
     struct RobEntry
     {
         std::vector<double> windows;
+        std::vector<float> encWindows;  ///< memoized encoding (lazy)
         double overallIpc = 0.0;
         bool hasLatencies = false;
         std::vector<float> encIssue;
@@ -142,10 +143,55 @@ class FeatureProvider
         std::vector<float> encExec;
     };
 
+    /** A memoized per-window bound plus its (lazily) encoded form. */
+    struct BoundEntry
+    {
+        std::vector<double> windows;
+        std::vector<float> enc;
+    };
+
+    /**
+     * Packed 64-bit memo key: (parameter value, memory-config key).
+     * Values are small positive ints, memory keys fit 32 bits.
+     */
+    static uint64_t
+    packKey(int value, uint32_t mem_key)
+    {
+        return (static_cast<uint64_t>(static_cast<uint32_t>(value)) << 32)
+            | mem_key;
+    }
+
+    using BoundCache = std::unordered_map<uint64_t, BoundEntry>;
+
     RobEntry &robEntry(int rob_size, const MemoryConfig &mem,
                        bool need_latencies);
+
+    /** Lookup-or-compute memoization shared by all bound caches. */
+    template <typename Compute>
+    BoundEntry &
+    boundEntry(BoundCache &cache, uint64_t key, Compute &&compute)
+    {
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+        ++totalModelRuns;
+        BoundEntry &entry = cache[key];
+        entry.windows = compute();
+        return entry;
+    }
+
+    BoundEntry &lqEntry(int lq_size, const MemoryConfig &mem);
+    BoundEntry &sqEntry(int sq_size);
+    BoundEntry &ifillEntry(int max_fills, const MemoryConfig &mem);
+    BoundEntry &fbufEntry(int num_buffers, const MemoryConfig &mem);
     void encodeWindows(const std::vector<double> &windows,
                        std::vector<float> &out) const;
+    /** Memoized encoding of a cached bound. */
+    const std::vector<float> &encoded(BoundEntry &entry);
+    /** Memoized per-width issue bound (ALU / FP / LS). */
+    BoundEntry &widthEntry(BoundCache &cache, const std::vector<uint32_t>
+                           &class_counts, int width);
+    BoundEntry &pipesEntry(bool upper, int ls_pipes, int load_pipes);
     void minBoundWindows(const UarchParams &params,
                          std::vector<double> &out);
 
@@ -157,11 +203,19 @@ class FeatureProvider
     bool haveCounts = false;
     WindowCounts windowCounts;
 
-    std::map<std::pair<int, uint32_t>, RobEntry> robCache;
-    std::map<std::pair<int, uint32_t>, std::vector<double>> lqCache;
-    std::map<int, std::vector<double>> sqCache;
-    std::map<std::pair<int, uint32_t>, std::vector<double>> ifillCache;
-    std::map<std::pair<int, uint32_t>, std::vector<double>> fbufCache;
+    std::unordered_map<uint64_t, RobEntry> robCache;
+    BoundCache lqCache;
+    BoundCache sqCache;
+    BoundCache ifillCache;
+    BoundCache fbufCache;
+    BoundCache aluCache;
+    BoundCache fpCache;
+    BoundCache lsCache;
+    BoundCache pipesLowerCache;
+    BoundCache pipesUpperCache;
+
+    /** Parameter-independent encodings (instruction-mix counts), lazy. */
+    std::vector<float> encCountDists;
 
     size_t totalModelRuns = 0;
     std::vector<double> scratch;

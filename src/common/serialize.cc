@@ -52,6 +52,13 @@ BinaryReader::~BinaryReader()
         std::fclose(file);
 }
 
+void
+BinaryReader::rewind()
+{
+    fatal_if(std::fseek(file, 0, SEEK_SET) != 0, "cannot rewind: %s",
+             std::strerror(errno));
+}
+
 std::string
 BinaryReader::getString()
 {

@@ -89,6 +89,9 @@ class BinaryReader
 
     std::string getString();
 
+    /** Seek back to the start of the stream (format auto-detection). */
+    void rewind();
+
     bool ok() const { return file != nullptr; }
 
   private:

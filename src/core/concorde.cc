@@ -34,6 +34,41 @@ ConcordePredictor::predictCpi(const RegionSpec &region,
     return predictCpi(provider, params);
 }
 
+std::vector<double>
+ConcordePredictor::predictCpiBatch(FeatureProvider &provider,
+                                   const UarchParams *params, size_t n,
+                                   size_t threads) const
+{
+    std::vector<double> out(n);
+    if (n == 0)
+        return out;
+    const size_t dim = trainedModel.inputDim();
+
+    // Assembly is serial (the provider's memo caches are not
+    // thread-safe), but every analytical-model run is memoized, so a
+    // sweep touches each (resource, value, memory-config) once.
+    std::vector<float> features;
+    features.reserve(n * dim);
+    for (size_t i = 0; i < n; ++i)
+        provider.assemble(params[i], features);
+    panic_if(features.size() != n * dim,
+             "provider feature dim %zu != model input dim %zu",
+             features.size() / n, dim);
+
+    const auto preds = trainedModel.predictBatch(features, dim, threads);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = preds[i];
+    return out;
+}
+
+std::vector<double>
+ConcordePredictor::predictCpiBatch(FeatureProvider &provider,
+                                   const std::vector<UarchParams> &pts,
+                                   size_t threads) const
+{
+    return predictCpiBatch(provider, pts.data(), pts.size(), threads);
+}
+
 double
 ConcordePredictor::predictLongProgram(const UarchParams &params,
                                       int program_id, int trace_id,
@@ -61,16 +96,56 @@ ConcordePredictor::predictLongProgram(const UarchParams &params,
     return acc / num_samples;
 }
 
+namespace
+{
+
+/** Header of the versioned predictor file format ("CONCORD1"). */
+constexpr uint64_t kPredictorMagic = 0x3144524f434e4f43ULL;
+
+void
+saveFeatureConfig(BinaryWriter &out, const FeatureConfig &cfg)
+{
+    out.put<int32_t>(cfg.windowK);
+    out.put<uint64_t>(cfg.numPercentiles);
+    out.putVector(cfg.robSweep);
+    out.putVector(cfg.latencyRobSizes);
+}
+
+FeatureConfig
+loadFeatureConfig(BinaryReader &in)
+{
+    FeatureConfig cfg;
+    cfg.windowK = in.get<int32_t>();
+    cfg.numPercentiles = in.get<uint64_t>();
+    cfg.robSweep = in.getVector<int>();
+    cfg.latencyRobSizes = in.getVector<int>();
+    return cfg;
+}
+
+} // anonymous namespace
+
 void
 ConcordePredictor::save(const std::string &path) const
 {
-    trainedModel.save(path);
+    panic_if(!trainedModel.valid(), "save() on an empty predictor");
+    BinaryWriter out(path);
+    out.put<uint64_t>(kPredictorMagic);
+    saveFeatureConfig(out, featureCfg);
+    trainedModel.save(out);
 }
 
 ConcordePredictor
 ConcordePredictor::load(const std::string &path)
 {
-    return ConcordePredictor(TrainedModel::load(path), FeatureConfig{});
+    BinaryReader in(path);
+    if (in.get<uint64_t>() != kPredictorMagic) {
+        // Legacy headerless files hold just the model; they predate
+        // FeatureConfig serialization, which always used the defaults.
+        in.rewind();
+        return ConcordePredictor(TrainedModel::load(in), FeatureConfig{});
+    }
+    FeatureConfig cfg = loadFeatureConfig(in);
+    return ConcordePredictor(TrainedModel::load(in), std::move(cfg));
 }
 
 } // namespace concorde

@@ -44,6 +44,24 @@ class ConcordePredictor
                       const UarchParams &params) const;
 
     /**
+     * Batched prediction for one region across many design points (the
+     * design-space-exploration hot path): all feature rows are assembled
+     * into one contiguous matrix, then evaluated in a single
+     * thread-parallel blocked-GEMM pass. Matches predictCpi per element.
+     *
+     * @param params pointer to `n` design points
+     * @param threads worker threads for the MLP pass (0 = hardware)
+     */
+    std::vector<double> predictCpiBatch(FeatureProvider &provider,
+                                        const UarchParams *params, size_t n,
+                                        size_t threads = 0) const;
+
+    /** Convenience overload over a vector of design points. */
+    std::vector<double> predictCpiBatch(FeatureProvider &provider,
+                                        const std::vector<UarchParams> &pts,
+                                        size_t threads = 0) const;
+
+    /**
      * Estimate the CPI of a long program by averaging predictions over
      * `num_samples` randomly sampled regions (Section 5.1, Figure 9).
      */
@@ -52,6 +70,12 @@ class ConcordePredictor
                               int num_samples, uint32_t region_chunks,
                               uint64_t seed) const;
 
+    /**
+     * Serialize the predictor: a versioned header, the FeatureConfig it
+     * was trained with, and the model. load() restores the exact feature
+     * configuration (legacy headerless model files are still accepted and
+     * get the default config).
+     */
     void save(const std::string &path) const;
     static ConcordePredictor load(const std::string &path);
 

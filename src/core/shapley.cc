@@ -65,6 +65,35 @@ walkPermutation(const UarchParams &base, const UarchParams &target,
     }
 }
 
+/**
+ * The permutation orders the estimator will walk: all d! orders in
+ * exhaustive mode, or config.numPermutations Fisher-Yates draws (same
+ * RNG sequence as the scalar estimator).
+ */
+std::vector<std::vector<int>>
+sampleOrders(size_t d, const ShapleyConfig &config)
+{
+    std::vector<int> order(d);
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<std::vector<int>> orders;
+    if (config.exhaustive) {
+        fatal_if(d > 8, "exhaustive Shapley is limited to d <= 8 (%zu)", d);
+        do {
+            orders.push_back(order);
+        } while (std::next_permutation(order.begin(), order.end()));
+    } else {
+        Rng rng(hashMix(config.seed, 0x5A91E7ULL));
+        for (int s = 0; s < config.numPermutations; ++s) {
+            for (size_t i = d; i > 1; --i) {
+                const size_t j = rng.nextBounded(i);
+                std::swap(order[i - 1], order[j]);
+            }
+            orders.push_back(order);
+        }
+    }
+    return orders;
+}
+
 } // anonymous namespace
 
 std::vector<double>
@@ -87,32 +116,70 @@ shapleyAttribution(const UarchParams &base, const UarchParams &target,
                    const ShapleyConfig &config)
 {
     const size_t d = components.size();
+    const auto orders = sampleOrders(d, config);
     std::vector<double> acc(d, 0.0);
-    std::vector<int> order(d);
-    std::iota(order.begin(), order.end(), 0);
+    for (const auto &order : orders)
+        walkPermutation(base, target, components, order, eval, acc);
+    for (double &phi : acc)
+        phi /= static_cast<double>(orders.size());
+    return acc;
+}
 
-    size_t permutations = 0;
-    if (config.exhaustive) {
-        fatal_if(d > 8, "exhaustive Shapley is limited to d <= 8 (%zu)", d);
-        std::sort(order.begin(), order.end());
-        do {
-            walkPermutation(base, target, components, order, eval, acc);
-            ++permutations;
-        } while (std::next_permutation(order.begin(), order.end()));
-    } else {
-        Rng rng(hashMix(config.seed, 0x5A91E7ULL));
-        for (int s = 0; s < config.numPermutations; ++s) {
-            for (size_t i = d - 1; i > 0; --i) {
-                const size_t j = rng.nextBounded(i + 1);
-                std::swap(order[i], order[j]);
+std::vector<double>
+shapleyAttribution(const UarchParams &base, const UarchParams &target,
+                   const std::vector<ShapleyComponent> &components,
+                   const BatchEval &eval, const ShapleyConfig &config)
+{
+    const size_t d = components.size();
+    const auto orders = sampleOrders(d, config);
+    std::vector<double> acc(d, 0.0);
+
+    // Every prefix of every order is evaluated through batched calls.
+    // Orders are chunked so exhaustive mode (up to 8! orders) never
+    // materializes a multi-gigabyte point list or feature matrix.
+    const size_t max_points = 32768;
+    const size_t orders_per_chunk =
+        std::max<size_t>(1, max_points / std::max<size_t>(1, d));
+    double base_value = 0.0;
+    bool have_base = false;
+
+    for (size_t begin = 0; begin < orders.size();
+         begin += orders_per_chunk) {
+        const size_t end =
+            std::min(orders.size(), begin + orders_per_chunk);
+        std::vector<UarchParams> points;
+        points.reserve((end - begin) * d + (have_base ? 0 : 1));
+        if (!have_base)
+            points.push_back(base);
+        for (size_t s = begin; s < end; ++s) {
+            UarchParams current = base;
+            for (int idx : orders[s]) {
+                applyComponent(current, components[idx], target);
+                points.push_back(current);
             }
-            walkPermutation(base, target, components, order, eval, acc);
-            ++permutations;
+        }
+
+        const std::vector<double> values = eval(points);
+        panic_if(values.size() != points.size(),
+                 "batch eval returned %zu values for %zu points",
+                 values.size(), points.size());
+
+        size_t at = 0;
+        if (!have_base) {
+            base_value = values[at++];
+            have_base = true;
+        }
+        for (size_t s = begin; s < end; ++s) {
+            double prev = base_value;
+            for (int idx : orders[s]) {
+                acc[idx] += values[at] - prev;
+                prev = values[at];
+                ++at;
+            }
         }
     }
-
     for (double &phi : acc)
-        phi /= static_cast<double>(permutations);
+        phi /= static_cast<double>(orders.size());
     return acc;
 }
 

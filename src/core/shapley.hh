@@ -41,6 +41,15 @@ struct ShapleyConfig
 };
 
 /**
+ * Batched CPI evaluator: maps n design points to n values in one call,
+ * letting the attribution engine evaluate every step of every sampled
+ * permutation in a single batched-inference pass (e.g. through
+ * ConcordePredictor::predictCpiBatch).
+ */
+using BatchEval =
+    std::function<std::vector<double>(const std::vector<UarchParams> &)>;
+
+/**
  * Shapley values phi_i for moving each component from its `base` value to
  * its `target` value, with performance read through `eval`.
  * sum(phi) = eval(target) - eval(base) (efficiency) holds exactly for the
@@ -52,6 +61,17 @@ std::vector<double> shapleyAttribution(
     const std::vector<ShapleyComponent> &components,
     const std::function<double(const UarchParams &)> &eval,
     const ShapleyConfig &config);
+
+/**
+ * Batched variant: all permutation scan points (the base plus every
+ * prefix of every sampled order) are collected up front and evaluated
+ * through one `eval` call. Same estimator and sampling sequence as the
+ * scalar overload.
+ */
+std::vector<double> shapleyAttribution(
+    const UarchParams &base, const UarchParams &target,
+    const std::vector<ShapleyComponent> &components,
+    const BatchEval &eval, const ShapleyConfig &config);
 
 /**
  * Incremental contributions for one explicit ablation order (the biased

@@ -1,5 +1,6 @@
 #include "ml/mlp.hh"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/logging.hh"
@@ -137,6 +138,165 @@ Mlp::forward(const float *x, MlpScratch &scratch) const
         }
     }
     return scratch.acts.back()[0];
+}
+
+namespace
+{
+
+/**
+ * Fallback tile: dot-product accumulation for a ragged [rows x outs]
+ * corner of the batch GEMM. Accumulation order per output matches the
+ * 4x4 kernel and Mlp::forward.
+ */
+void
+gemmCorner(const float *X, const float *w, const float *b, float *Y,
+           size_t in, size_t od, size_t r0, size_t rows, size_t o0,
+           size_t outs, bool relu)
+{
+    for (size_t r = r0; r < r0 + rows; ++r) {
+        const float *x = X + r * in;
+        float *y = Y + r * od;
+        for (size_t o = o0; o < o0 + outs; ++o) {
+            const float *row = w + o * in;
+            float acc = b[o];
+            for (size_t i = 0; i < in; ++i)
+                acc += row[i] * x[i];
+            y[o] = relu && acc < 0.0f ? 0.0f : acc;
+        }
+    }
+}
+
+/** Batch rows processed per transposed block. */
+constexpr size_t kRowBlock = 16;
+
+#if defined(__GNUC__) || defined(__clang__)
+#define CONCORDE_RESTRICT __restrict
+#else
+#define CONCORDE_RESTRICT
+#endif
+
+/**
+ * One dense layer over a batch: Y[n x od] = relu?(X[n x in] * W^T + b).
+ * Rows are processed in blocks of kRowBlock: the block is transposed
+ * once so the batch dimension is contiguous, then every output unit
+ * accumulates a kRowBlock-wide FMA per weight element. The weight
+ * matrix is streamed n/kRowBlock times instead of n times, the
+ * transposed block stays in L1, and the contiguous independent lanes
+ * vectorize. Per (row, output) the accumulation order over inputs is
+ * identical to Mlp::forward, so results match the scalar path.
+ */
+void
+gemmLayer(const float *CONCORDE_RESTRICT X,
+          const float *CONCORDE_RESTRICT w,
+          const float *CONCORDE_RESTRICT b, float *CONCORDE_RESTRICT Y,
+          float *CONCORDE_RESTRICT xt, size_t n, size_t in, size_t od,
+          bool relu)
+{
+    constexpr size_t RB = kRowBlock;
+    auto act = [relu](float v) { return relu && v < 0.0f ? 0.0f : v; };
+    size_t r0 = 0;
+    for (; r0 + RB <= n; r0 += RB) {
+        // Transpose the block: xt[i * RB + r] = X[(r0 + r) * in + i].
+        for (size_t r = 0; r < RB; ++r) {
+            const float *CONCORDE_RESTRICT x = X + (r0 + r) * in;
+            for (size_t i = 0; i < in; ++i)
+                xt[i * RB + r] = x[i];
+        }
+        // 4-output x RB-row register tile: four weight rows stream per
+        // sweep and each transposed input column is reused fourfold,
+        // with 4*RB independent accumulator chains for ILP. Per
+        // (row, output) the accumulation walks i in order, exactly as
+        // Mlp::forward does, so results match the scalar path.
+        size_t o = 0;
+        for (; o + 4 <= od; o += 4) {
+            const float *CONCORDE_RESTRICT w0 = w + (o + 0) * in;
+            const float *CONCORDE_RESTRICT w1 = w + (o + 1) * in;
+            const float *CONCORDE_RESTRICT w2 = w + (o + 2) * in;
+            const float *CONCORDE_RESTRICT w3 = w + (o + 3) * in;
+            float a0[RB], a1[RB], a2[RB], a3[RB];
+            for (size_t r = 0; r < RB; ++r) {
+                a0[r] = b[o + 0];
+                a1[r] = b[o + 1];
+                a2[r] = b[o + 2];
+                a3[r] = b[o + 3];
+            }
+            for (size_t i = 0; i < in; ++i) {
+                const float v0 = w0[i], v1 = w1[i], v2 = w2[i],
+                            v3 = w3[i];
+                const float *CONCORDE_RESTRICT xv = xt + i * RB;
+                for (size_t r = 0; r < RB; ++r) {
+                    const float x = xv[r];
+                    a0[r] += v0 * x;
+                    a1[r] += v1 * x;
+                    a2[r] += v2 * x;
+                    a3[r] += v3 * x;
+                }
+            }
+            for (size_t r = 0; r < RB; ++r) {
+                float *CONCORDE_RESTRICT y = Y + (r0 + r) * od + o;
+                y[0] = act(a0[r]);
+                y[1] = act(a1[r]);
+                y[2] = act(a2[r]);
+                y[3] = act(a3[r]);
+            }
+        }
+        // Leftover outputs: one weight row at a time.
+        for (; o < od; ++o) {
+            const float *CONCORDE_RESTRICT row = w + o * in;
+            float acc[RB];
+            for (size_t r = 0; r < RB; ++r)
+                acc[r] = b[o];
+            for (size_t i = 0; i < in; ++i) {
+                const float wv = row[i];
+                const float *CONCORDE_RESTRICT xv = xt + i * RB;
+                for (size_t r = 0; r < RB; ++r)
+                    acc[r] += wv * xv[r];
+            }
+            for (size_t r = 0; r < RB; ++r)
+                Y[(r0 + r) * od + o] = act(acc[r]);
+        }
+    }
+    if (r0 < n)
+        gemmCorner(X, w, b, Y, in, od, r0, n - r0, 0, od, relu);
+}
+
+} // anonymous namespace
+
+void
+Mlp::forwardBatch(const float *xs, size_t n, float *out,
+                  MlpBatchScratch &scratch) const
+{
+    if (n == 0)
+        return;
+    const size_t layers = weights.size();
+    // The ping-pong buffers only ever hold layer *outputs*; the input
+    // matrix is read in place from `xs`.
+    size_t widest_out = 1, widest_in = 1;
+    for (size_t l = 0; l < layerSizes.size(); ++l) {
+        if (l > 0)
+            widest_out = std::max(widest_out, layerSizes[l]);
+        if (l + 1 < layerSizes.size())
+            widest_in = std::max(widest_in, layerSizes[l]);
+    }
+    scratch.in.resize(n * widest_out);
+    scratch.out.resize(n * widest_out);
+    scratch.xt.resize(widest_in * kRowBlock);
+
+    const float *X = xs;
+    float *cur = scratch.in.data();
+    float *nxt = scratch.out.data();
+    for (size_t l = 0; l < layers; ++l) {
+        const size_t in = layerSizes[l];
+        const size_t od = layerSizes[l + 1];
+        const bool relu = l + 1 < layers;
+        gemmLayer(X, weights[l].data(), biases[l].data(), nxt,
+                  scratch.xt.data(), n, in, od, relu);
+        X = nxt;
+        std::swap(cur, nxt);
+    }
+    // The output layer is scalar, so the final activation matrix is
+    // [n x 1] contiguous.
+    std::copy(X, X + n, out);
 }
 
 float

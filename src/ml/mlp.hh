@@ -24,6 +24,17 @@ struct MlpScratch
     std::vector<std::vector<float>> deltas; ///< gradients per layer
 };
 
+/**
+ * Per-thread workspace for batched forward passes: two ping-pong
+ * activation matrices, grown on demand to [batch x widest layer].
+ */
+struct MlpBatchScratch
+{
+    std::vector<float> in;      ///< current layer activations, row-major
+    std::vector<float> out;     ///< next layer activations, row-major
+    std::vector<float> xt;      ///< transposed row block (GEMM kernel)
+};
+
 /** Gradient accumulator with the same shape as the parameters. */
 struct GradBuffer
 {
@@ -54,6 +65,17 @@ class Mlp
 
     /** Forward pass (thread-safe with caller-owned scratch). */
     float forward(const float *x, MlpScratch &scratch) const;
+
+    /**
+     * Batched forward pass: evaluates `n` inputs (row-major, n x inputDim)
+     * and writes `n` scalar outputs to `out`. Each layer is computed as a
+     * blocked row-major GEMM, so the weight matrix is traversed once per
+     * row block instead of once per sample. Accumulation order per output
+     * matches forward(), so results agree with the scalar path.
+     * Thread-safe with caller-owned scratch.
+     */
+    void forwardBatch(const float *xs, size_t n, float *out,
+                      MlpBatchScratch &scratch) const;
 
     /**
      * Forward + backward with the paper's relative-error loss

@@ -17,6 +17,20 @@ TrainedModel::TrainedModel(Mlp mlp, std::vector<float> mean,
       featureMean(std::move(mean)), featureStd(std::move(stdev)),
       featureMask(std::move(mask))
 {
+    buildInvStd();
+}
+
+void
+TrainedModel::buildInvStd()
+{
+    featureInvStd.resize(featureStd.size());
+    maskedDims.clear();
+    for (size_t i = 0; i < featureStd.size(); ++i) {
+        const bool keep = featureMask.empty() || featureMask[i];
+        featureInvStd[i] = keep ? 1.0f / featureStd[i] : 0.0f;
+        if (!keep)
+            maskedDims.push_back(i);
+    }
 }
 
 float
@@ -29,12 +43,12 @@ TrainedModel::predict(const float *raw_features) const
 
     thread_local std::vector<float> x;
     x.resize(inputDim());
-    for (size_t i = 0; i < inputDim(); ++i) {
-        const bool keep = featureMask.empty() || featureMask[i];
-        x[i] = keep
-            ? (raw_features[i] - featureMean[i]) / featureStd[i]
-            : 0.0f;
-    }
+    for (size_t i = 0; i < inputDim(); ++i)
+        x[i] = (raw_features[i] - featureMean[i]) * featureInvStd[i];
+    // Masked-out inputs are forced to zero (a NaN/Inf raw value times
+    // the 0 inverse-std above would otherwise poison the prediction).
+    for (size_t i : maskedDims)
+        x[i] = 0.0f;
     const float yhat = net->forward(x.data(), scratch);
     return std::max(yhat, 1e-3f);   // CPI is positive
 }
@@ -43,13 +57,41 @@ std::vector<float>
 TrainedModel::predictBatch(const std::vector<float> &features, size_t dim,
                            size_t threads) const
 {
+    panic_if(!net, "predictBatch() on an empty model");
     panic_if(dim != inputDim(), "feature dim mismatch: %zu vs %zu", dim,
              inputDim());
     const size_t n = features.size() / dim;
     std::vector<float> out(n);
-    parallelFor(n, [&](size_t i) {
-        out[i] = predict(features.data() + i * dim);
+    if (n == 0)
+        return out;
+
+    // Standardize the whole batch once into one contiguous matrix
+    // (workspace reused across calls to avoid per-batch page faults).
+    // NOTE: thread_local is resolved per executing thread, so the
+    // parallel lambdas below must capture the owning thread's buffer
+    // through a plain pointer, never name `x` directly.
+    thread_local std::vector<float> x;
+    x.resize(n * dim);
+    float *xp = x.data();
+    const float *mu = featureMean.data();
+    const float *inv = featureInvStd.data();
+    parallelFor(n, [&, xp](size_t i) {
+        const float *src = features.data() + i * dim;
+        float *dst = xp + i * dim;
+        for (size_t d = 0; d < dim; ++d)
+            dst[d] = (src[d] - mu[d]) * inv[d];
+        for (size_t d : maskedDims)
+            dst[d] = 0.0f;
     }, threads);
+
+    // One blocked-GEMM pass per shard; each shard owns its workspace.
+    parallelShards(n, [&, xp](size_t, size_t lo, size_t hi) {
+        thread_local MlpBatchScratch scratch;
+        net->forwardBatch(xp + lo * dim, hi - lo, out.data() + lo,
+                          scratch);
+    }, threads);
+    for (float &y : out)
+        y = std::max(y, 1e-3f);     // CPI is positive
     return out;
 }
 
@@ -68,8 +110,16 @@ TrainedModel::meanRelativeError(const std::vector<float> &features,
 void
 TrainedModel::save(const std::string &path) const
 {
+    // Check before opening: BinaryWriter truncates an existing file.
     panic_if(!net, "save() on an empty model");
     BinaryWriter out(path);
+    save(out);
+}
+
+void
+TrainedModel::save(BinaryWriter &out) const
+{
+    panic_if(!net, "save() on an empty model");
     net->save(out);
     out.putVector(featureMean);
     out.putVector(featureStd);
@@ -80,12 +130,19 @@ TrainedModel
 TrainedModel::load(const std::string &path)
 {
     BinaryReader in(path);
+    return load(in);
+}
+
+TrainedModel
+TrainedModel::load(BinaryReader &in)
+{
     Mlp mlp(in);
     TrainedModel model;
     model.net = std::make_shared<Mlp>(std::move(mlp));
     model.featureMean = in.getVector<float>();
     model.featureStd = in.getVector<float>();
     model.featureMask = in.getVector<uint8_t>();
+    model.buildInvStd();
     return model;
 }
 

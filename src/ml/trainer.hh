@@ -54,7 +54,11 @@ class TrainedModel
     /** Predict from raw (unmasked, unstandardized) features. */
     float predict(const float *raw_features) const;
 
-    /** Batch prediction, multithreaded. */
+    /**
+     * Batch prediction: the whole batch is standardized once into one
+     * contiguous matrix, then evaluated through Mlp::forwardBatch as a
+     * blocked GEMM, sharded across threads. Matches predict() per row.
+     */
     std::vector<float> predictBatch(const std::vector<float> &features,
                                     size_t dim, size_t threads = 0) const;
 
@@ -66,10 +70,18 @@ class TrainedModel
     void save(const std::string &path) const;
     static TrainedModel load(const std::string &path);
 
+    /** Stream variants, for embedding in larger artifact files. */
+    void save(BinaryWriter &out) const;
+    static TrainedModel load(BinaryReader &in);
+
   private:
+    void buildInvStd();
+
     std::shared_ptr<const Mlp> net;
     std::vector<float> featureMean;
     std::vector<float> featureStd;
+    std::vector<float> featureInvStd;   ///< 1/std, 0 for masked-out dims
+    std::vector<size_t> maskedDims;     ///< indices forced to zero
     std::vector<uint8_t> featureMask;   ///< empty = keep everything
 };
 

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Offline CI equivalent: configure, build everything (library, CLI,
+# examples, tests, benches), and run the test suites. Mirrors
+# .github/workflows/ci.yml for machines without GitHub Actions.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S .
+cmake --build build -j "$JOBS"
+cmake --build build --target bench -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"

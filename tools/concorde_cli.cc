@@ -173,19 +173,28 @@ main(int argc, char **argv)
         std::printf("sweep of %s for %s:\n",
                     paramTable()[static_cast<int>(it->second)].name,
                     argv[2]);
-        for (int64_t value : sweepValues(it->second, true)) {
+        // One batched-inference pass over the whole sweep grid.
+        const auto values = sweepValues(it->second, true);
+        std::vector<UarchParams> points;
+        points.reserve(values.size());
+        for (int64_t value : values) {
             params.set(it->second, value);
+            points.push_back(params);
+        }
+        const auto cpis = predictor.predictCpiBatch(provider, points);
+        for (size_t i = 0; i < values.size(); ++i) {
             std::printf("  %6lld -> CPI %.4f\n",
-                        static_cast<long long>(value),
-                        predictor.predictCpi(provider, params));
+                        static_cast<long long>(values[i]), cpis[i]);
         }
         return 0;
     }
 
     if (command == "attribute") {
         const int permutations = argc > 3 ? std::atoi(argv[3]) : 48;
-        auto eval = [&](const UarchParams &p) {
-            return predictor.predictCpi(provider, p);
+        // Every permutation scan point is evaluated through one batched
+        // inference pass instead of thousands of scalar predictions.
+        const BatchEval eval = [&](const std::vector<UarchParams> &pts) {
+            return predictor.predictCpiBatch(provider, pts);
         };
         const UarchParams base = UarchParams::bigCore();
         ShapleyConfig config;
@@ -193,10 +202,12 @@ main(int argc, char **argv)
         const auto &components = attributionComponents();
         const auto phi =
             shapleyAttribution(base, params, components, eval, config);
+        const auto endpoints = predictor.predictCpiBatch(
+            provider, std::vector<UarchParams>{base, params});
         std::printf("CPI attribution for %s (target vs big core):\n",
                     argv[2]);
-        std::printf("  big core %.3f -> target %.3f\n", eval(base),
-                    eval(params));
+        std::printf("  big core %.3f -> target %.3f\n", endpoints[0],
+                    endpoints[1]);
         for (size_t c = 0; c < components.size(); ++c) {
             if (std::abs(phi[c]) >= 0.005) {
                 std::printf("  %-30s %+8.3f\n",
