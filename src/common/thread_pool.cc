@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -75,6 +76,76 @@ parallelShards(size_t n,
     }
     for (auto &w : workers)
         w.join();
+}
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    if (num_threads == 0)
+        num_threads = defaultThreads();
+    workers.reserve(num_threads);
+    for (size_t t = 0; t < num_threads; ++t)
+        workers.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    shutdown();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> task)
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (stopping)
+            throw std::runtime_error("ThreadPool::submit after shutdown");
+        queue.push_back(std::move(task));
+    }
+    cv.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    while (true) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mtx);
+            cv.wait(lock, [this]() { return stopping || !queue.empty(); });
+            // Drain-then-join: even when stopping, finish queued work
+            // first so every accepted future becomes ready.
+            if (queue.empty())
+                return;
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        // packaged_task captures any exception into the future.
+        task();
+    }
+}
+
+void
+ThreadPool::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (stopping && workers.empty())
+            return;
+        stopping = true;
+    }
+    cv.notify_all();
+    for (auto &w : workers) {
+        if (w.joinable())
+            w.join();
+    }
+    workers.clear();
+}
+
+bool
+ThreadPool::stopped() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return stopping;
 }
 
 } // namespace concorde

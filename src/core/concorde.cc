@@ -39,26 +39,16 @@ ConcordePredictor::predictCpiBatch(FeatureProvider &provider,
                                    const UarchParams *params, size_t n,
                                    size_t threads) const
 {
-    std::vector<double> out(n);
     if (n == 0)
-        return out;
-    const size_t dim = trainedModel.inputDim();
-
+        return {};
     // Assembly is serial (the provider's memo caches are not
     // thread-safe), but every analytical-model run is memoized, so a
     // sweep touches each (resource, value, memory-config) once.
     std::vector<float> features;
-    features.reserve(n * dim);
+    features.reserve(n * trainedModel.inputDim());
     for (size_t i = 0; i < n; ++i)
         provider.assemble(params[i], features);
-    panic_if(features.size() != n * dim,
-             "provider feature dim %zu != model input dim %zu",
-             features.size() / n, dim);
-
-    const auto preds = trainedModel.predictBatch(features, dim, threads);
-    for (size_t i = 0; i < n; ++i)
-        out[i] = preds[i];
-    return out;
+    return predictCpiFromFeatures(features, n, threads);
 }
 
 std::vector<double>
@@ -67,6 +57,23 @@ ConcordePredictor::predictCpiBatch(FeatureProvider &provider,
                                    size_t threads) const
 {
     return predictCpiBatch(provider, pts.data(), pts.size(), threads);
+}
+
+std::vector<double>
+ConcordePredictor::predictCpiFromFeatures(const std::vector<float> &rows,
+                                          size_t n, size_t threads) const
+{
+    std::vector<double> out(n);
+    if (n == 0)
+        return out;
+    panic_if(rows.size() != n * trainedModel.inputDim(),
+             "feature rows hold %zu floats, expected %zu x %zu",
+             rows.size(), n, trainedModel.inputDim());
+    const auto preds =
+        trainedModel.predictBatch(rows, trainedModel.inputDim(), threads);
+    for (size_t i = 0; i < n; ++i)
+        out[i] = preds[i];
+    return out;
 }
 
 double

@@ -62,6 +62,16 @@ class ConcordePredictor
                                         size_t threads = 0) const;
 
     /**
+     * Batched prediction from `n` pre-assembled raw feature rows
+     * (layout().dim() floats each). The serve layer assembles rows per
+     * region under its own locking, mixes rows from different regions
+     * into one batch, and evaluates them here in a single GEMM pass.
+     * Matches predictCpi for rows produced by FeatureProvider::assemble.
+     */
+    std::vector<double> predictCpiFromFeatures(
+        const std::vector<float> &rows, size_t n, size_t threads = 0) const;
+
+    /**
      * Estimate the CPI of a long program by averaging predictions over
      * `num_samples` randomly sampled regions (Section 5.1, Figure 9).
      */

@@ -1,0 +1,169 @@
+#include "serve/batching_queue.hh"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace concorde
+{
+namespace serve
+{
+
+BatchingQueue::BatchingQueue(BatchingConfig config, BatchFn batch_handler,
+                             ThreadPool *dispatch_pool)
+    : cfg(config), handler(std::move(batch_handler)), pool(dispatch_pool)
+{
+    if (cfg.maxBatch == 0)
+        throw std::invalid_argument("BatchingQueue: maxBatch must be > 0");
+    if (!handler)
+        throw std::invalid_argument("BatchingQueue: null batch handler");
+    dispatcher = std::thread([this]() { dispatcherLoop(); });
+}
+
+BatchingQueue::~BatchingQueue()
+{
+    shutdown();
+}
+
+std::future<double>
+BatchingQueue::submit(PredictionRequest request)
+{
+    Pending p;
+    p.request = std::move(request);
+    p.enqueued = std::chrono::steady_clock::now();
+    std::future<double> future = p.promise.get_future();
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        if (stopping)
+            throw std::runtime_error("BatchingQueue::submit after shutdown");
+        pending.push_back(std::move(p));
+        ++counters.submitted;
+    }
+    cv.notify_one();
+    return future;
+}
+
+std::vector<BatchingQueue::Pending>
+BatchingQueue::popBatchLocked()
+{
+    const size_t n = std::min(cfg.maxBatch, pending.size());
+    std::vector<Pending> batch;
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        batch.push_back(std::move(pending.front()));
+        pending.pop_front();
+    }
+    ++counters.batches;
+    if (counters.batchSizeCounts.size() <= n)
+        counters.batchSizeCounts.resize(n + 1, 0);
+    ++counters.batchSizeCounts[n];
+    return batch;
+}
+
+void
+BatchingQueue::dispatcherLoop()
+{
+    std::unique_lock<std::mutex> lock(mtx);
+    while (true) {
+        cv.wait(lock, [this]() { return stopping || !pending.empty(); });
+        if (pending.empty()) {
+            if (stopping)
+                return;
+            continue;
+        }
+        // The oldest waiting request sets the flush deadline; fill up
+        // to maxBatch until then.
+        const auto deadline = pending.front().enqueued + cfg.maxDelay;
+        cv.wait_until(lock, deadline, [this]() {
+            return stopping || pending.size() >= cfg.maxBatch;
+        });
+        if (pending.size() >= cfg.maxBatch)
+            ++counters.flushOnSize;
+        else if (stopping)
+            ++counters.flushOnShutdown;
+        else
+            ++counters.flushOnDeadline;
+        auto batch = popBatchLocked();
+        ++inFlight;
+        lock.unlock();
+
+        // Pending holds promises (move-only), and std::function needs a
+        // copyable callable, so the batch rides in a shared_ptr.
+        auto shared =
+            std::make_shared<std::vector<Pending>>(std::move(batch));
+        if (pool) {
+            try {
+                pool->submit(
+                    [this, shared]() { runBatch(std::move(*shared)); });
+            } catch (const std::runtime_error &) {
+                // Pool already shut down: degrade to inline dispatch
+                // rather than dropping the batch.
+                runBatch(std::move(*shared));
+            }
+        } else {
+            runBatch(std::move(*shared));
+        }
+        lock.lock();
+    }
+}
+
+void
+BatchingQueue::runBatch(std::vector<Pending> batch)
+{
+    std::vector<PredictionRequest> requests;
+    requests.reserve(batch.size());
+    for (Pending &p : batch)
+        requests.push_back(std::move(p.request));
+
+    std::vector<double> results;
+    bool ok = false;
+    try {
+        results = handler(requests);
+        if (results.size() != batch.size()) {
+            throw std::runtime_error(
+                "batch handler returned wrong result count");
+        }
+        ok = true;
+    } catch (...) {
+        const std::exception_ptr error = std::current_exception();
+        for (Pending &p : batch)
+            p.promise.set_exception(error);
+    }
+    if (ok) {
+        for (size_t i = 0; i < batch.size(); ++i)
+            batch[i].promise.set_value(results[i]);
+    }
+    {
+        // Notify while holding the lock: once it drops, shutdown() may
+        // observe inFlight == 0 and the queue may be destroyed, so this
+        // thread must not touch members afterwards.
+        std::lock_guard<std::mutex> lock(mtx);
+        --inFlight;
+        cvDrained.notify_all();
+    }
+}
+
+void
+BatchingQueue::shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        stopping = true;
+    }
+    cv.notify_all();
+    if (dispatcher.joinable())
+        dispatcher.join();
+    std::unique_lock<std::mutex> lock(mtx);
+    cvDrained.wait(lock, [this]() { return inFlight == 0; });
+}
+
+QueueStats
+BatchingQueue::stats() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return counters;
+}
+
+} // namespace serve
+} // namespace concorde

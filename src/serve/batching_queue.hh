@@ -1,0 +1,134 @@
+/**
+ * @file
+ * BatchingQueue: turns independent single-prediction requests into the
+ * dynamic batches the inference engine wants. Clients submit one
+ * (model, region, design point) request at a time and get a future; a
+ * dispatcher thread coalesces pending requests and flushes a batch when
+ * it reaches `maxBatch` or when the oldest request has waited
+ * `maxDelay` (whichever comes first), dispatching the batch handler
+ * through a ThreadPool so multiple batches can be in flight.
+ *
+ * This is the serving analogue of ConcordePredictor::predictCpiBatch:
+ * that API needs the caller to already hold a vector of design points,
+ * while a service sees requests arriving one by one from many clients.
+ */
+
+#ifndef CONCORDE_SERVE_BATCHING_QUEUE_HH
+#define CONCORDE_SERVE_BATCHING_QUEUE_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "serve/model_registry.hh"
+#include "trace/program_model.hh"
+#include "uarch/params.hh"
+
+namespace concorde
+{
+namespace serve
+{
+
+/** One prediction request, with its model resolved at submit time. */
+struct PredictionRequest
+{
+    ModelHandle model;
+    RegionSpec region;
+    UarchParams params;
+    uint64_t key = 0;   ///< cache key (model id, region, design point)
+};
+
+/** Dynamic-batching knobs. */
+struct BatchingConfig
+{
+    size_t maxBatch = 64;                       ///< flush at this size
+    std::chrono::microseconds maxDelay{200};    ///< flush deadline
+};
+
+/** Why a batch was flushed. */
+struct QueueStats
+{
+    uint64_t submitted = 0;
+    uint64_t batches = 0;
+    uint64_t flushOnSize = 0;
+    uint64_t flushOnDeadline = 0;
+    uint64_t flushOnShutdown = 0;
+    /** batchSizeCounts[s] = number of dispatched batches of size s. */
+    std::vector<uint64_t> batchSizeCounts;
+};
+
+/**
+ * The coalescing queue. The handler receives a flushed batch and
+ * returns one prediction per request (same order); if it throws, the
+ * exception is propagated to every future in the batch. Destruction
+ * stops new submissions, flushes everything still pending, and waits
+ * for in-flight batches, so every accepted future becomes ready.
+ */
+class BatchingQueue
+{
+  public:
+    using BatchFn =
+        std::function<std::vector<double>(
+            const std::vector<PredictionRequest> &)>;
+
+    /**
+     * @param pool executor for batch dispatch (nullptr = run batches on
+     *             the dispatcher thread itself)
+     */
+    BatchingQueue(BatchingConfig config, BatchFn handler,
+                  ThreadPool *pool = nullptr);
+    ~BatchingQueue();
+
+    BatchingQueue(const BatchingQueue &) = delete;
+    BatchingQueue &operator=(const BatchingQueue &) = delete;
+
+    /**
+     * Enqueue a request. Throws std::runtime_error after shutdown().
+     * The future yields the prediction or rethrows the handler's
+     * exception.
+     */
+    std::future<double> submit(PredictionRequest request);
+
+    /** Flush pending work, wait for in-flight batches, stop. */
+    void shutdown();
+
+    QueueStats stats() const;
+
+  private:
+    struct Pending
+    {
+        PredictionRequest request;
+        std::promise<double> promise;
+        std::chrono::steady_clock::time_point enqueued;
+    };
+
+    void dispatcherLoop();
+    /** Pops up to maxBatch requests; call with `mtx` held. */
+    std::vector<Pending> popBatchLocked();
+    void runBatch(std::vector<Pending> batch);
+
+    const BatchingConfig cfg;
+    const BatchFn handler;
+    ThreadPool *const pool;
+
+    mutable std::mutex mtx;
+    std::condition_variable cv;         ///< dispatcher wakeups
+    std::condition_variable cvDrained;  ///< shutdown waits on in-flight
+    std::deque<Pending> pending;
+    size_t inFlight = 0;
+    bool stopping = false;
+    QueueStats counters;
+    std::thread dispatcher;
+};
+
+} // namespace serve
+} // namespace concorde
+
+#endif // CONCORDE_SERVE_BATCHING_QUEUE_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * ModelRegistry: named, shared ownership of trained ConcordePredictors.
+ * A serving deployment holds several models at once (different uarch
+ * parameter spaces, region lengths, or training runs); the registry
+ * hands out shared_ptr snapshots so request threads read models without
+ * copying them and without holding any lock while predicting, and a
+ * model can be replaced atomically while in-flight batches finish on
+ * the old one.
+ */
+
+#ifndef CONCORDE_SERVE_MODEL_REGISTRY_HH
+#define CONCORDE_SERVE_MODEL_REGISTRY_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/concorde.hh"
+
+namespace concorde
+{
+namespace serve
+{
+
+/** A registered model: the predictor plus its registry identity. */
+struct ModelHandle
+{
+    std::string name;
+    uint32_t id = 0;    ///< stable per-registration id (cache-key salt)
+    std::shared_ptr<const ConcordePredictor> predictor;
+
+    bool valid() const { return predictor != nullptr; }
+};
+
+/** Thread-safe name -> predictor table with copy-free shared access. */
+class ModelRegistry
+{
+  public:
+    ModelRegistry() = default;
+
+    /**
+     * Register (or replace) a model under `name`. Replacement bumps the
+     * id, so cached predictions of the old model can never be returned
+     * for the new one.
+     */
+    ModelHandle add(const std::string &name, ConcordePredictor predictor);
+
+    /** Register a predictor loaded from a ConcordePredictor::save file. */
+    ModelHandle addFromFile(const std::string &name,
+                            const std::string &path);
+
+    /** Look up a model; returns an invalid handle if absent. */
+    ModelHandle get(const std::string &name) const;
+
+    /** Remove a model; in-flight holders keep their shared_ptr. */
+    bool remove(const std::string &name);
+
+    /** Registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    size_t size() const;
+
+  private:
+    mutable std::mutex mtx;
+    std::unordered_map<std::string, ModelHandle> models;
+    uint32_t nextId = 1;
+};
+
+} // namespace serve
+} // namespace concorde
+
+#endif // CONCORDE_SERVE_MODEL_REGISTRY_HH

@@ -1,0 +1,71 @@
+#include "serve/prediction_cache.hh"
+
+namespace concorde
+{
+namespace serve
+{
+
+PredictionCache::PredictionCache(size_t capacity) : cap(capacity)
+{
+    index.reserve(capacity);
+}
+
+bool
+PredictionCache::lookup(uint64_t key, double &value)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    const auto it = index.find(key);
+    if (it == index.end()) {
+        ++misses;
+        return false;
+    }
+    lru.splice(lru.begin(), lru, it->second);
+    value = it->second->value;
+    ++hits;
+    return true;
+}
+
+void
+PredictionCache::insert(uint64_t key, double value)
+{
+    if (cap == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mtx);
+    const auto it = index.find(key);
+    if (it != index.end()) {
+        it->second->value = value;
+        lru.splice(lru.begin(), lru, it->second);
+        return;
+    }
+    if (lru.size() >= cap) {
+        index.erase(lru.back().key);
+        lru.pop_back();
+        ++evictions;
+    }
+    lru.push_front(Entry{key, value});
+    index[key] = lru.begin();
+}
+
+CacheStats
+PredictionCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    CacheStats s;
+    s.hits = hits;
+    s.misses = misses;
+    s.evictions = evictions;
+    s.entries = lru.size();
+    s.capacity = cap;
+    return s;
+}
+
+void
+PredictionCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    lru.clear();
+    index.clear();
+}
+
+} // namespace serve
+} // namespace concorde

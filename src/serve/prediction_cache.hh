@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Sharded LRU cache for served CPI predictions. Keys are 64-bit hashes
+ * of (model, region, design point); values are the exact doubles the
+ * batched inference path produced, so a cache hit returns a prediction
+ * identical to a recompute. Long programs revisit the same regions over
+ * and over (Section 5.1 samples regions with replacement), which is
+ * where the cache pays off.
+ */
+
+#ifndef CONCORDE_SERVE_PREDICTION_CACHE_HH
+#define CONCORDE_SERVE_PREDICTION_CACHE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+namespace concorde
+{
+namespace serve
+{
+
+/** Snapshot of cache effectiveness counters. */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    size_t capacity = 0;
+
+    double
+    hitRate() const
+    {
+        const uint64_t total = hits + misses;
+        return total ? static_cast<double>(hits) / total : 0.0;
+    }
+};
+
+/**
+ * Thread-safe LRU map from prediction key to predicted CPI.
+ * A capacity of 0 disables caching (every lookup misses, nothing is
+ * stored).
+ */
+class PredictionCache
+{
+  public:
+    explicit PredictionCache(size_t capacity);
+
+    /**
+     * Look up a key; on a hit, refreshes recency and writes the value.
+     * Counts one hit or one miss.
+     */
+    bool lookup(uint64_t key, double &value);
+
+    /** Insert or refresh a key, evicting the LRU entry when full. */
+    void insert(uint64_t key, double value);
+
+    CacheStats stats() const;
+    void clear();
+
+  private:
+    struct Entry
+    {
+        uint64_t key;
+        double value;
+    };
+
+    mutable std::mutex mtx;
+    size_t cap;
+    std::list<Entry> lru;   ///< front = most recently used
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+};
+
+} // namespace serve
+} // namespace concorde
+
+#endif // CONCORDE_SERVE_PREDICTION_CACHE_HH

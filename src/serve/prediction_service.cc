@@ -1,0 +1,156 @@
+#include "serve/prediction_service.hh"
+
+#include <stdexcept>
+
+#include "common/rng.hh"
+
+namespace concorde
+{
+namespace serve
+{
+
+uint64_t
+predictionKey(uint32_t model_id, const RegionSpec &region,
+              const UarchParams &params)
+{
+    uint64_t h = hashMix(model_id, params.hashKey());
+    h = hashMix(h, static_cast<uint64_t>(region.programId),
+                static_cast<uint64_t>(region.traceId));
+    return hashMix(h, region.startChunk, region.numChunks);
+}
+
+PredictionService::PredictionService(ServeConfig config)
+    : cfg(config), cache(config.cacheCapacity), pool(config.poolThreads)
+{
+    queue = std::make_unique<BatchingQueue>(
+        cfg.batching,
+        [this](const std::vector<PredictionRequest> &batch) {
+            return handleBatch(batch);
+        },
+        &pool);
+}
+
+PredictionService::~PredictionService()
+{
+    shutdown();
+}
+
+std::future<double>
+PredictionService::predictAsync(const std::string &model,
+                                const RegionSpec &region,
+                                const UarchParams &params)
+{
+    ModelHandle handle = models.get(model);
+    if (!handle.valid())
+        throw std::invalid_argument("unknown model '" + model + "'");
+    PredictionRequest request;
+    request.model = std::move(handle);
+    request.region = region;
+    request.params = params;
+    request.key = predictionKey(request.model.id, region, params);
+    return queue->submit(std::move(request));
+}
+
+double
+PredictionService::predict(const std::string &model,
+                           const RegionSpec &region,
+                           const UarchParams &params)
+{
+    return predictAsync(model, region, params).get();
+}
+
+PredictionService::ProviderKey
+PredictionService::providerKey(const PredictionRequest &request)
+{
+    return {request.model.id, request.region.programId,
+            request.region.traceId, request.region.startChunk,
+            request.region.numChunks};
+}
+
+PredictionService::ProviderEntry &
+PredictionService::providerFor(const PredictionRequest &request)
+{
+    std::lock_guard<std::mutex> lock(providersMtx);
+    auto &slot = providers[providerKey(request)];
+    if (!slot) {
+        slot = std::make_unique<ProviderEntry>();
+        slot->provider = std::make_unique<FeatureProvider>(
+            request.region, request.model.predictor->featureConfig());
+    }
+    return *slot;
+}
+
+std::vector<double>
+PredictionService::handleBatch(const std::vector<PredictionRequest> &batch)
+{
+    std::vector<double> out(batch.size());
+
+    // Cache pass: repeated (model, region, design point) requests are
+    // answered from memory with the exact previously computed double.
+    std::vector<size_t> misses;
+    for (size_t i = 0; i < batch.size(); ++i) {
+        if (!cache.lookup(batch[i].key, out[i]))
+            misses.push_back(i);
+    }
+    if (misses.empty())
+        return out;
+
+    // Group the misses by (model, region): each group shares one
+    // FeatureProvider and one batched inference pass.
+    std::map<ProviderKey, std::vector<size_t>> groups;
+    for (size_t i : misses)
+        groups[providerKey(batch[i])].push_back(i);
+
+    for (const auto &[key, rows] : groups) {
+        const PredictionRequest &first = batch[rows.front()];
+        const ConcordePredictor &predictor = *first.model.predictor;
+        const size_t dim = predictor.layout().dim();
+
+        std::vector<float> features;
+        features.reserve(rows.size() * dim);
+        {
+            // Providers memoize analytical-model runs and are not
+            // thread-safe; serialize assembly per (model, region).
+            ProviderEntry &entry = providerFor(first);
+            std::lock_guard<std::mutex> lock(entry.mtx);
+            for (size_t i : rows)
+                entry.provider->assemble(batch[i].params, features);
+        }
+
+        const auto preds = predictor.predictCpiFromFeatures(
+            features, rows.size(), cfg.mlpThreads);
+        for (size_t r = 0; r < rows.size(); ++r) {
+            out[rows[r]] = preds[r];
+            cache.insert(batch[rows[r]].key, preds[r]);
+        }
+    }
+    return out;
+}
+
+void
+PredictionService::clearProviders()
+{
+    std::lock_guard<std::mutex> lock(providersMtx);
+    providers.clear();
+}
+
+void
+PredictionService::shutdown()
+{
+    if (queue)
+        queue->shutdown();
+    pool.shutdown();
+}
+
+ServeStats
+PredictionService::stats() const
+{
+    ServeStats s;
+    if (queue)
+        s.queue = queue->stats();
+    s.cache = cache.stats();
+    return s;
+}
+
+} // namespace serve
+} // namespace concorde

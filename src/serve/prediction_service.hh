@@ -1,0 +1,135 @@
+/**
+ * @file
+ * PredictionService: the full serving stack on top of the batched
+ * inference engine.
+ *
+ *     clients ── predictAsync(model, region, params) ──> futures
+ *        │
+ *        ▼
+ *     BatchingQueue (coalesce: maxBatch / maxDelay)
+ *        │  flushed batches, dispatched through the ThreadPool
+ *        ▼
+ *     batch handler: PredictionCache lookup ── hit ──> result
+ *        │ misses, grouped by (model, region)
+ *        ▼
+ *     FeatureProvider::assemble (per-region, memoized analytical models)
+ *        ▼
+ *     ConcordePredictor::predictCpiFromFeatures (one GEMM pass)
+ *
+ * Results are identical to calling predictCpi request-by-request; the
+ * service only changes how the work is scheduled.
+ */
+
+#ifndef CONCORDE_SERVE_PREDICTION_SERVICE_HH
+#define CONCORDE_SERVE_PREDICTION_SERVICE_HH
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "serve/batching_queue.hh"
+#include "serve/model_registry.hh"
+#include "serve/prediction_cache.hh"
+
+namespace concorde
+{
+namespace serve
+{
+
+/** Service-wide configuration. */
+struct ServeConfig
+{
+    BatchingConfig batching;
+    size_t cacheCapacity = 1 << 16;
+    /** Batch-dispatch worker threads (0 = hardware concurrency). */
+    size_t poolThreads = 1;
+    /** Threads per MLP GEMM pass (1: parallelism comes from the pool). */
+    size_t mlpThreads = 1;
+};
+
+/** Aggregated service counters. */
+struct ServeStats
+{
+    QueueStats queue;
+    CacheStats cache;
+};
+
+class PredictionService
+{
+  public:
+    explicit PredictionService(ServeConfig config = ServeConfig{});
+    ~PredictionService();
+
+    PredictionService(const PredictionService &) = delete;
+    PredictionService &operator=(const PredictionService &) = delete;
+
+    /** The registry is exposed for model management (add/replace/list). */
+    ModelRegistry &registry() { return models; }
+    const ModelRegistry &registry() const { return models; }
+
+    /**
+     * Submit one prediction request; throws std::invalid_argument if
+     * `model` is not registered. The future yields the CPI.
+     */
+    std::future<double> predictAsync(const std::string &model,
+                                     const RegionSpec &region,
+                                     const UarchParams &params);
+
+    /** Blocking convenience wrapper around predictAsync. */
+    double predict(const std::string &model, const RegionSpec &region,
+                   const UarchParams &params);
+
+    /**
+     * Drop the cached FeatureProvider state for regions served so far
+     * (providers are kept per (model, region) and grow with the number
+     * of distinct regions seen). Only safe once the service is idle --
+     * in-flight batches hold references into the provider table.
+     */
+    void clearProviders();
+
+    /** Flush pending batches and stop accepting requests. */
+    void shutdown();
+
+    ServeStats stats() const;
+
+  private:
+    /** Per-(model, region) assembly state; providers aren't thread-safe. */
+    struct ProviderEntry
+    {
+        std::mutex mtx;
+        std::unique_ptr<FeatureProvider> provider;
+    };
+
+    /**
+     * Exact (model id, region) identity -- deliberately not a hash, so
+     * a collision can never hand a batch the wrong provider.
+     */
+    using ProviderKey = std::tuple<uint32_t, int, int, uint64_t, uint32_t>;
+    static ProviderKey providerKey(const PredictionRequest &request);
+
+    std::vector<double>
+    handleBatch(const std::vector<PredictionRequest> &batch);
+    ProviderEntry &providerFor(const PredictionRequest &request);
+
+    const ServeConfig cfg;
+    ModelRegistry models;
+    PredictionCache cache;
+    ThreadPool pool;
+
+    std::mutex providersMtx;
+    std::map<ProviderKey, std::unique_ptr<ProviderEntry>> providers;
+
+    /** Constructed last so its dispatcher never outlives the members. */
+    std::unique_ptr<BatchingQueue> queue;
+};
+
+/** Cache key of one request: (model id, region, design point). */
+uint64_t predictionKey(uint32_t model_id, const RegionSpec &region,
+                       const UarchParams &params);
+
+} // namespace serve
+} // namespace concorde
+
+#endif // CONCORDE_SERVE_PREDICTION_SERVICE_HH

@@ -139,6 +139,26 @@ UarchParams::toString() const
     return buf;
 }
 
+uint64_t
+UarchParams::hashKey() const
+{
+    // Simple-predictor mispredict rate only matters when the simple
+    // predictor is selected, so normalize it out under TAGE (mirrors
+    // BranchConfig::operator==).
+    uint64_t h = hashMix(0x636f6e63ULL);
+    for (int i = 0; i < kNumParams; ++i) {
+        const auto id = static_cast<ParamId>(i);
+        int64_t value = get(id);
+        if (id == ParamId::SimpleMispredictPct
+            && branch.type == BranchConfig::Type::Tage) {
+            value = 0;
+        }
+        h = hashMix(h, static_cast<uint64_t>(i),
+                    static_cast<uint64_t>(value));
+    }
+    return h;
+}
+
 bool
 UarchParams::operator==(const UarchParams &o) const
 {

@@ -86,6 +86,12 @@ struct UarchParams
     /** Human-readable one-line summary. */
     std::string toString() const;
 
+    /**
+     * Stable 64-bit key of the design point (equal params -> equal key);
+     * used by the serve layer's prediction cache.
+     */
+    uint64_t hashKey() const;
+
     bool operator==(const UarchParams &o) const;
 };
 

@@ -161,8 +161,9 @@ TEST(RegionAnalysis, IsideNewLineFlags)
             EXPECT_EQ(iside.newLine[i], 0);
         else
             EXPECT_EQ(iside.newLine[i], 1);
-        if (!iside.newLine[i])
+        if (!iside.newLine[i]) {
             EXPECT_EQ(iside.lineLat[i], kL1iHitLat);
+        }
     }
 }
 

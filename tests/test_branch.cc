@@ -137,10 +137,12 @@ TEST(MispredictFlags, OnlyBranchesFlagged)
     const auto flags = computeMispredicts({}, region, config, 1);
     ASSERT_EQ(flags.size(), region.size());
     for (size_t i = 0; i < region.size(); ++i) {
-        if (!region[i].isBranch())
+        if (!region[i].isBranch()) {
             EXPECT_EQ(flags[i], 0);
-        if (region[i].branchKind == BranchKind::DirectUncond)
+        }
+        if (region[i].branchKind == BranchKind::DirectUncond) {
             EXPECT_EQ(flags[i], 0) << "unconditional cannot mispredict";
+        }
     }
 }
 

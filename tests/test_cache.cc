@@ -242,8 +242,9 @@ TEST(TimingMemory, DramBandwidthSpacing)
     for (int i = 0; i < 32; ++i) {
         const MemResponse resp =
             mem.load(0x10, 0x9000000 + i * 4096, 0);
-        if (i > 0)
+        if (i > 0) {
             EXPECT_GE(resp.readyCycle, prev + TimingMemory::kDramGap);
+        }
         prev = resp.readyCycle;
     }
 }

@@ -1,0 +1,425 @@
+/**
+ * @file
+ * Tests for the prediction-service layer: LRU PredictionCache
+ * accounting and eviction, ModelRegistry identity rules, BatchingQueue
+ * flush/edge-case behavior against a mock handler, and the composed
+ * PredictionService matching the scalar predictCpi path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.hh"
+#include "core/concorde.hh"
+#include "ml/mlp.hh"
+#include "serve/prediction_service.hh"
+
+namespace concorde
+{
+namespace
+{
+
+using namespace concorde::serve;
+
+// ---- PredictionCache ----
+
+TEST(PredictionCache, HitMissAccounting)
+{
+    PredictionCache cache(4);
+    double value = 0.0;
+    EXPECT_FALSE(cache.lookup(1, value));
+    cache.insert(1, 2.5);
+    EXPECT_TRUE(cache.lookup(1, value));
+    EXPECT_EQ(value, 2.5);
+    const CacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.entries, 1u);
+    EXPECT_DOUBLE_EQ(stats.hitRate(), 0.5);
+}
+
+TEST(PredictionCache, EvictsLeastRecentlyUsed)
+{
+    PredictionCache cache(2);
+    cache.insert(1, 1.0);
+    cache.insert(2, 2.0);
+    double value = 0.0;
+    // Touch key 1 so key 2 becomes the LRU victim.
+    EXPECT_TRUE(cache.lookup(1, value));
+    cache.insert(3, 3.0);
+    EXPECT_TRUE(cache.lookup(1, value));
+    EXPECT_FALSE(cache.lookup(2, value));
+    EXPECT_TRUE(cache.lookup(3, value));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(PredictionCache, InsertRefreshesExistingKey)
+{
+    PredictionCache cache(2);
+    cache.insert(1, 1.0);
+    cache.insert(2, 2.0);
+    cache.insert(1, 1.5);    // refresh, not a new entry
+    cache.insert(3, 3.0);    // evicts 2, not 1
+    double value = 0.0;
+    EXPECT_TRUE(cache.lookup(1, value));
+    EXPECT_EQ(value, 1.5);
+    EXPECT_FALSE(cache.lookup(2, value));
+}
+
+TEST(PredictionCache, ZeroCapacityDisablesCaching)
+{
+    PredictionCache cache(0);
+    cache.insert(1, 1.0);
+    double value = 0.0;
+    EXPECT_FALSE(cache.lookup(1, value));
+    EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+// ---- ModelRegistry ----
+
+/** Tiny untrained predictor over a shrunken feature space. */
+ConcordePredictor
+tinyPredictor(uint64_t seed)
+{
+    FeatureConfig cfg;
+    cfg.numPercentiles = 5;
+    cfg.robSweep = {4, 64};
+    cfg.latencyRobSizes = {4, 64};
+    const FeatureLayout layout(cfg);
+    Mlp net({layout.dim(), 16, 1}, seed);
+    std::vector<float> mean(layout.dim(), 0.0f);
+    std::vector<float> stdev(layout.dim(), 1.0f);
+    TrainedModel model(std::move(net), std::move(mean), std::move(stdev),
+                       {});
+    return ConcordePredictor(std::move(model), cfg);
+}
+
+TEST(ModelRegistry, AddGetRemove)
+{
+    ModelRegistry registry;
+    EXPECT_FALSE(registry.get("m").valid());
+    registry.add("m", tinyPredictor(1));
+    registry.add("other", tinyPredictor(2));
+    EXPECT_TRUE(registry.get("m").valid());
+    EXPECT_EQ(registry.size(), 2u);
+    EXPECT_EQ(registry.names(),
+              (std::vector<std::string>{"m", "other"}));
+    EXPECT_TRUE(registry.remove("m"));
+    EXPECT_FALSE(registry.remove("m"));
+    EXPECT_FALSE(registry.get("m").valid());
+}
+
+TEST(ModelRegistry, ReplacementBumpsIdAndKeepsOldAlive)
+{
+    ModelRegistry registry;
+    const ModelHandle first = registry.add("m", tinyPredictor(3));
+    const ModelHandle second = registry.add("m", tinyPredictor(4));
+    EXPECT_NE(first.id, second.id);
+    // The first handle's predictor survives replacement (shared_ptr).
+    EXPECT_TRUE(first.predictor != nullptr);
+    EXPECT_NE(first.predictor.get(), second.predictor.get());
+    // Cache keys must differ across registrations of the same name.
+    const RegionSpec region{0, 0, 0, 1};
+    const UarchParams n1 = UarchParams::armN1();
+    EXPECT_NE(predictionKey(first.id, region, n1),
+              predictionKey(second.id, region, n1));
+}
+
+// ---- BatchingQueue (mock handler) ----
+
+/** Handler that answers each request with its ROB size. */
+BatchingQueue::BatchFn
+robSizeHandler(std::atomic<int> *batches = nullptr)
+{
+    return [batches](const std::vector<PredictionRequest> &batch) {
+        if (batches)
+            ++*batches;
+        std::vector<double> out;
+        out.reserve(batch.size());
+        for (const auto &request : batch)
+            out.push_back(static_cast<double>(request.params.robSize));
+        return out;
+    };
+}
+
+PredictionRequest
+requestWithRob(int rob)
+{
+    PredictionRequest request;
+    request.params.robSize = rob;
+    request.key = request.params.hashKey();
+    return request;
+}
+
+TEST(BatchingQueue, FlushOnDeadlineWithSingleRequest)
+{
+    BatchingConfig cfg;
+    cfg.maxBatch = 100;     // never reached
+    cfg.maxDelay = std::chrono::microseconds(2000);
+    BatchingQueue queue(cfg, robSizeHandler());
+    Stopwatch t;
+    auto future = queue.submit(requestWithRob(42));
+    EXPECT_EQ(future.get(), 42.0);
+    // The flush had to come from the deadline, well before any
+    // size-based trigger could fire.
+    const QueueStats stats = queue.stats();
+    EXPECT_EQ(stats.submitted, 1u);
+    EXPECT_EQ(stats.batches, 1u);
+    EXPECT_EQ(stats.flushOnDeadline, 1u);
+    ASSERT_GT(stats.batchSizeCounts.size(), 1u);
+    EXPECT_EQ(stats.batchSizeCounts[1], 1u);
+}
+
+TEST(BatchingQueue, FlushOnMaxBatchBeforeDeadline)
+{
+    BatchingConfig cfg;
+    cfg.maxBatch = 8;
+    cfg.maxDelay = std::chrono::seconds(30);    // deadline unreachable
+    BatchingQueue queue(cfg, robSizeHandler());
+    std::vector<std::future<double>> futures;
+    Stopwatch t;
+    for (int i = 0; i < 8; ++i)
+        futures.push_back(queue.submit(requestWithRob(i + 1)));
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(futures[i].get(), i + 1.0);
+    // Completed despite the 30s deadline => the size trigger flushed.
+    EXPECT_LT(t.seconds(), 10.0);
+    EXPECT_GE(queue.stats().flushOnSize, 1u);
+}
+
+TEST(BatchingQueue, ConcurrentSubmittersExceedPoolSize)
+{
+    ThreadPool pool(1);
+    BatchingConfig cfg;
+    cfg.maxBatch = 16;
+    cfg.maxDelay = std::chrono::microseconds(200);
+    std::atomic<int> batches{0};
+    BatchingQueue queue(cfg, robSizeHandler(&batches), &pool);
+    constexpr int kSubmitters = 6;      // > pool size of 1
+    constexpr int kPerThread = 80;
+    std::vector<std::thread> submitters;
+    std::atomic<int> failures{0};
+    for (int t = 0; t < kSubmitters; ++t) {
+        submitters.emplace_back([&, t]() {
+            std::vector<std::future<double>> futures;
+            std::vector<int> expect;
+            for (int i = 0; i < kPerThread; ++i) {
+                const int rob = 1 + t * kPerThread + i;
+                expect.push_back(rob);
+                futures.push_back(queue.submit(requestWithRob(rob)));
+            }
+            for (int i = 0; i < kPerThread; ++i) {
+                if (futures[i].get() != expect[i])
+                    ++failures;
+            }
+        });
+    }
+    for (auto &t : submitters)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+    const QueueStats stats = queue.stats();
+    EXPECT_EQ(stats.submitted,
+              static_cast<uint64_t>(kSubmitters * kPerThread));
+    EXPECT_GE(batches.load(), 1);
+    // Every submitted request was dispatched in exactly one batch.
+    uint64_t dispatched = 0;
+    for (size_t s = 0; s < stats.batchSizeCounts.size(); ++s)
+        dispatched += s * stats.batchSizeCounts[s];
+    EXPECT_EQ(dispatched, stats.submitted);
+}
+
+TEST(BatchingQueue, HandlerExceptionReachesEveryFuture)
+{
+    BatchingConfig cfg;
+    cfg.maxBatch = 4;
+    cfg.maxDelay = std::chrono::microseconds(100);
+    BatchingQueue queue(cfg, [](const std::vector<PredictionRequest> &)
+                        -> std::vector<double> {
+        throw std::runtime_error("model exploded");
+    });
+    std::vector<std::future<double>> futures;
+    for (int i = 0; i < 4; ++i)
+        futures.push_back(queue.submit(requestWithRob(i + 1)));
+    for (auto &f : futures)
+        EXPECT_THROW(f.get(), std::runtime_error);
+    // The queue survives a failing batch.
+    EXPECT_EQ(queue.stats().batches, 1u);
+}
+
+TEST(BatchingQueue, WrongResultCountIsAnError)
+{
+    BatchingConfig cfg;
+    cfg.maxBatch = 2;
+    cfg.maxDelay = std::chrono::microseconds(100);
+    BatchingQueue queue(cfg, [](const std::vector<PredictionRequest> &) {
+        return std::vector<double>{1.0};    // short by one
+    });
+    auto a = queue.submit(requestWithRob(1));
+    auto b = queue.submit(requestWithRob(2));
+    EXPECT_THROW(a.get(), std::runtime_error);
+    EXPECT_THROW(b.get(), std::runtime_error);
+}
+
+TEST(BatchingQueue, ShutdownFlushesPendingAndRejectsNewWork)
+{
+    BatchingConfig cfg;
+    cfg.maxBatch = 100;
+    cfg.maxDelay = std::chrono::seconds(30);
+    BatchingQueue queue(cfg, robSizeHandler());
+    std::vector<std::future<double>> futures;
+    for (int i = 0; i < 3; ++i)
+        futures.push_back(queue.submit(requestWithRob(i + 1)));
+    queue.shutdown();
+    for (int i = 0; i < 3; ++i)
+        EXPECT_EQ(futures[i].get(), i + 1.0);
+    EXPECT_GE(queue.stats().flushOnShutdown, 1u);
+    EXPECT_THROW(queue.submit(requestWithRob(9)), std::runtime_error);
+}
+
+TEST(BatchingQueue, RejectsBrokenConfig)
+{
+    BatchingConfig cfg;
+    cfg.maxBatch = 0;
+    EXPECT_THROW(BatchingQueue(cfg, robSizeHandler()),
+                 std::invalid_argument);
+    cfg.maxBatch = 1;
+    EXPECT_THROW(BatchingQueue(cfg, nullptr), std::invalid_argument);
+}
+
+// ---- PredictionService end to end ----
+
+TEST(PredictionService, MatchesScalarPredictorAndCountsCacheTraffic)
+{
+    ServeConfig cfg;
+    cfg.batching.maxBatch = 16;
+    cfg.batching.maxDelay = std::chrono::microseconds(200);
+    cfg.cacheCapacity = 1024;
+    cfg.poolThreads = 2;
+    PredictionService service(cfg);
+    service.registry().add("tiny", tinyPredictor(11));
+
+    // An independent predictor with identical weights for the scalar
+    // reference path.
+    ConcordePredictor reference = tinyPredictor(11);
+    const RegionSpec region{0, 0, 0, 1};
+    FeatureProvider provider(region, reference.featureConfig());
+
+    Rng rng(12);
+    std::vector<UarchParams> points;
+    for (int i = 0; i < 40; ++i)
+        points.push_back(UarchParams::sampleRandom(rng));
+
+    std::vector<std::future<double>> futures;
+    for (const auto &point : points)
+        futures.push_back(service.predictAsync("tiny", region, point));
+    for (size_t i = 0; i < points.size(); ++i) {
+        const double scalar = reference.predictCpi(provider, points[i]);
+        EXPECT_NEAR(futures[i].get(), scalar,
+                    1e-6 * std::max(1.0, std::abs(scalar))) << "point " << i;
+    }
+
+    const uint64_t misses_before = service.stats().cache.misses;
+    EXPECT_GE(misses_before, points.size());
+
+    // Replay: every request must now be a cache hit, with the exact
+    // same double as the first pass.
+    for (size_t i = 0; i < points.size(); ++i) {
+        const double replay = service.predict("tiny", region, points[i]);
+        const double scalar = reference.predictCpi(provider, points[i]);
+        EXPECT_NEAR(replay, scalar,
+                    1e-6 * std::max(1.0, std::abs(scalar)));
+    }
+    const ServeStats stats = service.stats();
+    EXPECT_GE(stats.cache.hits, static_cast<uint64_t>(points.size()));
+    EXPECT_EQ(stats.cache.misses, misses_before);
+    EXPECT_EQ(stats.queue.submitted,
+              static_cast<uint64_t>(2 * points.size()));
+}
+
+TEST(PredictionService, CacheHitIsBitwiseIdentical)
+{
+    ServeConfig cfg;
+    cfg.batching.maxBatch = 4;
+    cfg.batching.maxDelay = std::chrono::microseconds(100);
+    PredictionService service(cfg);
+    service.registry().add("tiny", tinyPredictor(21));
+    const RegionSpec region{1, 0, 0, 1};
+    const UarchParams n1 = UarchParams::armN1();
+    const double first = service.predict("tiny", region, n1);
+    const double second = service.predict("tiny", region, n1);
+    EXPECT_EQ(first, second);
+    EXPECT_GE(service.stats().cache.hits, 1u);
+}
+
+TEST(PredictionService, UnknownModelThrows)
+{
+    PredictionService service;
+    const RegionSpec region{0, 0, 0, 1};
+    EXPECT_THROW(service.predictAsync("missing", region,
+                                      UarchParams::armN1()),
+                 std::invalid_argument);
+}
+
+TEST(PredictionService, ServesMultipleModelsAndRegions)
+{
+    ServeConfig cfg;
+    cfg.batching.maxBatch = 8;
+    cfg.batching.maxDelay = std::chrono::microseconds(100);
+    PredictionService service(cfg);
+    service.registry().add("a", tinyPredictor(31));
+    service.registry().add("b", tinyPredictor(32));
+    const UarchParams n1 = UarchParams::armN1();
+
+    ConcordePredictor ref_a = tinyPredictor(31);
+    ConcordePredictor ref_b = tinyPredictor(32);
+
+    std::vector<std::future<double>> futures;
+    std::vector<double> expected;
+    for (int r = 0; r < 3; ++r) {
+        const RegionSpec region{r, 0, 0, 1};
+        futures.push_back(service.predictAsync("a", region, n1));
+        expected.push_back(ref_a.predictCpi(region, n1));
+        futures.push_back(service.predictAsync("b", region, n1));
+        expected.push_back(ref_b.predictCpi(region, n1));
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+        EXPECT_NEAR(futures[i].get(), expected[i],
+                    1e-6 * std::max(1.0, std::abs(expected[i])));
+    }
+}
+
+TEST(PredictionKey, DistinguishesRequests)
+{
+    const RegionSpec region{0, 0, 0, 1};
+    const RegionSpec other{0, 0, 8, 1};
+    const UarchParams n1 = UarchParams::armN1();
+    UarchParams changed = n1;
+    changed.robSize += 1;
+    EXPECT_EQ(predictionKey(1, region, n1), predictionKey(1, region, n1));
+    EXPECT_NE(predictionKey(1, region, n1), predictionKey(2, region, n1));
+    EXPECT_NE(predictionKey(1, region, n1), predictionKey(1, other, n1));
+    EXPECT_NE(predictionKey(1, region, n1),
+              predictionKey(1, region, changed));
+}
+
+TEST(UarchParamsHashKey, NormalizesIrrelevantMispredictPct)
+{
+    UarchParams a = UarchParams::armN1();
+    UarchParams b = a;
+    ASSERT_EQ(a.branch.type, BranchConfig::Type::Tage);
+    b.branch.simpleMispredictPct = 50;  // unused under TAGE
+    EXPECT_EQ(a.hashKey(), b.hashKey());
+    b.set(ParamId::BranchPredictor, 0);  // simple predictor: now it counts
+    UarchParams c = b;
+    c.branch.simpleMispredictPct = 10;
+    EXPECT_NE(b.hashKey(), c.hashKey());
+}
+
+} // anonymous namespace
+} // namespace concorde

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Tests for the persistent ThreadPool behind the serve layer: result
+ * and exception propagation through futures, shutdown ordering (queued
+ * work drains before workers join; submissions after shutdown are
+ * rejected), and concurrent submitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hh"
+
+namespace concorde
+{
+namespace
+{
+
+TEST(ThreadPool, ReturnsResultsThroughFutures)
+{
+    ThreadPool pool(3);
+    EXPECT_EQ(pool.numThreads(), 3u);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 20; ++i)
+        futures.push_back(pool.submit([i]() { return i * i; }));
+    for (int i = 0; i < 20; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, PropagatesTaskExceptions)
+{
+    ThreadPool pool(2);
+    auto bad = pool.submit([]() -> int {
+        throw std::runtime_error("task failed");
+    });
+    auto good = pool.submit([]() { return 7; });
+    EXPECT_THROW(bad.get(), std::runtime_error);
+    // A throwing task must not kill its worker.
+    EXPECT_EQ(good.get(), 7);
+    EXPECT_EQ(pool.submit([]() { return 8; }).get(), 8);
+}
+
+TEST(ThreadPool, ExceptionMessageSurvives)
+{
+    ThreadPool pool(1);
+    auto f = pool.submit([]() {
+        throw std::runtime_error("specific message");
+    });
+    try {
+        f.get();
+        FAIL() << "expected exception";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "specific message");
+    }
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedTasksFirst)
+{
+    // Queue far more slow tasks than workers, shut down immediately,
+    // and check every accepted task still ran exactly once.
+    std::atomic<int> ran{0};
+    std::vector<std::future<void>> futures;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i) {
+            futures.push_back(pool.submit([&ran]() {
+                std::this_thread::sleep_for(std::chrono::microseconds(100));
+                ++ran;
+            }));
+        }
+        pool.shutdown();
+        EXPECT_TRUE(pool.stopped());
+    }
+    EXPECT_EQ(ran.load(), 64);
+    for (auto &f : futures)
+        EXPECT_NO_THROW(f.get());
+}
+
+TEST(ThreadPool, DestructorImpliesShutdown)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(1);
+        for (int i = 0; i < 16; ++i)
+            pool.submit([&ran]() { ++ran; });
+    }
+    EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows)
+{
+    ThreadPool pool(1);
+    pool.shutdown();
+    EXPECT_THROW(pool.submit([]() { return 1; }), std::runtime_error);
+    // shutdown is idempotent.
+    EXPECT_NO_THROW(pool.shutdown());
+}
+
+TEST(ThreadPool, ManyConcurrentSubmitters)
+{
+    ThreadPool pool(2);
+    std::atomic<int> total{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 6; ++t) {
+        submitters.emplace_back([&pool, &total]() {
+            std::vector<std::future<void>> futures;
+            for (int i = 0; i < 50; ++i)
+                futures.push_back(pool.submit([&total]() { ++total; }));
+            for (auto &f : futures)
+                f.get();
+        });
+    }
+    for (auto &t : submitters)
+        t.join();
+    EXPECT_EQ(total.load(), 6 * 50);
+}
+
+} // anonymous namespace
+} // namespace concorde

@@ -136,10 +136,12 @@ TEST_P(AllProgramsTest, RegionsAreWellFormed)
             // Forwarding loads share the store's address.
             EXPECT_EQ(instr.memAddr, region[instr.memDep].memAddr);
         }
-        if (instr.isMem())
+        if (instr.isMem()) {
             EXPECT_NE(instr.memAddr, 0u);
-        if (instr.isBranch())
+        }
+        if (instr.isBranch()) {
             EXPECT_NE(instr.branchKind, BranchKind::None);
+        }
         loads += instr.isLoad();
         stores += instr.isStore();
         branches += instr.isBranch();
@@ -168,8 +170,9 @@ TEST_P(AllProgramsTest, StaticBlocksHaveStableOpcodes)
         if (instr.isIsb())
             continue;   // barriers are dynamic events
         auto [it, inserted] = opcode_at.try_emplace(instr.pc, instr.type);
-        if (!inserted)
+        if (!inserted) {
             EXPECT_EQ(it->second, instr.type) << "pc " << instr.pc;
+        }
     }
 }
 

@@ -1,14 +1,59 @@
 #!/bin/sh
-# Offline CI equivalent: configure, build everything (library, CLI,
-# examples, tests, benches), and run the test suites. Mirrors
-# .github/workflows/ci.yml for machines without GitHub Actions.
+# Offline CI equivalent: mirrors .github/workflows/ci.yml for machines
+# without GitHub Actions.
+#
+#   stage 1  configure (warnings fatal) + build everything + full ctest
+#   stage 2  ASan+UBSan build + full ctest        (SKIP_SANITIZE=1 skips)
+#   stage 3  bench smoke + perf-regression gates  (SKIP_BENCH=1 skips)
+#
+# Env knobs: BUILD_TYPE (default Release), JOBS (default nproc).
 set -eu
 
 cd "$(dirname "$0")/.."
 
-JOBS="$(nproc 2>/dev/null || echo 2)"
+JOBS="${JOBS:-$(nproc 2>/dev/null || echo 2)}"
+BUILD_TYPE="${BUILD_TYPE:-Release}"
 
-cmake -B build -S .
+echo "== stage 1: build (${BUILD_TYPE}, -Werror) + tests =="
+cmake -B build -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE" -DCONCORDE_WERROR=ON
 cmake --build build -j "$JOBS"
 cmake --build build --target bench -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
+    echo "== stage 2: ASan+UBSan tests =="
+    cmake -B build-asan -S . -DCONCORDE_SANITIZE=address,undefined \
+        -DCONCORDE_WERROR=ON
+    cmake --build build-asan -j "$JOBS"
+    ASAN_OPTIONS=detect_leaks=1 UBSAN_OPTIONS=print_stacktrace=1 \
+        ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+fi
+
+if [ "${SKIP_BENCH:-0}" != "1" ]; then
+    echo "== stage 3: bench smoke + perf gates =="
+    # Serve-layer gate: dynamic batching must beat the scalar path with
+    # identical predictions (the bench exits nonzero otherwise).
+    CONCORDE_SMOKE=1 CONCORDE_BENCH_JSON=BENCH_serve.json \
+        ./build/bench/bench_serve_throughput
+
+    # Batched-inference smoke at reduced sizes (trains a small model
+    # into a scratch artifact dir on first run).
+    if [ -x build/bench/bench_fig10_speed ]; then
+        env CONCORDE_ARTIFACTS=bench-artifacts \
+            CONCORDE_TRAIN_SAMPLES=1200 CONCORDE_TEST_SAMPLES=200 \
+            CONCORDE_LONG_TRAIN_SAMPLES=200 CONCORDE_LONG_TEST_SAMPLES=50 \
+            CONCORDE_SPEC_SAMPLES=200 CONCORDE_EPOCHS=4 \
+            ./build/bench/bench_fig10_speed --benchmark_min_time=0.05s \
+            | tee fig10.log
+        speedup=$(awk '/batched speedup:/ {print $3}' fig10.log | tr -d 'x')
+        echo "batched speedup: ${speedup}"
+        awk -v s="$speedup" 'BEGIN { exit !(s >= 1.0) }' || {
+            echo "FAIL: batched inference slower than scalar path"
+            exit 1
+        }
+    else
+        echo "bench_fig10_speed not built (no google-benchmark); skipping"
+    fi
+fi
+
+echo "== all checks passed =="

@@ -4,8 +4,11 @@
  *
  *   concorde_cli predict <program> [param=value ...]
  *   concorde_cli sweep <program> <param> [param=value ...]
- *   concorde_cli attribute <program> [permutations]
+ *   concorde_cli attribute <program> [permutations] [param=value ...]
  *   concorde_cli simulate <program> [param=value ...]
+ *   concorde_cli serve <program> [clients=4 requests=2000 batch=64
+ *                                 deadline_us=200 cache=65536 burst=32
+ *                                 regions=4 param=value ...]
  *   concorde_cli list
  *
  * Programs are Table-2 codes (P1..P13, C1, C2, O1..O4, S1..S10).
@@ -13,17 +16,27 @@
  * l1d=128 bp=simple pct=10 pf=4). Unspecified parameters default to
  * ARM N1. Models and datasets are cached under artifacts/ (the first
  * invocation trains them).
+ *
+ * Unknown subcommands, unknown parameters, and malformed values all
+ * exit with status 2 and a usage message, so shell scripts and CI can
+ * rely on the exit code.
  */
 
+#include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/stopwatch.hh"
 #include "core/artifacts.hh"
 #include "core/concorde.hh"
 #include "core/shapley.hh"
+#include "serve/prediction_service.hh"
 #include "sim/o3_core.hh"
 
 using namespace concorde;
@@ -59,17 +72,36 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: concorde_cli <predict|sweep|attribute|simulate|"
-                 "list> <program> [args]\n"
+                 "serve|list> <program> [args]\n"
                  "run with 'list' for programs and parameter names\n");
     return 2;
 }
 
+/** Strict integer parse: the whole string must be an in-range number. */
+bool
+parseInt(const std::string &text, int64_t &value)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    value = std::strtoll(text.c_str(), &end, 10);
+    return end && *end == '\0' && errno != ERANGE;
+}
+
+/**
+ * Apply one param=value override. Returns false (with a diagnostic) on
+ * an unknown parameter or malformed value.
+ */
 bool
 applyOverride(UarchParams &params, const std::string &arg)
 {
     const auto eq = arg.find('=');
-    if (eq == std::string::npos)
+    if (eq == std::string::npos) {
+        std::fprintf(stderr, "malformed argument '%s' (expected "
+                     "param=value)\n", arg.c_str());
         return false;
+    }
     const std::string key = arg.substr(0, eq);
     const std::string value = arg.substr(eq + 1);
     const auto it = kShortNames.find(key);
@@ -78,10 +110,29 @@ applyOverride(UarchParams &params, const std::string &arg)
         return false;
     }
     if (it->second == ParamId::BranchPredictor) {
+        if (value != "tage" && value != "simple") {
+            std::fprintf(stderr, "bad bp value '%s' (tage|simple)\n",
+                         value.c_str());
+            return false;
+        }
         params.set(it->second, value == "tage" ? 1 : 0);
-    } else {
-        params.set(it->second, std::atoll(value.c_str()));
+        return true;
     }
+    int64_t parsed = 0;
+    if (!parseInt(value, parsed)) {
+        std::fprintf(stderr, "bad value '%s' for parameter '%s'\n",
+                     value.c_str(), key.c_str());
+        return false;
+    }
+    const ParamInfo &info = paramTable()[static_cast<int>(it->second)];
+    if (parsed < info.minValue || parsed > info.maxValue) {
+        std::fprintf(stderr, "value %lld for '%s' outside [%lld, %lld]\n",
+                     static_cast<long long>(parsed), key.c_str(),
+                     static_cast<long long>(info.minValue),
+                     static_cast<long long>(info.maxValue));
+        return false;
+    }
+    params.set(it->second, parsed);
     return true;
 }
 
@@ -96,6 +147,160 @@ regionFor(int pid)
     return spec;
 }
 
+/**
+ * Split args into serve-layer options (consumed into `options`) and
+ * uarch overrides (applied to `params`). Returns false on any unknown
+ * key or malformed value.
+ */
+bool
+parseServeArgs(int argc, char **argv, int first,
+               std::map<std::string, int64_t> &options, UarchParams &params)
+{
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto eq = arg.find('=');
+        const std::string key =
+            eq == std::string::npos ? arg : arg.substr(0, eq);
+        if (options.count(key)) {
+            int64_t value = 0;
+            if (eq == std::string::npos
+                || !parseInt(arg.substr(eq + 1), value) || value < 0) {
+                std::fprintf(stderr, "bad value for serve option '%s'\n",
+                             key.c_str());
+                return false;
+            }
+            options[key] = value;
+            continue;
+        }
+        if (!applyOverride(params, arg))
+            return false;
+    }
+    return true;
+}
+
+int
+runServe(int pid, const char *code, int argc, char **argv)
+{
+    std::map<std::string, int64_t> opt = {
+        {"clients", 4},   {"requests", 2000}, {"batch", 64},
+        {"deadline_us", 200}, {"cache", 65536}, {"burst", 32},
+        {"regions", 4},   {"threads", 0},
+    };
+    UarchParams base = UarchParams::armN1();
+    if (!parseServeArgs(argc, argv, 3, opt, base))
+        return usage();
+    const size_t clients = std::max<int64_t>(1, opt["clients"]);
+    const size_t requests = std::max<int64_t>(1, opt["requests"]);
+    const size_t num_regions = std::max<int64_t>(1, opt["regions"]);
+    const size_t burst = std::max<int64_t>(1, opt["burst"]);
+
+    serve::ServeConfig config;
+    config.batching.maxBatch = std::max<int64_t>(1, opt["batch"]);
+    config.batching.maxDelay =
+        std::chrono::microseconds(opt["deadline_us"]);
+    config.cacheCapacity = static_cast<size_t>(opt["cache"]);
+    config.poolThreads = opt["threads"] == 0
+        ? defaultThreads() : static_cast<size_t>(opt["threads"]);
+
+    serve::PredictionService service(config);
+    service.registry().add(
+        "default", ConcordePredictor(artifacts::fullModel(),
+                                     artifacts::featureConfig()));
+
+    // Each client sweeps random design points over a handful of regions
+    // of the program (warm regions are the serving common case).
+    std::vector<RegionSpec> regions;
+    for (size_t r = 0; r < num_regions; ++r) {
+        RegionSpec spec = regionFor(pid);
+        spec.startChunk = 16 + 8 * r;
+        regions.push_back(spec);
+    }
+    std::printf("serving %s: %zu clients x %zu requests, batch<=%zu, "
+                "deadline %lldus, cache %zu\n", code, clients, requests,
+                config.batching.maxBatch,
+                static_cast<long long>(opt["deadline_us"]),
+                config.cacheCapacity);
+
+    // Warm each region's analytical features once so the measured phase
+    // reports steady-state serving throughput.
+    for (const auto &region : regions)
+        (void)service.predict("default", region, base);
+
+    std::vector<std::vector<double>> latencies(clients);
+    Stopwatch wall;
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c]() {
+            Rng rng(1000 + c);
+            UarchParams point = base;
+            auto &lat = latencies[c];
+            size_t sent = 0;
+            while (sent < requests) {
+                const size_t n = std::min(burst, requests - sent);
+                std::vector<std::future<double>> futures;
+                std::vector<Stopwatch> timers(n);
+                for (size_t i = 0; i < n; ++i) {
+                    const auto &region =
+                        regions[rng.nextBounded(regions.size())];
+                    // Randomize a few axes around the base point.
+                    point.set(ParamId::RobSize,
+                              1 + rng.nextBounded(1024));
+                    point.set(ParamId::CommitWidth,
+                              1 + rng.nextBounded(12));
+                    point.set(ParamId::LqSize, 1 + rng.nextBounded(256));
+                    timers[i] = Stopwatch();
+                    futures.push_back(
+                        service.predictAsync("default", region, point));
+                }
+                for (size_t i = 0; i < n; ++i) {
+                    futures[i].get();
+                    lat.push_back(timers[i].seconds() * 1e6);
+                }
+                sent += n;
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    const double elapsed = wall.seconds();
+
+    std::vector<double> all;
+    for (const auto &lat : latencies)
+        all.insert(all.end(), lat.begin(), lat.end());
+    std::sort(all.begin(), all.end());
+    const auto q = [&](double p) {
+        return all.empty()
+            ? 0.0 : all[static_cast<size_t>(p * (all.size() - 1))];
+    };
+    const serve::ServeStats stats = service.stats();
+
+    std::printf("  %zu predictions in %.3fs -> %.0f QPS\n", all.size(),
+                elapsed, static_cast<double>(all.size()) / elapsed);
+    std::printf("  latency p50 %.0fus  p90 %.0fus  p99 %.0fus\n", q(0.5),
+                q(0.9), q(0.99));
+    std::printf("  batches %llu (size %llu / deadline %llu / shutdown "
+                "%llu flushes)\n",
+                static_cast<unsigned long long>(stats.queue.batches),
+                static_cast<unsigned long long>(stats.queue.flushOnSize),
+                static_cast<unsigned long long>(
+                    stats.queue.flushOnDeadline),
+                static_cast<unsigned long long>(
+                    stats.queue.flushOnShutdown));
+    std::printf("  batch-size histogram:");
+    for (size_t s = 1; s < stats.queue.batchSizeCounts.size(); ++s) {
+        if (stats.queue.batchSizeCounts[s]) {
+            std::printf(" %zu:%llu", s, static_cast<unsigned long long>(
+                            stats.queue.batchSizeCounts[s]));
+        }
+    }
+    std::printf("\n  cache: %llu hits / %llu misses (%.1f%% hit rate, "
+                "%zu entries)\n",
+                static_cast<unsigned long long>(stats.cache.hits),
+                static_cast<unsigned long long>(stats.cache.misses),
+                100.0 * stats.cache.hitRate(), stats.cache.entries);
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -106,6 +311,10 @@ main(int argc, char **argv)
     const std::string command = argv[1];
 
     if (command == "list") {
+        if (argc > 2) {
+            std::fprintf(stderr, "'list' takes no arguments\n");
+            return usage();
+        }
         std::printf("programs:\n");
         for (const auto &info : workloadCorpus()) {
             std::printf("  %-5s %s (%s)\n", info.code().c_str(),
@@ -122,6 +331,12 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (command != "predict" && command != "sweep" && command != "attribute"
+        && command != "simulate" && command != "serve") {
+        std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+        return usage();
+    }
+
     if (argc < 3)
         return usage();
     const int pid = programIdByCode(argv[2]);
@@ -130,10 +345,29 @@ main(int argc, char **argv)
         return 2;
     }
 
+    if (command == "serve")
+        return runServe(pid, argv[2], argc, argv);
+
     UarchParams params = UarchParams::armN1();
-    int first_override = command == "sweep" ? 4 : 3;
+    int first_override = 3;
+    if (command == "sweep")
+        first_override = 4;
+    int permutations = 48;
+    if (command == "attribute" && argc > 3) {
+        // Optional positional permutation count before the overrides.
+        int64_t parsed = 0;
+        if (parseInt(argv[3], parsed)) {
+            if (parsed < 1 || parsed > 1000000) {
+                std::fprintf(stderr,
+                             "permutations must be in [1, 1000000]\n");
+                return 2;
+            }
+            permutations = static_cast<int>(parsed);
+            first_override = 4;
+        }
+    }
     for (int i = first_override; i < argc; ++i) {
-        if (!applyOverride(params, argv[i]) && command != "attribute")
+        if (!applyOverride(params, argv[i]))
             return 2;
     }
 
@@ -189,32 +423,28 @@ main(int argc, char **argv)
         return 0;
     }
 
-    if (command == "attribute") {
-        const int permutations = argc > 3 ? std::atoi(argv[3]) : 48;
-        // Every permutation scan point is evaluated through one batched
-        // inference pass instead of thousands of scalar predictions.
-        const BatchEval eval = [&](const std::vector<UarchParams> &pts) {
-            return predictor.predictCpiBatch(provider, pts);
-        };
-        const UarchParams base = UarchParams::bigCore();
-        ShapleyConfig config;
-        config.numPermutations = permutations;
-        const auto &components = attributionComponents();
-        const auto phi =
-            shapleyAttribution(base, params, components, eval, config);
-        const auto endpoints = predictor.predictCpiBatch(
-            provider, std::vector<UarchParams>{base, params});
-        std::printf("CPI attribution for %s (target vs big core):\n",
-                    argv[2]);
-        std::printf("  big core %.3f -> target %.3f\n", endpoints[0],
-                    endpoints[1]);
-        for (size_t c = 0; c < components.size(); ++c) {
-            if (std::abs(phi[c]) >= 0.005) {
-                std::printf("  %-30s %+8.3f\n",
-                            components[c].name.c_str(), phi[c]);
-            }
+    // command == "attribute"
+    // Every permutation scan point is evaluated through one batched
+    // inference pass instead of thousands of scalar predictions.
+    const BatchEval eval = [&](const std::vector<UarchParams> &pts) {
+        return predictor.predictCpiBatch(provider, pts);
+    };
+    const UarchParams base = UarchParams::bigCore();
+    ShapleyConfig config;
+    config.numPermutations = permutations;
+    const auto &components = attributionComponents();
+    const auto phi =
+        shapleyAttribution(base, params, components, eval, config);
+    const auto endpoints = predictor.predictCpiBatch(
+        provider, std::vector<UarchParams>{base, params});
+    std::printf("CPI attribution for %s (target vs big core):\n", argv[2]);
+    std::printf("  big core %.3f -> target %.3f\n", endpoints[0],
+                endpoints[1]);
+    for (size_t c = 0; c < components.size(); ++c) {
+        if (std::abs(phi[c]) >= 0.005) {
+            std::printf("  %-30s %+8.3f\n", components[c].name.c_str(),
+                        phi[c]);
         }
-        return 0;
     }
-    return usage();
+    return 0;
 }
