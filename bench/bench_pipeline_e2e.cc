@@ -1,0 +1,217 @@
+/**
+ * @file
+ * End-to-end pipeline benchmark and CI regression gate (trace ->
+ * features -> prediction over a whole span).
+ *
+ * Three executions of the same span are timed (best of N runs):
+ *
+ *   scalar    the pre-pipeline region loop (Independent state, scalar
+ *             MLP forward per region) -- the baseline
+ *   sharded   ThreadPool featurization + one batched GEMM
+ *             (Independent state; must match scalar bitwise)
+ *   stitched  sharded + carried analyzer state (Carry; every
+ *             instruction analyzed once instead of once per region
+ *             plus once per overlapping warmup replay; must match the
+ *             scalar Carry run bitwise)
+ *
+ * Gates (exit 1 on failure; margins are 1-core-VM safe):
+ *   - sharded per-region CPIs identical to scalar (max |diff| == 0)
+ *   - stitched per-region CPIs identical to scalar Carry (== 0)
+ *   - sharded throughput >= 0.90x scalar (same work, batched GEMM)
+ *   - stitched throughput >= 1.0x scalar (warmup elision must win)
+ *
+ * Modes: default uses the full model from artifacts/ (trains on first
+ * run); --smoke or CONCORDE_SMOKE=1 uses an untrained model of the
+ * production layout (no artifacts, seconds). Writes a JSON summary to
+ * $CONCORDE_BENCH_JSON (default BENCH_pipeline.json).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/stopwatch.hh"
+#include "pipeline/analysis_pipeline.hh"
+
+using namespace concorde;
+using pipeline::AnalysisPipeline;
+using pipeline::ExecMode;
+using pipeline::PipelineConfig;
+using pipeline::PipelineResult;
+using pipeline::StateMode;
+
+namespace
+{
+
+struct RunConfig
+{
+    bool smoke = false;
+    uint64_t spanChunks = 64;
+    uint32_t regionChunks = 4;
+    int reps = 3;
+};
+
+struct TimedRun
+{
+    double seconds = 0.0;           ///< best over reps
+    PipelineResult result;          ///< last run (results are identical)
+};
+
+double
+maxAbsDiff(const std::vector<double> &a, const std::vector<double> &b)
+{
+    double diff = a.size() == b.size() ? 0.0 : 1e30;
+    for (size_t i = 0; i < std::min(a.size(), b.size()); ++i)
+        diff = std::max(diff, std::abs(a[i] - b[i]));
+    return diff;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    RunConfig cfg;
+    const char *smoke_env = std::getenv("CONCORDE_SMOKE");
+    cfg.smoke = smoke_env && *smoke_env && std::strcmp(smoke_env, "0") != 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            cfg.smoke = true;
+        } else {
+            std::fprintf(stderr, "usage: bench_pipeline_e2e [--smoke]\n");
+            return 2;
+        }
+    }
+    if (cfg.smoke) {
+        cfg.spanChunks = 24;
+        cfg.regionChunks = 2;
+    }
+
+    std::printf("=== end-to-end pipeline throughput (%s mode) ===\n",
+                cfg.smoke ? "smoke" : "full");
+
+    const FeatureConfig feature_cfg = cfg.smoke
+        ? FeatureConfig{} : artifacts::featureConfig();
+    const ConcordePredictor predictor = cfg.smoke
+        ? ConcordePredictor(artifacts::untrainedModel(feature_cfg, 2027),
+                            feature_cfg)
+        : ConcordePredictor(artifacts::fullModel(), feature_cfg);
+
+    TraceSpan span;
+    span.programId = programIdByCode("S7");
+    span.traceId = 0;
+    span.startChunk = 16;
+    span.numChunks = cfg.spanChunks;
+    const UarchParams params = UarchParams::armN1();
+    const double minstr = static_cast<double>(span.numInstructions()) / 1e6;
+
+    auto best_run = [&](ExecMode mode, StateMode state) {
+        PipelineConfig config;
+        config.regionChunks = cfg.regionChunks;
+        config.mode = mode;
+        config.state = state;
+        AnalysisPipeline pipe(predictor, config);
+        TimedRun run;
+        run.seconds = 1e30;
+        for (int r = 0; r < cfg.reps; ++r) {
+            Stopwatch timer;
+            run.result = pipe.run(span, params);
+            run.seconds = std::min(run.seconds, timer.seconds());
+        }
+        return run;
+    };
+
+    const TimedRun scalar =
+        best_run(ExecMode::Scalar, StateMode::Independent);
+    const double scalar_rate = minstr / scalar.seconds;
+    std::printf("  scalar region loop:      %8.2f Minstr/s  (%zu regions, "
+                "%.3fs)\n", scalar_rate, scalar.result.regions.size(),
+                scalar.seconds);
+
+    const TimedRun sharded =
+        best_run(ExecMode::Sharded, StateMode::Independent);
+    const double sharded_rate = minstr / sharded.seconds;
+    std::printf("  sharded pipeline:        %8.2f Minstr/s  (%.2fx)\n",
+                sharded_rate, sharded_rate / scalar_rate);
+
+    const TimedRun scalar_carry =
+        best_run(ExecMode::Scalar, StateMode::Carry);
+    const TimedRun stitched =
+        best_run(ExecMode::Sharded, StateMode::Carry);
+    const double stitched_rate = minstr / stitched.seconds;
+    std::printf("  stitched sharded:        %8.2f Minstr/s  (%.2fx, "
+                "analyze %.3fs of %.3fs)\n", stitched_rate,
+                stitched_rate / scalar_rate,
+                stitched.result.analyzeSeconds, stitched.seconds);
+
+    const double diff_indep =
+        maxAbsDiff(scalar.result.regionCpi, sharded.result.regionCpi);
+    const double diff_carry = maxAbsDiff(scalar_carry.result.regionCpi,
+                                         stitched.result.regionCpi);
+    std::printf("  max |scalar - sharded| CPI:  %.2e (independent), "
+                "%.2e (carry)\n", diff_indep, diff_carry);
+
+    // ---- gates ----
+    bool pass = true;
+    if (diff_indep != 0.0 || diff_carry != 0.0) {
+        std::printf("  GATE FAIL: parallel pipeline CPIs diverge from "
+                    "the scalar region loop\n");
+        pass = false;
+    }
+    if (sharded_rate < 0.90 * scalar_rate) {
+        std::printf("  GATE FAIL: sharded pipeline (%.2f Minstr/s) "
+                    "slower than scalar loop (%.2f)\n", sharded_rate,
+                    scalar_rate);
+        pass = false;
+    }
+    if (stitched_rate < scalar_rate) {
+        std::printf("  GATE FAIL: stitched pipeline (%.2f Minstr/s) not "
+                    "faster than scalar loop (%.2f)\n", stitched_rate,
+                    scalar_rate);
+        pass = false;
+    }
+
+    const char *json_env = std::getenv("CONCORDE_BENCH_JSON");
+    const std::string json_path =
+        json_env && *json_env ? json_env : "BENCH_pipeline.json";
+    FILE *f = std::fopen(json_path.c_str(), "w");
+    if (f) {
+        std::fprintf(f, "{\n");
+        std::fprintf(f, "  \"bench\": \"pipeline_e2e\",\n");
+        std::fprintf(f, "  \"mode\": \"%s\",\n",
+                     cfg.smoke ? "smoke" : "full");
+        std::fprintf(f, "  \"span_chunks\": %llu,\n",
+                     static_cast<unsigned long long>(cfg.spanChunks));
+        std::fprintf(f, "  \"region_chunks\": %u,\n", cfg.regionChunks);
+        std::fprintf(f, "  \"regions\": %zu,\n",
+                     scalar.result.regions.size());
+        std::fprintf(f, "  \"instructions\": %llu,\n",
+                     static_cast<unsigned long long>(
+                         span.numInstructions()));
+        std::fprintf(f, "  \"scalar_minstr_s\": %.3f,\n", scalar_rate);
+        std::fprintf(f, "  \"sharded_minstr_s\": %.3f,\n", sharded_rate);
+        std::fprintf(f, "  \"stitched_minstr_s\": %.3f,\n",
+                     stitched_rate);
+        std::fprintf(f, "  \"sharded_speedup\": %.3f,\n",
+                     sharded_rate / scalar_rate);
+        std::fprintf(f, "  \"stitched_speedup\": %.3f,\n",
+                     stitched_rate / scalar_rate);
+        std::fprintf(f, "  \"max_abs_diff_independent\": %.3e,\n",
+                     diff_indep);
+        std::fprintf(f, "  \"max_abs_diff_carry\": %.3e,\n", diff_carry);
+        std::fprintf(f, "  \"gate_pass\": %s\n", pass ? "true" : "false");
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+        std::printf("  wrote %s\n", json_path.c_str());
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    }
+
+    std::printf(pass ? "  GATE PASS\n" : "  GATE FAIL\n");
+    return pass ? 0 : 1;
+}

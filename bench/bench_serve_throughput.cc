@@ -56,13 +56,7 @@ smokePredictor(const FeatureConfig &cfg)
     // Production-shape network (Table 3 layout, 192x96 hidden) with
     // random weights: exercises the full serving pipeline at the real
     // per-request cost without training artifacts.
-    const FeatureLayout layout(cfg);
-    Mlp net({layout.dim(), 192, 96, 1}, 2026);
-    std::vector<float> mean(layout.dim(), 0.0f);
-    std::vector<float> stdev(layout.dim(), 1.0f);
-    TrainedModel model(std::move(net), std::move(mean), std::move(stdev),
-                       {});
-    return ConcordePredictor(std::move(model), cfg);
+    return ConcordePredictor(artifacts::untrainedModel(cfg, 2026), cfg);
 }
 
 std::vector<UarchParams>

@@ -94,4 +94,21 @@ MemoryStateMachine::reset()
     std::fill(lastRespCycles.begin(), lastRespCycles.end(), 0);
 }
 
+MemoryStateMachine::Snapshot
+MemoryStateMachine::snapshot() const
+{
+    return Snapshot{accessCounters, lastReqCycles, lastRespCycles};
+}
+
+void
+MemoryStateMachine::restore(const Snapshot &state)
+{
+    panic_if(state.accessCounters.size() != accessCounters.size(),
+             "snapshot over %zu lines restored into a machine over %zu",
+             state.accessCounters.size(), accessCounters.size());
+    accessCounters = state.accessCounters;
+    lastReqCycles = state.lastReqCycles;
+    lastRespCycles = state.lastRespCycles;
+}
+
 } // namespace concorde

@@ -66,6 +66,22 @@ class MemoryStateMachine
     /** Reset all per-line state for a fresh model run. */
     void reset();
 
+    /**
+     * Full per-line state at a point in a model run. Splitting a run at
+     * any instruction boundary -- snapshot after the prefix, restore
+     * into a machine over the same LoadLineIndex, resume on the suffix
+     * -- reproduces the unsplit run's response cycles exactly.
+     */
+    struct Snapshot
+    {
+        std::vector<uint32_t> accessCounters;
+        std::vector<uint64_t> lastReqCycles;
+        std::vector<uint64_t> lastRespCycles;
+    };
+
+    Snapshot snapshot() const;
+    void restore(const Snapshot &state);
+
   private:
     const LoadLineIndex &index;
     const std::vector<int32_t> &execLat;

@@ -6,6 +6,14 @@
 namespace concorde
 {
 
+uint64_t
+branchSeedFor(int program_id, int trace_id, uint64_t start_chunk)
+{
+    return hashMix(workloadCorpus()[program_id].seed,
+                   static_cast<uint64_t>(trace_id) + 1,
+                   start_chunk + 0xB4A2C);
+}
+
 RegionAnalysis::RegionAnalysis(const RegionSpec &spec, uint32_t warmup_chunks)
     : regionSpec(spec)
 {
@@ -24,9 +32,17 @@ RegionAnalysis::RegionAnalysis(const RegionSpec &spec, uint32_t warmup_chunks)
     region = model.generateRegion(spec);
     loadLineIndex = LoadLineIndex::build(region);
 
-    branchSeed = hashMix(workloadCorpus()[spec.programId].seed,
-                         static_cast<uint64_t>(spec.traceId) + 1,
-                         spec.startChunk + 0xB4A2C);
+    branchSeed = branchSeedFor(spec.programId, spec.traceId,
+                               spec.startChunk);
+}
+
+RegionAnalysis::RegionAnalysis(const RegionSpec &spec,
+                               std::vector<Instruction> instrs)
+    : regionSpec(spec), region(std::move(instrs))
+{
+    loadLineIndex = LoadLineIndex::build(region);
+    branchSeed = branchSeedFor(spec.programId, spec.traceId,
+                               spec.startChunk);
 }
 
 const DSideAnalysis &
@@ -123,6 +139,112 @@ RegionAnalysis::branches(const BranchConfig &config)
 
     auto [pos, inserted] = branchAnalyses.emplace(key, std::move(analysis));
     return *pos->second;
+}
+
+void
+RegionAnalysis::adoptDside(const MemoryConfig &config, DSideAnalysis analysis)
+{
+    dsides[config.dSideKey()] =
+        std::make_unique<DSideAnalysis>(std::move(analysis));
+}
+
+void
+RegionAnalysis::adoptIside(const MemoryConfig &config, ISideAnalysis analysis)
+{
+    isides[config.iSideKey()] =
+        std::make_unique<ISideAnalysis>(std::move(analysis));
+}
+
+void
+RegionAnalysis::adoptBranches(const BranchConfig &config,
+                              BranchAnalysis analysis)
+{
+    branchAnalyses[config.key()] =
+        std::make_unique<BranchAnalysis>(std::move(analysis));
+}
+
+AnalyzerCarryState::AnalyzerCarryState(const MemoryConfig &mem,
+                                       const BranchConfig &branch,
+                                       uint64_t branch_seed)
+    : dHier(mem), iHier(mem), predictor(makePredictor(branch, branch_seed))
+{
+}
+
+void
+AnalyzerCarryState::warm(const std::vector<Instruction> &instrs)
+{
+    // One pass feeding all three structures: each sees exactly the
+    // subsequence it would see in RegionAnalysis's per-side warmup loops.
+    for (const auto &instr : instrs) {
+        if (instr.isMem())
+            dHier.access(instr.pc, instr.memAddr, instr.isStore());
+        const uint64_t line = instr.instLine();
+        if (line != lastILine) {
+            iHier.access(line);
+            lastILine = line;
+        }
+    }
+    runPredictor(*predictor, instrs, nullptr);
+}
+
+DSideAnalysis
+AnalyzerCarryState::analyzeDside(const std::vector<Instruction> &shard)
+{
+    DSideAnalysis analysis;
+    analysis.execLat.resize(shard.size());
+    analysis.loadLevel.assign(shard.size(), CacheLevel::L1);
+
+    for (size_t i = 0; i < shard.size(); ++i) {
+        const Instruction &instr = shard[i];
+        if (instr.isLoad()) {
+            const CacheLevel level =
+                dHier.access(instr.pc, instr.memAddr, false);
+            analysis.loadLevel[i] = level;
+            analysis.execLat[i] = loadLatency(level);
+        } else {
+            if (instr.isStore())
+                dHier.access(instr.pc, instr.memAddr, true);
+            analysis.execLat[i] = fixedLatency(instr.type);
+        }
+    }
+    analysis.stats = dHier.stats();
+    return analysis;
+}
+
+ISideAnalysis
+AnalyzerCarryState::analyzeIside(const std::vector<Instruction> &shard)
+{
+    ISideAnalysis analysis;
+    analysis.newLine.assign(shard.size(), 0);
+    analysis.lineLat.assign(shard.size(), kL1iHitLat);
+
+    for (size_t i = 0; i < shard.size(); ++i) {
+        const uint64_t line = shard[i].instLine();
+        if (line != lastILine) {
+            const CacheLevel level = iHier.access(line);
+            analysis.newLine[i] = 1;
+            analysis.lineLat[i] = level == CacheLevel::L1
+                ? kL1iHitLat : loadLatency(level);
+            lastILine = line;
+        }
+    }
+    analysis.stats = iHier.stats();
+    return analysis;
+}
+
+BranchAnalysis
+AnalyzerCarryState::analyzeBranches(const std::vector<Instruction> &shard)
+{
+    BranchAnalysis analysis;
+    runPredictor(*predictor, shard, &analysis.mispredict);
+    for (size_t i = 0; i < shard.size(); ++i) {
+        if (shard[i].isBranch()
+            && shard[i].branchKind != BranchKind::DirectUncond) {
+            ++analysis.numBranches;
+            analysis.numMispredicts += analysis.mispredict[i];
+        }
+    }
+    return analysis;
 }
 
 } // namespace concorde

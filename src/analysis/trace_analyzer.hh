@@ -75,6 +75,14 @@ constexpr int kL1iHitLat = 1;
 constexpr uint32_t kDefaultWarmupChunks = 8;
 
 /**
+ * Branch-predictor seed convention shared by RegionAnalysis and the
+ * stitched pipeline: a pure function of (program, trace, start chunk),
+ * so the carried-state pass over a span and the unsplit analysis of the
+ * same span draw identical Simple-predictor outcomes.
+ */
+uint64_t branchSeedFor(int program_id, int trace_id, uint64_t start_chunk);
+
+/**
  * A region plus all of its memoized trace analyses. The paper's offline
  * stage 1; every downstream consumer (analytical models, the reference
  * simulator's branch flags) reads from here.
@@ -91,6 +99,14 @@ class RegionAnalysis
     explicit RegionAnalysis(const RegionSpec &spec,
                             uint32_t warmup_chunks = kDefaultWarmupChunks);
 
+    /**
+     * Wrap pre-generated region instructions with an empty warmup. Used
+     * by the stitched pipeline, which injects carried-state analyses via
+     * adopt*(); any analysis computed on demand after this constructor
+     * sees no warmup prefix.
+     */
+    RegionAnalysis(const RegionSpec &spec, std::vector<Instruction> instrs);
+
     const RegionSpec &spec() const { return regionSpec; }
     const std::vector<Instruction> &instrs() const { return region; }
     const std::vector<Instruction> &warmupInstrs() const { return warmup; }
@@ -102,6 +118,15 @@ class RegionAnalysis
     const ISideAnalysis &iside(const MemoryConfig &config);
     /** Branch-predictor simulation (memoized per predictor config). */
     const BranchAnalysis &branches(const BranchConfig &config);
+
+    /**
+     * Inject externally computed analyses (e.g. the pipeline's
+     * carried-state per-shard results), replacing any memoized entry
+     * for the same configuration.
+     */
+    void adoptDside(const MemoryConfig &config, DSideAnalysis analysis);
+    void adoptIside(const MemoryConfig &config, ISideAnalysis analysis);
+    void adoptBranches(const BranchConfig &config, BranchAnalysis analysis);
 
     /** Number of memoized d-side / i-side / branch analyses (for tests). */
     size_t numDsideAnalyses() const { return dsides.size(); }
@@ -118,6 +143,39 @@ class RegionAnalysis
     std::map<uint32_t, std::unique_ptr<DSideAnalysis>> dsides;
     std::map<uint32_t, std::unique_ptr<ISideAnalysis>> isides;
     std::map<uint32_t, std::unique_ptr<BranchAnalysis>> branchAnalyses;
+};
+
+/**
+ * Carry-over analyzer state for stitched sharded analysis: one d-side
+ * hierarchy, one i-side hierarchy, and one branch predictor whose state
+ * flows across shard boundaries. Feeding a trace's shards through one
+ * instance in order produces, shard by shard, exactly the
+ * per-instruction results of a single unsplit pass over the whole trace
+ * (the boundary-stitching invariant locked down by test_pipeline).
+ *
+ * One instance covers one (memory config, branch config) pair. Not
+ * thread-safe, and inherently sequential: shards must be analyzed in
+ * trace order.
+ */
+class AnalyzerCarryState
+{
+  public:
+    AnalyzerCarryState(const MemoryConfig &mem, const BranchConfig &branch,
+                       uint64_t branch_seed);
+
+    /** Replay instructions into all structures without recording. */
+    void warm(const std::vector<Instruction> &instrs);
+
+    /** Analyze the next shard in trace order. */
+    DSideAnalysis analyzeDside(const std::vector<Instruction> &shard);
+    ISideAnalysis analyzeIside(const std::vector<Instruction> &shard);
+    BranchAnalysis analyzeBranches(const std::vector<Instruction> &shard);
+
+  private:
+    DataHierarchy dHier;
+    InstHierarchy iHier;
+    uint64_t lastILine = ~0ULL;     ///< i-side line dedup, carried
+    std::unique_ptr<BranchPredictor> predictor;
 };
 
 } // namespace concorde

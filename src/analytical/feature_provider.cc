@@ -76,6 +76,13 @@ FeatureProvider::FeatureProvider(const RegionSpec &spec,
 {
 }
 
+FeatureProvider::FeatureProvider(RegionAnalysis analysis,
+                                 FeatureConfig config)
+    : cfg(std::move(config)), lay(cfg), region(std::move(analysis)),
+      encoder(cfg.numPercentiles)
+{
+}
+
 const WindowCounts &
 FeatureProvider::counts()
 {

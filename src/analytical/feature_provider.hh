@@ -87,7 +87,17 @@ class FeatureLayout
 };
 
 /**
- * Per-region feature factory. Not thread-safe; use one per worker thread.
+ * Per-region feature factory.
+ *
+ * Thread-safety contract: a provider owns mutable memo caches -- the
+ * packed-key analytical-model tables (robCache, lqCache, ...) and the
+ * lazily encoded feature blocks inside their entries -- and every public
+ * method may write to them, so concurrent calls on ONE instance race.
+ * The two supported patterns, both regression-tested by test_pipeline,
+ * are (a) shard-local providers, one instance per worker, as
+ * AnalysisPipeline does, and (b) one shared instance serialized by an
+ * external mutex, as PredictionService does per (model, region). Results
+ * are bitwise identical either way.
  */
 class FeatureProvider
 {
@@ -95,6 +105,13 @@ class FeatureProvider
     explicit FeatureProvider(const RegionSpec &spec,
                              FeatureConfig config = FeatureConfig{},
                              uint32_t warmup_chunks = kDefaultWarmupChunks);
+
+    /**
+     * Wrap a prebuilt RegionAnalysis -- e.g. the stitched pipeline's
+     * per-shard analyses, injected via RegionAnalysis::adopt*().
+     */
+    explicit FeatureProvider(RegionAnalysis analysis,
+                             FeatureConfig config = FeatureConfig{});
 
     const FeatureConfig &config() const { return cfg; }
     const FeatureLayout &layout() const { return lay; }

@@ -25,40 +25,52 @@ makePredictor(const BranchConfig &config, uint64_t seed)
     return std::make_unique<Tage>();
 }
 
+void
+runPredictor(BranchPredictor &predictor,
+             const std::vector<Instruction> &instrs,
+             std::vector<uint8_t> *flags)
+{
+    const bool record = flags != nullptr;
+    if (record)
+        flags->assign(instrs.size(), 0);
+
+    for (size_t i = 0; i < instrs.size(); ++i) {
+        const Instruction &instr = instrs[i];
+        if (!instr.isBranch())
+            continue;
+        uint8_t miss = 0;
+        switch (instr.branchKind) {
+          case BranchKind::DirectUncond:
+            break;
+          case BranchKind::DirectCond: {
+            const bool pred =
+                predictor.predictAndUpdate(instr.pc, instr.taken);
+            miss = pred != instr.taken ? 1 : 0;
+            break;
+          }
+          case BranchKind::Indirect: {
+            const bool ok =
+                predictor.predictIndirect(instr.pc, instr.targetId);
+            miss = ok ? 0 : 1;
+            break;
+          }
+          default:
+            break;
+        }
+        if (record)
+            (*flags)[i] = miss;
+    }
+}
+
 std::vector<uint8_t>
 computeMispredicts(const std::vector<Instruction> &warmup,
                    const std::vector<Instruction> &region,
                    const BranchConfig &config, uint64_t seed)
 {
     auto predictor = makePredictor(config, seed);
-
-    auto run = [&](const Instruction &instr, bool record) -> uint8_t {
-        if (!instr.isBranch())
-            return 0;
-        switch (instr.branchKind) {
-          case BranchKind::DirectUncond:
-            return 0;
-          case BranchKind::DirectCond: {
-            const bool pred =
-                predictor->predictAndUpdate(instr.pc, instr.taken);
-            return record && pred != instr.taken ? 1 : 0;
-          }
-          case BranchKind::Indirect: {
-            const bool ok =
-                predictor->predictIndirect(instr.pc, instr.targetId);
-            return record && !ok ? 1 : 0;
-          }
-          default:
-            return 0;
-        }
-    };
-
-    for (const auto &instr : warmup)
-        run(instr, false);
-
-    std::vector<uint8_t> flags(region.size(), 0);
-    for (size_t i = 0; i < region.size(); ++i)
-        flags[i] = run(region[i], true);
+    runPredictor(*predictor, warmup, nullptr);
+    std::vector<uint8_t> flags;
+    runPredictor(*predictor, region, &flags);
     return flags;
 }
 

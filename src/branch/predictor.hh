@@ -75,6 +75,17 @@ std::unique_ptr<BranchPredictor> makePredictor(const BranchConfig &config,
                                                uint64_t seed);
 
 /**
+ * Run a live predictor over `instrs` in trace order. When `flags` is
+ * non-null it receives one entry per instruction (1 = mispredicted
+ * branch); a null `flags` trains without recording (warmup). Predictor
+ * state carries across calls, which is how the stitched pipeline splits
+ * a trace at shard boundaries without changing any outcome.
+ */
+void runPredictor(BranchPredictor &predictor,
+                  const std::vector<Instruction> &instrs,
+                  std::vector<uint8_t> *flags);
+
+/**
  * Run the configured predictor over `warmup + region` and return one flag
  * per region instruction (1 = mispredicted branch). Non-branches get 0.
  */

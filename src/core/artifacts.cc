@@ -238,6 +238,23 @@ trainOn(const Dataset &data, const std::string &cache_name,
     return model;
 }
 
+TrainedModel
+untrainedModel(const FeatureConfig &config, uint64_t seed,
+               const std::vector<size_t> &hidden)
+{
+    const FeatureLayout layout(config);
+    std::vector<size_t> sizes;
+    sizes.reserve(hidden.size() + 2);
+    sizes.push_back(layout.dim());
+    sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+    sizes.push_back(1);
+    Mlp net(std::move(sizes), seed);
+    std::vector<float> mean(layout.dim(), 0.0f);
+    std::vector<float> stdev(layout.dim(), 1.0f);
+    return TrainedModel(std::move(net), std::move(mean), std::move(stdev),
+                        {});
+}
+
 const TrainedModel &
 fullModel()
 {

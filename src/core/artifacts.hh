@@ -66,6 +66,18 @@ TrainedModel trainOn(const Dataset &data, const std::string &cache_name,
                      const std::vector<uint8_t> *mask = nullptr,
                      const std::vector<float> *labels_override = nullptr);
 
+/**
+ * Deterministic untrained model over `config`'s feature layout: He-init
+ * weights from `seed`, identity standardization, no mask. Exercises the
+ * full prediction pipeline at the real per-request cost without any
+ * training artifacts -- the smoke benches and the golden-reference
+ * corpus are built on it.
+ *
+ * @param hidden hidden-layer widths ({192, 96} = the production layout)
+ */
+TrainedModel untrainedModel(const FeatureConfig &config, uint64_t seed,
+                            const std::vector<size_t> &hidden = {192, 96});
+
 /** Generate all shared artifacts up front (bench_00_prepare). */
 void ensurePrepared();
 

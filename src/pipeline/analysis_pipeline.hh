@@ -1,0 +1,119 @@
+/**
+ * @file
+ * AnalysisPipeline: the end-to-end trace -> features -> prediction path
+ * (Figure 3 run at program scale). A trace span is sharded into regions;
+ * each shard goes through trace analysis (TraceAnalyzer + the memory
+ * state machine) and analytical feature encoding (FeatureProvider), and
+ * every region's CPI is evaluated in one batched MLP pass
+ * (ConcordePredictor::predictCpiFromFeatures).
+ *
+ * Two execution modes and two state conventions:
+ *
+ *   ExecMode::Scalar    one region at a time, scalar MLP forward -- the
+ *                       pre-pipeline region loop (baseline and golden
+ *                       reference).
+ *   ExecMode::Sharded   per-shard featurization fanned out on a
+ *                       ThreadPool (shard-local FeatureProviders; see
+ *                       the provider's thread-safety contract), one
+ *                       batched GEMM for all regions.
+ *
+ *   StateMode::Independent   every region replays its own warmup prefix
+ *                       (the RegionAnalysis convention; matches the
+ *                       serve layer's per-region providers bitwise).
+ *   StateMode::Carry    cache and branch-predictor state is stitched
+ *                       across shard boundaries by a sequential
+ *                       AnalyzerCarryState pass, so the sharded run
+ *                       reproduces one unsplit pass over the span; each
+ *                       instruction is analyzed exactly once, instead
+ *                       of once per region plus once per overlapping
+ *                       warmup replay.
+ *
+ * For a fixed StateMode, Scalar and Sharded produce bitwise-identical
+ * per-region CPIs (gated by bench_pipeline_e2e and the golden corpus).
+ */
+
+#ifndef CONCORDE_PIPELINE_ANALYSIS_PIPELINE_HH
+#define CONCORDE_PIPELINE_ANALYSIS_PIPELINE_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "core/concorde.hh"
+
+namespace concorde
+{
+namespace pipeline
+{
+
+/** How shards execute. */
+enum class ExecMode { Scalar, Sharded };
+
+/** How analyzer state crosses shard boundaries. */
+enum class StateMode { Independent, Carry };
+
+struct PipelineConfig
+{
+    uint32_t regionChunks = 8;      ///< shard length, in kChunkLen units
+    uint32_t warmupChunks = kDefaultWarmupChunks;
+    ExecMode mode = ExecMode::Sharded;
+    StateMode state = StateMode::Independent;
+    size_t threads = 0;             ///< feature workers (0 = hardware)
+    size_t mlpThreads = 1;          ///< threads of the batched MLP pass
+    bool keepFeatures = false;      ///< retain the feature matrix
+};
+
+struct PipelineResult
+{
+    std::vector<RegionSpec> regions;
+    std::vector<double> regionCpi;  ///< one per region, region order
+    double programCpi = 0.0;        ///< instruction-weighted aggregate
+    uint64_t instructions = 0;
+
+    /** keepFeatures: row-major regions.size() x featureDim matrix. */
+    std::vector<float> features;
+    size_t featureDim = 0;
+
+    double analyzeSeconds = 0.0;    ///< sequential stitch pass (Carry)
+    double featureSeconds = 0.0;    ///< per-shard featurization
+    double inferSeconds = 0.0;      ///< MLP pass
+    double totalSeconds = 0.0;
+};
+
+/**
+ * Instruction-weighted whole-program CPI over per-region CPIs, summed in
+ * region order (all execution modes share this exact reduction).
+ */
+double aggregateCpi(const std::vector<RegionSpec> &regions,
+                    const std::vector<double> &region_cpi,
+                    uint64_t *instructions_out = nullptr);
+
+class AnalysisPipeline
+{
+  public:
+    /** The predictor must outlive the pipeline. */
+    explicit AnalysisPipeline(const ConcordePredictor &predictor,
+                              PipelineConfig config = PipelineConfig{});
+
+    const PipelineConfig &config() const { return cfg; }
+
+    /** Analyze a span end to end for one design point. */
+    PipelineResult run(const TraceSpan &span, const UarchParams &params);
+
+  private:
+    /** Shard-local providers for the span, per the configured StateMode. */
+    std::vector<std::unique_ptr<FeatureProvider>>
+    buildProviders(const TraceSpan &span,
+                   const std::vector<RegionSpec> &regions,
+                   const UarchParams &params, double &analyze_seconds);
+
+    const ConcordePredictor &pred;
+    const PipelineConfig cfg;
+    std::unique_ptr<ThreadPool> pool;   ///< Sharded mode only
+};
+
+} // namespace pipeline
+} // namespace concorde
+
+#endif // CONCORDE_PIPELINE_ANALYSIS_PIPELINE_HH

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "common/rng.hh"
+#include "common/stopwatch.hh"
 
 namespace concorde
 {
@@ -57,6 +58,35 @@ PredictionService::predict(const std::string &model,
                            const UarchParams &params)
 {
     return predictAsync(model, region, params).get();
+}
+
+pipeline::PipelineResult
+PredictionService::predictSpan(const std::string &model,
+                               const TraceSpan &span,
+                               uint32_t region_chunks,
+                               const UarchParams &params)
+{
+    Stopwatch total;
+    pipeline::PipelineResult res;
+    res.regions = shardSpan(span, region_chunks);
+
+    // All regions in flight at once: the batching queue coalesces them
+    // into shared feature-assembly + GEMM batches.
+    std::vector<std::future<double>> futures;
+    futures.reserve(res.regions.size());
+    for (const auto &region : res.regions)
+        futures.push_back(predictAsync(model, region, params));
+    res.regionCpi.reserve(res.regions.size());
+    for (auto &future : futures)
+        res.regionCpi.push_back(future.get());
+
+    res.programCpi = pipeline::aggregateCpi(res.regions, res.regionCpi,
+                                            &res.instructions);
+    const ModelHandle handle = models.get(model);
+    if (handle.valid())
+        res.featureDim = handle.predictor->layout().dim();
+    res.totalSeconds = total.seconds();
+    return res;
 }
 
 PredictionService::ProviderKey

@@ -29,6 +29,7 @@
 #include <string>
 #include <tuple>
 
+#include "pipeline/analysis_pipeline.hh"
 #include "serve/batching_queue.hh"
 #include "serve/model_registry.hh"
 #include "serve/prediction_cache.hh"
@@ -80,6 +81,19 @@ class PredictionService
     /** Blocking convenience wrapper around predictAsync. */
     double predict(const std::string &model, const RegionSpec &region,
                    const UarchParams &params);
+
+    /**
+     * Pipeline-backed endpoint: shard a trace span into regions of
+     * `region_chunks`, answer every region through the batching/caching
+     * service path concurrently, and aggregate. Region semantics are
+     * the service's per-region warmup convention, so results are
+     * bitwise identical to AnalysisPipeline with StateMode::Independent
+     * and the default warmup (the golden corpus pins this down).
+     */
+    pipeline::PipelineResult predictSpan(const std::string &model,
+                                         const TraceSpan &span,
+                                         uint32_t region_chunks,
+                                         const UarchParams &params);
 
     /**
      * Drop the cached FeatureProvider state for regions served so far

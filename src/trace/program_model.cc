@@ -103,6 +103,24 @@ ProgramModel::generateRegion(const RegionSpec &spec) const
     return out;
 }
 
+std::vector<RegionSpec>
+shardSpan(const TraceSpan &span, uint32_t region_chunks)
+{
+    panic_if(region_chunks == 0, "region_chunks must be positive");
+    std::vector<RegionSpec> regions;
+    regions.reserve((span.numChunks + region_chunks - 1) / region_chunks);
+    for (uint64_t at = 0; at < span.numChunks; at += region_chunks) {
+        RegionSpec spec;
+        spec.programId = span.programId;
+        spec.traceId = span.traceId;
+        spec.startChunk = span.startChunk + at;
+        spec.numChunks = static_cast<uint32_t>(
+            std::min<uint64_t>(region_chunks, span.numChunks - at));
+        regions.push_back(spec);
+    }
+    return regions;
+}
+
 void
 ProgramModel::generateChunk(int trace_id, uint64_t chunk_index,
                             std::vector<Instruction> &out,

@@ -105,6 +105,35 @@ struct RegionSpec
 };
 
 /**
+ * A contiguous, chunk-aligned span of one program trace: the unit of work
+ * of the end-to-end pipeline, which shards a span into consecutive
+ * RegionSpecs (see shardSpan).
+ */
+struct TraceSpan
+{
+    int programId = 0;      ///< index into the workload corpus
+    int traceId = 0;        ///< which trace of the program
+    uint64_t startChunk = 0;
+    uint64_t numChunks = 64;
+
+    uint64_t numInstructions() const { return numChunks * kChunkLen; }
+
+    bool operator==(const TraceSpan &o) const
+    {
+        return programId == o.programId && traceId == o.traceId
+            && startChunk == o.startChunk && numChunks == o.numChunks;
+    }
+};
+
+/**
+ * Shard a span into consecutive regions of `region_chunks` chunks each
+ * (the final region takes the remainder). The regions tile the span
+ * exactly: concatenating them in order reproduces the span's trace.
+ */
+std::vector<RegionSpec> shardSpan(const TraceSpan &span,
+                                  uint32_t region_chunks);
+
+/**
  * Generator for a single program. Stateless between calls: chunk content is
  * fully determined by (seed, traceId, chunkIndex).
  */

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Golden-reference tests (ctest label: golden): the committed corpus in
+ * tests/golden/ pins the end-to-end pipeline's features and CPIs, and
+ * every executor -- scalar region loop, sharded ThreadPool pipeline,
+ * and the service-backed endpoint -- must reproduce it. The scalar
+ * executor is compared against the committed files with a tight
+ * tolerance (to absorb libm round-off across toolchains); the other
+ * executors are compared against the scalar one bitwise.
+ *
+ * Regenerate with CONCORDE_REGEN_GOLDEN=1 (tests/golden/README.md);
+ * CI never regenerates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "golden_harness.hh"
+#include "serve/prediction_service.hh"
+
+using namespace concorde;
+using golden::GoldenCase;
+using golden::GoldenRecord;
+
+namespace
+{
+
+void
+expectClose(const std::vector<double> &actual,
+            const std::vector<double> &expected, const char *what)
+{
+    ASSERT_EQ(actual.size(), expected.size()) << what;
+    for (size_t i = 0; i < actual.size(); ++i) {
+        EXPECT_NEAR(actual[i], expected[i],
+                    1e-9 + 1e-6 * std::abs(expected[i]))
+            << what << " [" << i << "]";
+    }
+}
+
+void
+expectFeaturesClose(const std::vector<float> &actual,
+                    const std::vector<float> &expected, const char *what)
+{
+    ASSERT_EQ(actual.size(), expected.size()) << what;
+    size_t mismatches = 0;
+    for (size_t i = 0; i < actual.size(); ++i) {
+        const double tol =
+            1e-6 + 1e-5 * std::abs(static_cast<double>(expected[i]));
+        if (std::abs(static_cast<double>(actual[i]) - expected[i]) > tol) {
+            if (++mismatches <= 5) {
+                ADD_FAILURE() << what << " [" << i << "]: "
+                              << actual[i] << " vs golden "
+                              << expected[i];
+            }
+        }
+    }
+    EXPECT_EQ(mismatches, 0u) << what;
+}
+
+} // anonymous namespace
+
+TEST(GoldenCorpus, ScalarPipelineMatchesCommittedFiles)
+{
+    for (const GoldenCase &c : golden::corpus()) {
+        SCOPED_TRACE(c.name);
+        const GoldenRecord actual = golden::compute(c);
+
+        if (golden::regenRequested()) {
+            golden::write(golden::path(c), actual);
+            std::printf("regenerated %s\n", golden::path(c).c_str());
+            continue;
+        }
+
+        GoldenRecord expected;
+        ASSERT_TRUE(golden::read(golden::path(c), expected))
+            << "missing or malformed " << golden::path(c)
+            << " -- regenerate with CONCORDE_REGEN_GOLDEN=1 "
+            << "(tests/golden/README.md)";
+
+        expectClose(actual.cpiIndependent, expected.cpiIndependent,
+                    "cpi_independent");
+        expectClose(actual.cpiCarry, expected.cpiCarry, "cpi_carry");
+        EXPECT_NEAR(actual.programCpiIndependent,
+                    expected.programCpiIndependent,
+                    1e-9 + 1e-6
+                        * std::abs(expected.programCpiIndependent));
+        EXPECT_NEAR(actual.programCpiCarry, expected.programCpiCarry,
+                    1e-9 + 1e-6 * std::abs(expected.programCpiCarry));
+        expectFeaturesClose(actual.featuresIndependent,
+                            expected.featuresIndependent,
+                            "features_independent");
+        expectFeaturesClose(actual.featuresCarry, expected.featuresCarry,
+                            "features_carry");
+    }
+}
+
+TEST(GoldenCorpus, ShardedPipelineBitwiseIdenticalToScalar)
+{
+    for (const GoldenCase &c : golden::corpus()) {
+        SCOPED_TRACE(c.name);
+        const ConcordePredictor predictor = golden::predictorFor(c);
+        for (auto state : {pipeline::StateMode::Independent,
+                           pipeline::StateMode::Carry}) {
+            pipeline::PipelineConfig config;
+            config.regionChunks = c.regionChunks;
+            config.state = state;
+            config.keepFeatures = true;
+
+            config.mode = pipeline::ExecMode::Scalar;
+            pipeline::AnalysisPipeline scalar(predictor, config);
+            const auto scalar_result = scalar.run(c.span, c.params);
+
+            config.mode = pipeline::ExecMode::Sharded;
+            config.threads = 3;
+            pipeline::AnalysisPipeline sharded(predictor, config);
+            const auto sharded_result = sharded.run(c.span, c.params);
+
+            ASSERT_EQ(scalar_result.regionCpi.size(),
+                      sharded_result.regionCpi.size());
+            for (size_t i = 0; i < scalar_result.regionCpi.size(); ++i) {
+                EXPECT_EQ(scalar_result.regionCpi[i],
+                          sharded_result.regionCpi[i])
+                    << "region " << i;
+            }
+            EXPECT_EQ(scalar_result.programCpi,
+                      sharded_result.programCpi);
+            EXPECT_EQ(scalar_result.features, sharded_result.features);
+        }
+    }
+}
+
+TEST(GoldenCorpus, ServiceEndpointBitwiseIdenticalToScalar)
+{
+    for (const GoldenCase &c : golden::corpus()) {
+        SCOPED_TRACE(c.name);
+        pipeline::PipelineConfig config;
+        config.regionChunks = c.regionChunks;
+        config.mode = pipeline::ExecMode::Scalar;
+        config.state = pipeline::StateMode::Independent;
+        const ConcordePredictor predictor = golden::predictorFor(c);
+        pipeline::AnalysisPipeline scalar(predictor, config);
+        const auto reference = scalar.run(c.span, c.params);
+
+        serve::ServeConfig sc;
+        sc.poolThreads = 2;
+        serve::PredictionService service(sc);
+        service.registry().add(c.name, golden::predictorFor(c));
+        const auto served =
+            service.predictSpan(c.name, c.span, c.regionChunks, c.params);
+
+        ASSERT_EQ(served.regionCpi.size(), reference.regionCpi.size());
+        for (size_t i = 0; i < reference.regionCpi.size(); ++i)
+            EXPECT_EQ(served.regionCpi[i], reference.regionCpi[i])
+                << "region " << i;
+        EXPECT_EQ(served.programCpi, reference.programCpi);
+    }
+}

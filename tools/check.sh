@@ -18,7 +18,11 @@ echo "== stage 1: build (${BUILD_TYPE}, -Werror) + tests =="
 cmake -B build -S . -DCMAKE_BUILD_TYPE="$BUILD_TYPE" -DCONCORDE_WERROR=ON
 cmake --build build -j "$JOBS"
 cmake --build build --target bench -j "$JOBS"
-ctest --test-dir build --output-on-failure -j "$JOBS"
+# Golden tests run in their own labeled stage below, not twice.
+ctest --test-dir build -LE golden --output-on-failure -j "$JOBS"
+
+echo "== stage 1b: golden corpus (diff only, never regenerated) =="
+ctest --test-dir build -L golden --output-on-failure -j "$JOBS"
 
 if [ "${SKIP_SANITIZE:-0}" != "1" ]; then
     echo "== stage 2: ASan+UBSan tests =="
@@ -35,6 +39,11 @@ if [ "${SKIP_BENCH:-0}" != "1" ]; then
     # identical predictions (the bench exits nonzero otherwise).
     CONCORDE_SMOKE=1 CONCORDE_BENCH_JSON=BENCH_serve.json \
         ./build/bench/bench_serve_throughput
+
+    # End-to-end pipeline gate: sharded/stitched execution must keep up
+    # with (resp. beat) the scalar region loop, bitwise identical.
+    CONCORDE_SMOKE=1 CONCORDE_BENCH_JSON=BENCH_pipeline.json \
+        ./build/bench/bench_pipeline_e2e
 
     # Batched-inference smoke at reduced sizes (trains a small model
     # into a scratch artifact dir on first run).

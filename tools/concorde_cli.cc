@@ -9,6 +9,10 @@
  *   concorde_cli serve <program> [clients=4 requests=2000 batch=64
  *                                 deadline_us=200 cache=65536 burst=32
  *                                 regions=4 param=value ...]
+ *   concorde_cli pipeline <program> [chunks=64 region=8 warmup=8 start=16
+ *                                    threads=0 mode=sharded|scalar|service
+ *                                    state=carry|independent
+ *                                    param=value ...]
  *   concorde_cli list
  *
  * Programs are Table-2 codes (P1..P13, C1, C2, O1..O4, S1..S10).
@@ -36,6 +40,7 @@
 #include "core/artifacts.hh"
 #include "core/concorde.hh"
 #include "core/shapley.hh"
+#include "pipeline/analysis_pipeline.hh"
 #include "serve/prediction_service.hh"
 #include "sim/o3_core.hh"
 
@@ -72,7 +77,7 @@ usage()
 {
     std::fprintf(stderr,
                  "usage: concorde_cli <predict|sweep|attribute|simulate|"
-                 "serve|list> <program> [args]\n"
+                 "serve|pipeline|list> <program> [args]\n"
                  "run with 'list' for programs and parameter names\n");
     return 2;
 }
@@ -301,6 +306,147 @@ runServe(int pid, const char *code, int argc, char **argv)
     return 0;
 }
 
+int
+runPipeline(int pid, const char *code, int argc, char **argv)
+{
+    std::map<std::string, int64_t> opt = {
+        {"chunks", 64}, {"region", 8}, {"warmup", 8}, {"start", 16},
+        {"threads", 0},
+    };
+    std::string mode = "sharded";
+    std::string state;      // default: carry (independent for service)
+    bool warmup_set = false;
+    UarchParams params = UarchParams::armN1();
+    for (int i = 3; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto eq = arg.find('=');
+        const std::string key =
+            eq == std::string::npos ? arg : arg.substr(0, eq);
+        if (key == "mode" || key == "state") {
+            if (eq == std::string::npos)
+                return usage();
+            const std::string value = arg.substr(eq + 1);
+            if (key == "mode") {
+                if (value != "scalar" && value != "sharded"
+                    && value != "service") {
+                    std::fprintf(stderr, "bad mode '%s' (scalar|sharded|"
+                                 "service)\n", value.c_str());
+                    return 2;
+                }
+                mode = value;
+            } else {
+                if (value != "independent" && value != "carry") {
+                    std::fprintf(stderr, "bad state '%s' (independent|"
+                                 "carry)\n", value.c_str());
+                    return 2;
+                }
+                state = value;
+            }
+            continue;
+        }
+        if (opt.count(key)) {
+            int64_t value = 0;
+            if (eq == std::string::npos
+                || !parseInt(arg.substr(eq + 1), value) || value < 0) {
+                std::fprintf(stderr, "bad value for pipeline option "
+                             "'%s'\n", key.c_str());
+                return 2;
+            }
+            opt[key] = value;
+            if (key == "warmup")
+                warmup_set = true;
+            continue;
+        }
+        if (!applyOverride(params, arg))
+            return 2;
+    }
+    if (opt["chunks"] < 1 || opt["region"] < 1) {
+        std::fprintf(stderr, "chunks and region must be positive\n");
+        return 2;
+    }
+    // The service endpoint serves independent regions with the default
+    // warmup convention; only reject options the user explicitly set.
+    if (state.empty())
+        state = mode == "service" ? "independent" : "carry";
+    if (mode == "service" && state == "carry") {
+        std::fprintf(stderr, "the service endpoint serves independent "
+                     "regions; use state=independent\n");
+        return 2;
+    }
+    if (mode == "service" && warmup_set
+        && opt["warmup"] != kDefaultWarmupChunks) {
+        std::fprintf(stderr, "the service endpoint always uses the "
+                     "default warmup (%u chunks); warmup= applies to "
+                     "scalar/sharded modes\n", kDefaultWarmupChunks);
+        return 2;
+    }
+
+    TraceSpan span;
+    span.programId = pid;
+    span.traceId = 0;
+    span.startChunk = static_cast<uint64_t>(opt["start"]);
+    span.numChunks = static_cast<uint64_t>(opt["chunks"]);
+
+    pipeline::PipelineConfig config;
+    config.regionChunks = static_cast<uint32_t>(opt["region"]);
+    config.warmupChunks = static_cast<uint32_t>(opt["warmup"]);
+    config.mode = mode == "scalar" ? pipeline::ExecMode::Scalar
+        : pipeline::ExecMode::Sharded;
+    config.state = state == "carry" ? pipeline::StateMode::Carry
+        : pipeline::StateMode::Independent;
+    config.threads = static_cast<size_t>(opt["threads"]);
+
+    ConcordePredictor predictor(artifacts::fullModel(),
+                                artifacts::featureConfig());
+    std::printf("pipeline over %s: %llu chunks (%.1fk instructions), "
+                "regions of %lld chunks, mode %s/%s\n", code,
+                static_cast<unsigned long long>(span.numChunks),
+                static_cast<double>(span.numInstructions()) / 1000.0,
+                static_cast<long long>(opt["region"]), mode.c_str(),
+                state.c_str());
+
+    pipeline::PipelineResult result;
+    if (mode == "service") {
+        serve::ServeConfig sc;
+        sc.poolThreads = config.threads == 0
+            ? defaultThreads() : config.threads;
+        serve::PredictionService service(sc);
+        service.registry().add("default", std::move(predictor));
+        result = service.predictSpan("default", span, config.regionChunks,
+                                     params);
+    } else {
+        pipeline::AnalysisPipeline pipe(predictor, config);
+        result = pipe.run(span, params);
+    }
+
+    std::printf("  program CPI %.4f over %zu regions (%llu "
+                "instructions)\n", result.programCpi,
+                result.regions.size(),
+                static_cast<unsigned long long>(result.instructions));
+    double lo = 0.0, hi = 0.0;
+    if (!result.regionCpi.empty()) {
+        const auto [min_it, max_it] = std::minmax_element(
+            result.regionCpi.begin(), result.regionCpi.end());
+        lo = *min_it;
+        hi = *max_it;
+    }
+    std::printf("  region CPI min %.4f / max %.4f\n", lo, hi);
+    const double rate = static_cast<double>(result.instructions) / 1e6
+        / std::max(result.totalSeconds, 1e-9);
+    if (mode == "service") {
+        // The service path has no per-phase breakdown (work happens
+        // inside batched dispatches).
+        std::printf("  %.3fs total -> %.2f Minstr/s\n",
+                    result.totalSeconds, rate);
+    } else {
+        std::printf("  %.3fs total (analyze %.3fs, features %.3fs, "
+                    "inference %.3fs) -> %.2f Minstr/s\n",
+                    result.totalSeconds, result.analyzeSeconds,
+                    result.featureSeconds, result.inferSeconds, rate);
+    }
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -332,7 +478,8 @@ main(int argc, char **argv)
     }
 
     if (command != "predict" && command != "sweep" && command != "attribute"
-        && command != "simulate" && command != "serve") {
+        && command != "simulate" && command != "serve"
+        && command != "pipeline") {
         std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
         return usage();
     }
@@ -347,6 +494,8 @@ main(int argc, char **argv)
 
     if (command == "serve")
         return runServe(pid, argv[2], argc, argv);
+    if (command == "pipeline")
+        return runPipeline(pid, argv[2], argc, argv);
 
     UarchParams params = UarchParams::armN1();
     int first_override = 3;
