@@ -8,9 +8,42 @@
 #include "analytical/rob_model.hh"
 #include "analytical/width_models.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace concorde
 {
+
+void
+saveFeatureConfig(BinaryWriter &out, const FeatureConfig &cfg)
+{
+    out.put<int32_t>(cfg.windowK);
+    out.put<uint64_t>(cfg.numPercentiles);
+    out.putVector(cfg.robSweep);
+    out.putVector(cfg.latencyRobSizes);
+}
+
+FeatureConfig
+loadFeatureConfig(BinaryReader &in)
+{
+    FeatureConfig cfg;
+    cfg.windowK = in.get<int32_t>();
+    cfg.numPercentiles = in.get<uint64_t>();
+    cfg.robSweep = in.getVector<int>();
+    cfg.latencyRobSizes = in.getVector<int>();
+    return cfg;
+}
+
+uint64_t
+featureConfigFingerprint(const FeatureConfig &cfg)
+{
+    uint64_t h = hashMix(0xF3A7C0F6ULL, static_cast<uint64_t>(cfg.windowK),
+                         cfg.numPercentiles);
+    for (int v : cfg.robSweep)
+        h = hashMix(h, 1, static_cast<uint64_t>(v));
+    for (int v : cfg.latencyRobSizes)
+        h = hashMix(h, 2, static_cast<uint64_t>(v));
+    return h;
+}
 
 FeatureLayout::FeatureLayout(const FeatureConfig &config)
 {

@@ -45,6 +45,16 @@ struct FeatureConfig
     std::vector<int> latencyRobSizes = {1, 4, 16, 64, 256, 1024};
 };
 
+/**
+ * Field-wise FeatureConfig serialization, shared by the predictor file
+ * format and the versioned ModelArtifact bundle.
+ */
+void saveFeatureConfig(BinaryWriter &out, const FeatureConfig &cfg);
+FeatureConfig loadFeatureConfig(BinaryReader &in);
+
+/** Stable fingerprint of a FeatureConfig (dataset/artifact provenance). */
+uint64_t featureConfigFingerprint(const FeatureConfig &cfg);
+
 /** Feature groups used for the Figure-12 ablations. */
 enum class FeatureGroup : int
 {

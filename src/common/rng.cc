@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace concorde
 {
@@ -139,6 +140,22 @@ Rng
 Rng::fork(uint64_t salt)
 {
     return Rng(hashMix(next(), salt));
+}
+
+void
+Rng::saveState(BinaryWriter &out) const
+{
+    for (uint64_t word : s)
+        out.put<uint64_t>(word);
+}
+
+Rng
+Rng::loadState(BinaryReader &in)
+{
+    Rng rng;
+    for (uint64_t &word : rng.s)
+        word = in.get<uint64_t>();
+    return rng;
 }
 
 } // namespace concorde

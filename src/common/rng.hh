@@ -15,6 +15,9 @@
 namespace concorde
 {
 
+class BinaryReader;
+class BinaryWriter;
+
 /** SplitMix64 step; used for seeding and cheap hash mixing. */
 uint64_t splitMix64(uint64_t &state);
 
@@ -61,6 +64,13 @@ class Rng
 
     /** Derive an independent child generator. */
     Rng fork(uint64_t salt);
+
+    /**
+     * Serialize / restore the full generator state (training checkpoints
+     * resume mid-stream and must replay the exact remaining sequence).
+     */
+    void saveState(BinaryWriter &out) const;
+    static Rng loadState(BinaryReader &in);
 
   private:
     uint64_t s[4];

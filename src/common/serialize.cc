@@ -84,6 +84,43 @@ fileExists(const std::string &path)
     return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
 }
 
+uint64_t
+hashBytes(const void *data, size_t bytes, uint64_t seed)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    uint64_t h = seed;
+    for (size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;              // FNV-1a prime
+    }
+    return h;
+}
+
+uint64_t
+fileHash(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    fatal_if(!f, "cannot hash '%s': %s", path.c_str(),
+             std::strerror(errno));
+    uint64_t h = 0xcbf29ce484222325ULL;    // FNV-1a offset basis
+    unsigned char buf[1 << 16];
+    size_t got;
+    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        h = hashBytes(buf, got, h);
+    const bool bad = std::ferror(f) != 0;
+    std::fclose(f);
+    fatal_if(bad, "read error hashing '%s'", path.c_str());
+    return h;
+}
+
+void
+publishFile(const std::string &tmp_path, const std::string &final_path)
+{
+    fatal_if(std::rename(tmp_path.c_str(), final_path.c_str()) != 0,
+             "cannot publish '%s' as '%s': %s", tmp_path.c_str(),
+             final_path.c_str(), std::strerror(errno));
+}
+
 void
 ensureDir(const std::string &path)
 {

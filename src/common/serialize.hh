@@ -105,6 +105,24 @@ bool fileExists(const std::string &path);
 /** mkdir -p equivalent; fatal() on failure. */
 void ensureDir(const std::string &path);
 
+/**
+ * FNV-1a hash of a file's bytes; fatal() if the file cannot be read.
+ * Used to fingerprint dataset manifests for artifact provenance.
+ */
+uint64_t fileHash(const std::string &path);
+
+/** FNV-1a over an in-memory buffer, chainable via `seed`. */
+uint64_t hashBytes(const void *data, size_t bytes,
+                   uint64_t seed = 0xcbf29ce484222325ULL);
+
+/**
+ * Atomically publish `tmp_path` as `final_path` (rename(2)). Writers of
+ * resumable outputs (dataset shards, training checkpoints) write to a
+ * temporary name first so a killed run never leaves a truncated file
+ * under the final name.
+ */
+void publishFile(const std::string &tmp_path, const std::string &final_path);
+
 } // namespace concorde
 
 #endif // CONCORDE_COMMON_SERIALIZE_HH

@@ -109,26 +109,6 @@ namespace
 /** Header of the versioned predictor file format ("CONCORD1"). */
 constexpr uint64_t kPredictorMagic = 0x3144524f434e4f43ULL;
 
-void
-saveFeatureConfig(BinaryWriter &out, const FeatureConfig &cfg)
-{
-    out.put<int32_t>(cfg.windowK);
-    out.put<uint64_t>(cfg.numPercentiles);
-    out.putVector(cfg.robSweep);
-    out.putVector(cfg.latencyRobSizes);
-}
-
-FeatureConfig
-loadFeatureConfig(BinaryReader &in)
-{
-    FeatureConfig cfg;
-    cfg.windowK = in.get<int32_t>();
-    cfg.numPercentiles = in.get<uint64_t>();
-    cfg.robSweep = in.getVector<int>();
-    cfg.latencyRobSizes = in.getVector<int>();
-    return cfg;
-}
-
 } // anonymous namespace
 
 void

@@ -1,6 +1,7 @@
 #include "core/dataset.hh"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/logging.hh"
 #include "common/serialize.hh"
@@ -9,6 +10,130 @@
 
 namespace concorde
 {
+
+namespace
+{
+
+/** Legacy (pre-v2) magic: raw-struct SampleMeta payload. */
+constexpr uint64_t kDatasetMagicLegacy = 0xC04C08DEULL;
+/** Versioned field-wise format: "CNCDAT02" little-endian. */
+constexpr uint64_t kDatasetMagicV2 = 0x3230544144434e43ULL;
+constexpr uint32_t kDatasetVersion = 2;
+
+void
+saveSampleMeta(BinaryWriter &out, const SampleMeta &meta)
+{
+    out.put<int32_t>(meta.region.programId);
+    out.put<int32_t>(meta.region.traceId);
+    out.put<uint64_t>(meta.region.startChunk);
+    out.put<uint32_t>(meta.region.numChunks);
+    meta.params.save(out);
+    out.put<float>(meta.cpi);
+    out.put<float>(meta.avgRobOcc);
+    out.put<float>(meta.avgRenameOcc);
+    out.put<uint32_t>(meta.mispredicts);
+    out.put<float>(meta.execRatio);
+}
+
+SampleMeta
+loadSampleMeta(BinaryReader &in)
+{
+    SampleMeta meta;
+    meta.region.programId = in.get<int32_t>();
+    meta.region.traceId = in.get<int32_t>();
+    meta.region.startChunk = in.get<uint64_t>();
+    meta.region.numChunks = in.get<uint32_t>();
+    meta.params = UarchParams::load(in);
+    meta.cpi = in.get<float>();
+    meta.avgRobOcc = in.get<float>();
+    meta.avgRenameOcc = in.get<float>();
+    meta.mispredicts = in.get<uint32_t>();
+    meta.execRatio = in.get<float>();
+    return meta;
+}
+
+/**
+ * Serial spec pass: draw every (region, microarchitecture) pair with one
+ * RNG stream. A sample's spec depends only on (config, sample index), so
+ * sharded, resumed, and monolithic builds all see identical specs.
+ */
+std::vector<SampleMeta>
+drawSpecs(const DatasetConfig &config)
+{
+    Rng rng(hashMix(config.seed, 0xDA7A5E7ULL));
+    std::vector<SampleMeta> specs(config.numSamples);
+    for (auto &meta : specs) {
+        if (config.programFilter.empty()) {
+            meta.region = sampleRegion(rng, config.regionChunks);
+        } else {
+            const int program = config.programFilter[rng.nextBounded(
+                config.programFilter.size())];
+            meta.region = sampleRegionFromProgram(rng, program,
+                                                  config.regionChunks);
+        }
+        meta.params = config.useFixedUarch ? config.fixedUarch
+                                           : UarchParams::sampleRandom(rng);
+    }
+    return specs;
+}
+
+/** Label one drawn sample: features + simulator ground truth. */
+void
+labelSample(const DatasetConfig &config, SampleMeta &meta,
+            float *feature_row, float &label)
+{
+    FeatureProvider provider(meta.region, config.features);
+
+    // Features.
+    std::vector<float> features;
+    provider.assemble(meta.params, features);
+    std::copy(features.begin(), features.end(), feature_row);
+
+    // Ground-truth label from the cycle-level simulator.
+    const SimResult sim = simulateRegion(meta.params, provider.analysis());
+    meta.cpi = static_cast<float>(sim.cpi());
+    meta.avgRobOcc = static_cast<float>(sim.avgRobOccupancy);
+    meta.avgRenameOcc = static_cast<float>(sim.avgRenameQOccupancy);
+    meta.mispredicts = static_cast<uint32_t>(sim.branchMispredicts);
+
+    // Figure 11 diagnostic: actual vs trace-analysis load time.
+    const auto &dside = provider.analysis().dside(meta.params.memory);
+    uint64_t estimated = 0;
+    const auto &region = provider.analysis().instrs();
+    for (size_t i = 0; i < region.size(); ++i) {
+        if (region[i].isLoad())
+            estimated += static_cast<uint64_t>(dside.execLat[i]);
+    }
+    meta.execRatio = estimated > 0
+        ? static_cast<float>(
+            static_cast<double>(sim.actualLoadLatencySum)
+            / static_cast<double>(estimated))
+        : 1.0f;
+
+    label = meta.cpi;
+}
+
+/** Label the spec range [begin, end) into a standalone Dataset. */
+Dataset
+labelRange(const DatasetConfig &config, const FeatureLayout &layout,
+           const std::vector<SampleMeta> &specs, size_t begin, size_t end)
+{
+    const size_t count = end - begin;
+    Dataset data;
+    data.dim = layout.dim();
+    data.features.assign(count * layout.dim(), 0.0f);
+    data.labels.assign(count, 0.0f);
+    data.meta.assign(specs.begin() + begin, specs.begin() + end);
+
+    parallelFor(count, [&](size_t s) {
+        labelSample(config, data.meta[s],
+                    data.features.data() + s * layout.dim(),
+                    data.labels[s]);
+    }, config.threads);
+    return data;
+}
+
+} // anonymous namespace
 
 std::vector<float>
 Dataset::robOccLabels() const
@@ -46,94 +171,245 @@ Dataset::subset(const std::vector<size_t> &indices) const
 }
 
 void
+Dataset::append(const Dataset &other)
+{
+    if (size() == 0 && dim == 0)
+        dim = other.dim;
+    panic_if(other.dim != dim, "appending dataset of dim %zu to dim %zu",
+             other.dim, dim);
+    features.insert(features.end(), other.features.begin(),
+                    other.features.end());
+    labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+    meta.insert(meta.end(), other.meta.begin(), other.meta.end());
+}
+
+void
 Dataset::save(const std::string &path) const
 {
     BinaryWriter out(path);
-    out.put<uint64_t>(0xC04C08DEULL);   // magic
+    out.put<uint64_t>(kDatasetMagicV2);
+    out.put<uint32_t>(kDatasetVersion);
     out.put<uint64_t>(dim);
     out.putVector(features);
     out.putVector(labels);
-    out.putVector(meta);
+    out.put<uint64_t>(meta.size());
+    for (const auto &sample : meta)
+        saveSampleMeta(out, sample);
 }
 
 Dataset
 Dataset::load(const std::string &path)
 {
     BinaryReader in(path);
-    fatal_if(in.get<uint64_t>() != 0xC04C08DEULL,
-             "'%s' is not a Concorde dataset", path.c_str());
+    const uint64_t magic = in.get<uint64_t>();
     Dataset data;
+    if (magic == kDatasetMagicLegacy) {
+        // Pre-v2 cache files (e.g. committed bench-artifacts): raw
+        // struct bytes, readable only by the ABI that wrote them.
+        data.dim = in.get<uint64_t>();
+        data.features = in.getVector<float>();
+        data.labels = in.getVector<float>();
+        data.meta = in.getVector<SampleMeta>();
+        return data;
+    }
+    fatal_if(magic != kDatasetMagicV2, "'%s' is not a Concorde dataset",
+             path.c_str());
+    const uint32_t version = in.get<uint32_t>();
+    fatal_if(version != kDatasetVersion,
+             "'%s': unsupported dataset version %u", path.c_str(), version);
     data.dim = in.get<uint64_t>();
     data.features = in.getVector<float>();
     data.labels = in.getVector<float>();
-    data.meta = in.getVector<SampleMeta>();
+    const uint64_t count = in.get<uint64_t>();
+    data.meta.reserve(count);
+    for (uint64_t i = 0; i < count; ++i)
+        data.meta.push_back(loadSampleMeta(in));
     return data;
 }
 
 Dataset
 buildDataset(const DatasetConfig &config)
 {
-    // Draw all (region, microarchitecture) pairs serially so the dataset
-    // is independent of the thread count.
-    Rng rng(hashMix(config.seed, 0xDA7A5E7ULL));
-    std::vector<SampleMeta> specs(config.numSamples);
-    for (auto &meta : specs) {
-        if (config.programFilter.empty()) {
-            meta.region = sampleRegion(rng, config.regionChunks);
-        } else {
-            const int program = config.programFilter[rng.nextBounded(
-                config.programFilter.size())];
-            meta.region = sampleRegionFromProgram(rng, program,
-                                                  config.regionChunks);
-        }
-        meta.params = config.useFixedUarch ? config.fixedUarch
-                                           : UarchParams::sampleRandom(rng);
+    const FeatureLayout layout(config.features);
+    return labelRange(config, layout, drawSpecs(config), 0,
+                      config.numSamples);
+}
+
+// ---- sharded generation ----
+
+size_t
+DatasetManifest::numShards() const
+{
+    panic_if(shardSamples == 0, "manifest with zero-sample shards");
+    return static_cast<size_t>(
+        (numSamples + shardSamples - 1) / shardSamples);
+}
+
+size_t
+DatasetManifest::shardBegin(size_t shard) const
+{
+    return static_cast<size_t>(shard * shardSamples);
+}
+
+size_t
+DatasetManifest::shardEnd(size_t shard) const
+{
+    return static_cast<size_t>(
+        std::min<uint64_t>(numSamples, (shard + 1) * shardSamples));
+}
+
+std::string
+DatasetManifest::shardFile(const std::string &dir, size_t shard)
+{
+    char name[32];
+    std::snprintf(name, sizeof(name), "shard_%05zu.bin", shard);
+    return dir + "/" + name;
+}
+
+std::string
+DatasetManifest::manifestFile(const std::string &dir)
+{
+    return dir + "/manifest.bin";
+}
+
+namespace
+{
+
+/** "CNCMAN01" little-endian. */
+constexpr uint64_t kManifestMagic = 0x31304e414d434e43ULL;
+
+} // anonymous namespace
+
+void
+DatasetManifest::save(const std::string &path) const
+{
+    const std::string tmp = path + ".tmp";
+    {
+        BinaryWriter out(tmp);
+        out.put<uint64_t>(kManifestMagic);
+        out.put<uint64_t>(configFingerprint);
+        out.put<uint64_t>(seed);
+        out.put<uint64_t>(numSamples);
+        out.put<uint64_t>(shardSamples);
+        out.put<uint32_t>(regionChunks);
+    }
+    publishFile(tmp, path);
+}
+
+DatasetManifest
+DatasetManifest::load(const std::string &path)
+{
+    BinaryReader in(path);
+    fatal_if(in.get<uint64_t>() != kManifestMagic,
+             "'%s' is not a Concorde dataset manifest", path.c_str());
+    DatasetManifest manifest;
+    manifest.configFingerprint = in.get<uint64_t>();
+    manifest.seed = in.get<uint64_t>();
+    manifest.numSamples = in.get<uint64_t>();
+    manifest.shardSamples = in.get<uint64_t>();
+    manifest.regionChunks = in.get<uint32_t>();
+    return manifest;
+}
+
+uint64_t
+datasetConfigFingerprint(const DatasetConfig &config, size_t shard_samples)
+{
+    uint64_t h = hashMix(0xDA7A5E7ULL, config.seed, config.numSamples);
+    h = hashMix(h, config.regionChunks, shard_samples);
+    h = hashMix(h, featureConfigFingerprint(config.features));
+    h = hashMix(h, config.useFixedUarch ? 1 : 0,
+                config.useFixedUarch ? config.fixedUarch.hashKey() : 0);
+    for (int program : config.programFilter)
+        h = hashMix(h, 3, static_cast<uint64_t>(program));
+    return h;
+}
+
+ShardedBuildResult
+buildDatasetShards(const DatasetConfig &config, const std::string &dir,
+                   size_t shard_samples, size_t max_shards_this_run)
+{
+    fatal_if(shard_samples == 0, "shard size must be positive");
+    fatal_if(config.numSamples == 0, "empty dataset");
+    ensureDir(dir);
+
+    const uint64_t fingerprint =
+        datasetConfigFingerprint(config, shard_samples);
+    const std::string manifest_path = DatasetManifest::manifestFile(dir);
+    DatasetManifest manifest;
+    if (fileExists(manifest_path)) {
+        manifest = DatasetManifest::load(manifest_path);
+        fatal_if(manifest.configFingerprint != fingerprint,
+                 "'%s' was generated with a different dataset config; "
+                 "refusing to mix shards (use a fresh directory)",
+                 dir.c_str());
+    } else {
+        manifest.configFingerprint = fingerprint;
+        manifest.seed = config.seed;
+        manifest.numSamples = config.numSamples;
+        manifest.shardSamples = shard_samples;
+        manifest.regionChunks = config.regionChunks;
+        manifest.save(manifest_path);
     }
 
+    // The serial spec pass is cheap relative to labeling; redrawing it
+    // on every (resumed) run keeps shard content a pure function of the
+    // config.
+    const std::vector<SampleMeta> specs = drawSpecs(config);
     const FeatureLayout layout(config.features);
-    Dataset data;
-    data.dim = layout.dim();
-    data.features.assign(config.numSamples * layout.dim(), 0.0f);
-    data.labels.assign(config.numSamples, 0.0f);
-    data.meta = std::move(specs);
 
-    parallelFor(config.numSamples, [&](size_t s) {
-        SampleMeta &meta = data.meta[s];
-        FeatureProvider provider(meta.region, config.features);
-
-        // Features.
-        std::vector<float> features;
-        provider.assemble(meta.params, features);
-        std::copy(features.begin(), features.end(),
-                  data.features.begin() + s * layout.dim());
-
-        // Ground-truth label from the cycle-level simulator.
-        const SimResult sim =
-            simulateRegion(meta.params, provider.analysis());
-        meta.cpi = static_cast<float>(sim.cpi());
-        meta.avgRobOcc = static_cast<float>(sim.avgRobOccupancy);
-        meta.avgRenameOcc = static_cast<float>(sim.avgRenameQOccupancy);
-        meta.mispredicts = static_cast<uint32_t>(sim.branchMispredicts);
-
-        // Figure 11 diagnostic: actual vs trace-analysis load time.
-        const auto &dside =
-            provider.analysis().dside(meta.params.memory);
-        uint64_t estimated = 0;
-        const auto &region = provider.analysis().instrs();
-        for (size_t i = 0; i < region.size(); ++i) {
-            if (region[i].isLoad())
-                estimated += static_cast<uint64_t>(dside.execLat[i]);
+    ShardedBuildResult result;
+    for (size_t shard = 0; shard < manifest.numShards(); ++shard) {
+        const std::string path = DatasetManifest::shardFile(dir, shard);
+        if (fileExists(path)) {
+            ++result.shardsSkipped;
+            continue;
         }
-        meta.execRatio = estimated > 0
-            ? static_cast<float>(
-                static_cast<double>(sim.actualLoadLatencySum)
-                / static_cast<double>(estimated))
-            : 1.0f;
+        if (max_shards_this_run > 0
+            && result.shardsBuilt >= max_shards_this_run) {
+            ++result.shardsRemaining;
+            continue;
+        }
+        const Dataset data = labelRange(config, layout, specs,
+                                        manifest.shardBegin(shard),
+                                        manifest.shardEnd(shard));
+        const std::string tmp = path + ".tmp";
+        data.save(tmp);
+        publishFile(tmp, path);
+        ++result.shardsBuilt;
+    }
+    return result;
+}
 
-        data.labels[s] = meta.cpi;
-    }, config.threads);
-
+Dataset
+loadDatasetShards(const std::string &dir)
+{
+    const DatasetManifest manifest =
+        DatasetManifest::load(DatasetManifest::manifestFile(dir));
+    Dataset data;
+    for (size_t shard = 0; shard < manifest.numShards(); ++shard) {
+        const std::string path = DatasetManifest::shardFile(dir, shard);
+        fatal_if(!fileExists(path),
+                 "dataset '%s' is incomplete (missing %s); rerun the "
+                 "sharded build to resume", dir.c_str(), path.c_str());
+        const Dataset shard_data = Dataset::load(path);
+        const size_t expected =
+            manifest.shardEnd(shard) - manifest.shardBegin(shard);
+        fatal_if(shard_data.size() != expected,
+                 "shard '%s' holds %zu samples, manifest expects %zu",
+                 path.c_str(), shard_data.size(), expected);
+        data.append(shard_data);
+    }
+    fatal_if(data.size() != manifest.numSamples,
+             "sharded dataset '%s' holds %zu samples, manifest expects "
+             "%llu", dir.c_str(), data.size(),
+             static_cast<unsigned long long>(manifest.numSamples));
     return data;
+}
+
+uint64_t
+datasetManifestHash(const std::string &dir)
+{
+    return fileHash(DatasetManifest::manifestFile(dir));
 }
 
 } // namespace concorde

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * ModelArtifact: the versioned, self-contained unit the model lifecycle
+ * produces and the serve layer consumes. One file bundles everything a
+ * deployment needs to reproduce the trained predictor's exact outputs --
+ * the MLP weights, the FeatureConfig it was trained against, the input
+ * standardization statistics and feature mask (inside TrainedModel) --
+ * plus the provenance to audit where it came from: the dataset manifest
+ * hash, the full TrainConfig, the held-out error it shipped with, and
+ * the code version that trained it.
+ */
+
+#ifndef CONCORDE_CORE_MODEL_ARTIFACT_HH
+#define CONCORDE_CORE_MODEL_ARTIFACT_HH
+
+#include <string>
+
+#include "core/concorde.hh"
+
+namespace concorde
+{
+
+/** Where a trained model came from (auditing / cache invalidation). */
+struct ArtifactProvenance
+{
+    /** datasetManifestHash() of the training dataset; 0 = unknown. */
+    uint64_t datasetManifestHash = 0;
+    /** Training dataset location (informational, not load-bearing). */
+    std::string datasetPath;
+    /** `git describe` of the tree that trained it ("unknown" outside git). */
+    std::string gitDescribe;
+    TrainConfig trainConfig;
+    uint64_t trainedEpochs = 0;
+    /** Validation mean relative CPI error at ship time (<0 = unknown). */
+    double heldOutRelErr = -1.0;
+};
+
+/** Versioned trained-model bundle with save/load round-trip. */
+struct ModelArtifact
+{
+    FeatureConfig features;
+    TrainedModel model;
+    ArtifactProvenance provenance;
+
+    bool valid() const { return model.valid(); }
+
+    /** Build the ready-to-serve predictor this artifact describes. */
+    ConcordePredictor predictor() const
+    {
+        return ConcordePredictor(model, features);
+    }
+
+    void save(const std::string &path) const;
+    static ModelArtifact load(const std::string &path);
+};
+
+/** `git describe` of the built tree (compiled in; "unknown" if absent). */
+std::string buildGitDescribe();
+
+} // namespace concorde
+
+#endif // CONCORDE_CORE_MODEL_ARTIFACT_HH

@@ -72,6 +72,40 @@ Mlp::save(BinaryWriter &out) const
 }
 
 void
+Mlp::saveCheckpoint(BinaryWriter &out) const
+{
+    out.putVector(layerSizes);
+    for (size_t l = 0; l < weights.size(); ++l) {
+        out.putVector(weights[l]);
+        out.putVector(biases[l]);
+        out.putVector(mW[l]);
+        out.putVector(vW[l]);
+        out.putVector(mB[l]);
+        out.putVector(vB[l]);
+    }
+    out.put<uint64_t>(adamStep);
+}
+
+Mlp
+Mlp::loadCheckpoint(BinaryReader &in)
+{
+    Mlp mlp;
+    mlp.layerSizes = in.getVector<size_t>();
+    fatal_if(mlp.layerSizes.size() < 2, "malformed MLP checkpoint");
+    const size_t layers = mlp.layerSizes.size() - 1;
+    for (size_t l = 0; l < layers; ++l) {
+        mlp.weights.push_back(in.getVector<float>());
+        mlp.biases.push_back(in.getVector<float>());
+        mlp.mW.push_back(in.getVector<float>());
+        mlp.vW.push_back(in.getVector<float>());
+        mlp.mB.push_back(in.getVector<float>());
+        mlp.vB.push_back(in.getVector<float>());
+    }
+    mlp.adamStep = in.get<uint64_t>();
+    return mlp;
+}
+
+void
 Mlp::initAdamState()
 {
     mW.clear(); vW.clear(); mB.clear(); vB.clear();

@@ -50,6 +50,9 @@ struct GradBuffer
 class Mlp
 {
   public:
+    /** Empty (invalid) network; assign or load before use. */
+    Mlp() = default;
+
     /**
      * @param layer_sizes {input, hidden..., 1}
      * @param seed He-style weight initialization seed
@@ -92,7 +95,16 @@ class Mlp
     GradBuffer makeGradBuffer() const;
     MlpScratch makeScratch() const;
 
+    /** Serialize the weights (inference artifact; resets Adam on load). */
     void save(BinaryWriter &out) const;
+
+    /**
+     * Checkpoint the full training state -- weights plus the AdamW
+     * moments and step counter -- so training resumed from a checkpoint
+     * is bitwise-identical to a run that never stopped.
+     */
+    void saveCheckpoint(BinaryWriter &out) const;
+    static Mlp loadCheckpoint(BinaryReader &in);
 
   private:
     void initAdamState();

@@ -35,7 +35,17 @@ struct TrainConfig
     uint64_t seed = 1234;
     size_t threads = 0;         ///< 0 = hardware concurrency
     bool verbose = false;
+    /**
+     * Fraction of samples held out for per-epoch validation (0 = train
+     * on everything, no held-out metrics; standardization statistics
+     * come from the training split only).
+     */
+    double valFraction = 0.0;
 };
+
+/** Field-wise TrainConfig serialization (checkpoints, artifacts). */
+void saveTrainConfig(BinaryWriter &out, const TrainConfig &cfg);
+TrainConfig loadTrainConfig(BinaryReader &in);
 
 /**
  * A trained CPI predictor: the MLP plus its input pre-processing
@@ -85,6 +95,25 @@ class TrainedModel
     std::vector<uint8_t> featureMask;   ///< empty = keep everything
 };
 
+/** Held-out / training metrics of one completed epoch. */
+struct EpochMetrics
+{
+    size_t epoch = 0;           ///< 0-based
+    double trainRelErr = 0.0;   ///< mean relative error over the epoch
+    double valRelErr = -1.0;    ///< held-out mean rel error (<0 = no split)
+    double lr = 0.0;            ///< learning rate after the epoch
+};
+
+/** Result of a (possibly partial) training run. */
+struct TrainRun
+{
+    TrainedModel model;         ///< state as of the last completed epoch
+    std::vector<EpochMetrics> history;  ///< all completed epochs so far
+    bool finished = false;      ///< config.epochs epochs are done
+
+    size_t epochsCompleted() const { return history.size(); }
+};
+
 /**
  * Train an MLP CPI predictor.
  *
@@ -96,6 +125,28 @@ TrainedModel trainMlp(const std::vector<float> &features,
                       const std::vector<float> &labels, size_t dim,
                       const TrainConfig &config,
                       const std::vector<uint8_t> *mask = nullptr);
+
+/**
+ * Checkpointable / resumable training with an optional validation split.
+ *
+ * If `checkpoint_path` is non-empty, the full optimizer state (weights,
+ * AdamW moments and step, shuffle-RNG state, LR-schedule position,
+ * metric history) is written there atomically after every epoch, and a
+ * pre-existing checkpoint resumes training from its last completed
+ * epoch. A resumed run is bitwise-identical to one that never stopped
+ * -- the checkpoint stores the (data, config, thread-count) fingerprint
+ * and refuses to resume against anything else, since gradient summation
+ * order depends on the worker count.
+ *
+ * @param max_epochs_this_run stop (with a checkpoint on disk) after this
+ *        many additional epochs; 0 = train to config.epochs
+ */
+TrainRun trainMlpResumable(const std::vector<float> &features,
+                           const std::vector<float> &labels, size_t dim,
+                           const TrainConfig &config,
+                           const std::vector<uint8_t> *mask = nullptr,
+                           const std::string &checkpoint_path = "",
+                           size_t max_epochs_this_run = 0);
 
 } // namespace concorde
 

@@ -41,6 +41,15 @@ AnalysisPipeline::AnalysisPipeline(const ConcordePredictor &predictor,
         pool = std::make_unique<ThreadPool>(cfg.threads);
 }
 
+AnalysisPipeline::AnalysisPipeline(const ModelArtifact &artifact,
+                                   PipelineConfig config)
+    : owned(std::make_shared<const ConcordePredictor>(artifact.predictor())),
+      pred(*owned), cfg(config)
+{
+    if (cfg.mode == ExecMode::Sharded)
+        pool = std::make_unique<ThreadPool>(cfg.threads);
+}
+
 std::vector<std::unique_ptr<FeatureProvider>>
 AnalysisPipeline::buildProviders(const TraceSpan &span,
                                  const std::vector<RegionSpec> &regions,

@@ -41,6 +41,7 @@
 
 #include "common/thread_pool.hh"
 #include "core/concorde.hh"
+#include "core/model_artifact.hh"
 
 namespace concorde
 {
@@ -96,6 +97,14 @@ class AnalysisPipeline
     explicit AnalysisPipeline(const ConcordePredictor &predictor,
                               PipelineConfig config = PipelineConfig{});
 
+    /**
+     * Build from a versioned ModelArtifact: the pipeline owns the
+     * predictor it constructs, so the artifact itself need not outlive
+     * the pipeline.
+     */
+    explicit AnalysisPipeline(const ModelArtifact &artifact,
+                              PipelineConfig config = PipelineConfig{});
+
     const PipelineConfig &config() const { return cfg; }
 
     /** Analyze a span end to end for one design point. */
@@ -108,6 +117,9 @@ class AnalysisPipeline
                    const std::vector<RegionSpec> &regions,
                    const UarchParams &params, double &analyze_seconds);
 
+    /** Set by the artifact ctor; declared before `pred` so the reference
+     *  can bind to it during construction. */
+    std::shared_ptr<const ConcordePredictor> owned;
     const ConcordePredictor &pred;
     const PipelineConfig cfg;
     std::unique_ptr<ThreadPool> pool;   ///< Sharded mode only

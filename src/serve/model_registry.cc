@@ -17,6 +17,7 @@ ModelRegistry::add(const std::string &name, ConcordePredictor predictor)
     slot.name = name;
     slot.id = nextId++;
     slot.predictor = std::move(shared);
+    slot.provenance = nullptr;
     return slot;
 }
 
@@ -24,6 +25,32 @@ ModelHandle
 ModelRegistry::addFromFile(const std::string &name, const std::string &path)
 {
     return add(name, ConcordePredictor::load(path));
+}
+
+ModelHandle
+ModelRegistry::addArtifact(const std::string &name,
+                           const ModelArtifact &artifact)
+{
+    // Build the snapshot outside the lock; only the table swap is
+    // serialized.
+    auto shared =
+        std::make_shared<const ConcordePredictor>(artifact.predictor());
+    auto provenance =
+        std::make_shared<const ArtifactProvenance>(artifact.provenance);
+    std::lock_guard<std::mutex> lock(mtx);
+    ModelHandle &slot = models[name];
+    slot.name = name;
+    slot.id = nextId++;
+    slot.predictor = std::move(shared);
+    slot.provenance = std::move(provenance);
+    return slot;
+}
+
+ModelHandle
+ModelRegistry::addFromArtifactFile(const std::string &name,
+                                   const std::string &path)
+{
+    return addArtifact(name, ModelArtifact::load(path));
 }
 
 ModelHandle

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/concorde.hh"
+#include "core/model_artifact.hh"
 
 namespace concorde
 {
@@ -31,6 +32,8 @@ struct ModelHandle
     std::string name;
     uint32_t id = 0;    ///< stable per-registration id (cache-key salt)
     std::shared_ptr<const ConcordePredictor> predictor;
+    /** Provenance of the artifact it came from (null for bare models). */
+    std::shared_ptr<const ArtifactProvenance> provenance;
 
     bool valid() const { return predictor != nullptr; }
 };
@@ -42,15 +45,25 @@ class ModelRegistry
     ModelRegistry() = default;
 
     /**
-     * Register (or replace) a model under `name`. Replacement bumps the
-     * id, so cached predictions of the old model can never be returned
-     * for the new one.
+     * Register (or replace) a model under `name`. Replacement is an
+     * atomic hot-swap: requests already holding the old handle finish
+     * on the old snapshot, new lookups see the new one, and the bumped
+     * registration id salts every cache key, so cached predictions of
+     * the old model can never be returned for the new one.
      */
     ModelHandle add(const std::string &name, ConcordePredictor predictor);
 
     /** Register a predictor loaded from a ConcordePredictor::save file. */
     ModelHandle addFromFile(const std::string &name,
                             const std::string &path);
+
+    /** Register (or hot-swap to) a versioned model artifact. */
+    ModelHandle addArtifact(const std::string &name,
+                            const ModelArtifact &artifact);
+
+    /** Load a ModelArtifact file and register it under `name`. */
+    ModelHandle addFromArtifactFile(const std::string &name,
+                                    const std::string &path);
 
     /** Look up a model; returns an invalid handle if absent. */
     ModelHandle get(const std::string &name) const;

@@ -36,6 +36,13 @@ PredictionService::~PredictionService()
     shutdown();
 }
 
+ModelHandle
+PredictionService::loadModel(const std::string &name,
+                             const std::string &artifact_path)
+{
+    return models.addFromArtifactFile(name, artifact_path);
+}
+
 std::future<double>
 PredictionService::predictAsync(const std::string &model,
                                 const RegionSpec &region,

@@ -71,6 +71,15 @@ class PredictionService
     const ModelRegistry &registry() const { return models; }
 
     /**
+     * Load a versioned ModelArtifact from disk and (hot-)register it
+     * under `name`; in-flight batches finish on the previous snapshot
+     * and the bumped registration id keeps their cache entries from
+     * ever answering for the new model.
+     */
+    ModelHandle loadModel(const std::string &name,
+                          const std::string &artifact_path);
+
+    /**
      * Submit one prediction request; throws std::invalid_argument if
      * `model` is not registered. The future yields the CPI.
      */

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace concorde
 {
@@ -157,6 +158,30 @@ UarchParams::hashKey() const
                     static_cast<uint64_t>(value));
     }
     return h;
+}
+
+void
+UarchParams::save(BinaryWriter &out) const
+{
+    // Field-wise through the generic accessor, in stable ParamId order:
+    // the on-disk layout depends only on the parameter table, never on
+    // struct padding or nested-struct ABI.
+    out.put<uint32_t>(kNumParams);
+    for (int i = 0; i < kNumParams; ++i)
+        out.put<int64_t>(get(static_cast<ParamId>(i)));
+}
+
+UarchParams
+UarchParams::load(BinaryReader &in)
+{
+    const uint32_t count = in.get<uint32_t>();
+    fatal_if(count != kNumParams,
+             "design point with %u parameters, expected %d", count,
+             kNumParams);
+    UarchParams params;
+    for (int i = 0; i < kNumParams; ++i)
+        params.set(static_cast<ParamId>(i), in.get<int64_t>());
+    return params;
 }
 
 bool

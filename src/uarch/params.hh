@@ -92,6 +92,13 @@ struct UarchParams
      */
     uint64_t hashKey() const;
 
+    /**
+     * Versioned field-wise serialization (no raw struct bytes, so the
+     * on-disk layout is independent of padding and ABI).
+     */
+    void save(BinaryWriter &out) const;
+    static UarchParams load(BinaryReader &in);
+
     bool operator==(const UarchParams &o) const;
 };
 

@@ -45,6 +45,14 @@ if [ "${SKIP_BENCH:-0}" != "1" ]; then
     CONCORDE_SMOKE=1 CONCORDE_BENCH_JSON=BENCH_pipeline.json \
         ./build/bench/bench_pipeline_e2e
 
+    # Model-lifecycle accuracy gate: sharded dataset -> checkpointed
+    # training -> versioned artifact -> serve registry; the trained
+    # model must beat the untrained stub on held-out data by a wide,
+    # timing-free margin.
+    rm -rf accuracy-artifacts
+    CONCORDE_BENCH_JSON=BENCH_accuracy.json \
+        ./build/bench/bench_accuracy
+
     # Batched-inference smoke at reduced sizes (trains a small model
     # into a scratch artifact dir on first run).
     if [ -x build/bench/bench_fig10_speed ]; then

@@ -6,14 +6,31 @@
  *   concorde_cli sweep <program> <param> [param=value ...]
  *   concorde_cli attribute <program> [permutations] [param=value ...]
  *   concorde_cli simulate <program> [param=value ...]
- *   concorde_cli serve <program> [clients=4 requests=2000 batch=64
- *                                 deadline_us=200 cache=65536 burst=32
- *                                 regions=4 param=value ...]
+ *   concorde_cli serve <program> [--model <artifact>] [clients=4
+ *                                 requests=2000 batch=64 deadline_us=200
+ *                                 cache=65536 burst=32 regions=4
+ *                                 param=value ...]
  *   concorde_cli pipeline <program> [chunks=64 region=8 warmup=8 start=16
  *                                    threads=0 mode=sharded|scalar|service
  *                                    state=carry|independent
  *                                    param=value ...]
+ *   concorde_cli dataset out=<dir> [samples=512 shard=128 chunks=8
+ *                                   seed=99 threads=0 program=<code>
+ *                                   max_shards=0]
+ *   concorde_cli train data=<dir|file> out=<artifact> [epochs=12 val=0.1
+ *                                   batch=256 seed=1234 threads=0
+ *                                   checkpoint=<file> max_epochs=0]
+ *   concorde_cli eval model=<artifact> data=<dir|file>
  *   concorde_cli list
+ *
+ * The model lifecycle runs end to end through the last three
+ * subcommands: `dataset` generates a sharded, resumable dataset
+ * directory (kill it and rerun; completed shards are kept and the
+ * result is bitwise-identical), `train` fits the MLP with a held-out
+ * validation split and per-epoch checkpointing, and writes a versioned
+ * ModelArtifact with provenance, and `eval` reports held-out relative
+ * CPI error. `serve --model <artifact>` hot-loads such an artifact into
+ * the serving registry.
  *
  * Programs are Table-2 codes (P1..P13, C1, C2, O1..O4, S1..S10).
  * Parameters use the short names printed by `list` (e.g. rob=256
@@ -28,6 +45,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,9 +54,11 @@
 #include <thread>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "common/stopwatch.hh"
 #include "core/artifacts.hh"
 #include "core/concorde.hh"
+#include "core/model_artifact.hh"
 #include "core/shapley.hh"
 #include "pipeline/analysis_pipeline.hh"
 #include "serve/prediction_service.hh"
@@ -76,10 +96,40 @@ int
 usage()
 {
     std::fprintf(stderr,
-                 "usage: concorde_cli <predict|sweep|attribute|simulate|"
-                 "serve|pipeline|list> <program> [args]\n"
-                 "run with 'list' for programs and parameter names\n");
+        "usage: concorde_cli <command> [args]\n"
+        "  predict <program> [param=value ...]\n"
+        "  sweep <program> <param> [param=value ...]\n"
+        "  attribute <program> [permutations] [param=value ...]\n"
+        "  simulate <program> [param=value ...]\n"
+        "  serve <program> [--model <artifact>] [clients= requests= "
+        "batch=\n"
+        "                   deadline_us= cache= burst= regions= threads= "
+        "param=value ...]\n"
+        "  pipeline <program> [chunks= region= warmup= start= threads=\n"
+        "                      mode=sharded|scalar|service "
+        "state=carry|independent param=value ...]\n"
+        "  dataset out=<dir> [samples= shard= chunks= seed= threads= "
+        "program=<code> max_shards=]\n"
+        "  train data=<dir|file> out=<artifact> [epochs= val= batch= "
+        "seed= threads=\n"
+        "                      checkpoint=<file> max_epochs=]\n"
+        "  eval model=<artifact> data=<dir|file>\n"
+        "  list\n"
+        "run with 'list' for programs and parameter names\n");
     return 2;
+}
+
+/** Strict double parse: the whole string must be a finite number. */
+bool
+parseDouble(const std::string &text, double &value)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    errno = 0;
+    value = std::strtod(text.c_str(), &end);
+    return end && *end == '\0' && errno != ERANGE
+        && std::isfinite(value);
 }
 
 /** Strict integer parse: the whole string must be an in-range number. */
@@ -154,18 +204,37 @@ regionFor(int pid)
 
 /**
  * Split args into serve-layer options (consumed into `options`) and
- * uarch overrides (applied to `params`). Returns false on any unknown
+ * uarch overrides (applied to `params`). `--model <path>` / `model=<path>`
+ * is consumed into `model_path` when given. Returns false on any unknown
  * key or malformed value.
  */
 bool
 parseServeArgs(int argc, char **argv, int first,
-               std::map<std::string, int64_t> &options, UarchParams &params)
+               std::map<std::string, int64_t> &options, UarchParams &params,
+               std::string *model_path)
 {
     for (int i = first; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (model_path && arg == "--model") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "--model needs an artifact path\n");
+                return false;
+            }
+            *model_path = argv[++i];
+            continue;
+        }
         const auto eq = arg.find('=');
         const std::string key =
             eq == std::string::npos ? arg : arg.substr(0, eq);
+        if (model_path && key == "model") {
+            if (eq == std::string::npos || eq + 1 == arg.size()) {
+                std::fprintf(stderr, "bad value for serve option "
+                             "'model'\n");
+                return false;
+            }
+            *model_path = arg.substr(eq + 1);
+            continue;
+        }
         if (options.count(key)) {
             int64_t value = 0;
             if (eq == std::string::npos
@@ -192,7 +261,8 @@ runServe(int pid, const char *code, int argc, char **argv)
         {"regions", 4},   {"threads", 0},
     };
     UarchParams base = UarchParams::armN1();
-    if (!parseServeArgs(argc, argv, 3, opt, base))
+    std::string model_path;
+    if (!parseServeArgs(argc, argv, 3, opt, base, &model_path))
         return usage();
     const size_t clients = std::max<int64_t>(1, opt["clients"]);
     const size_t requests = std::max<int64_t>(1, opt["requests"]);
@@ -208,9 +278,25 @@ runServe(int pid, const char *code, int argc, char **argv)
         ? defaultThreads() : static_cast<size_t>(opt["threads"]);
 
     serve::PredictionService service(config);
-    service.registry().add(
-        "default", ConcordePredictor(artifacts::fullModel(),
-                                     artifacts::featureConfig()));
+    if (model_path.empty()) {
+        service.registry().add(
+            "default", ConcordePredictor(artifacts::fullModel(),
+                                         artifacts::featureConfig()));
+    } else {
+        if (!fileExists(model_path)) {
+            std::fprintf(stderr, "model artifact '%s' not found\n",
+                         model_path.c_str());
+            return 1;
+        }
+        const serve::ModelHandle handle =
+            service.loadModel("default", model_path);
+        std::printf("loaded artifact %s (trained %llu epochs, held-out "
+                    "rel-err %.4f, %s)\n", model_path.c_str(),
+                    static_cast<unsigned long long>(
+                        handle.provenance->trainedEpochs),
+                    handle.provenance->heldOutRelErr,
+                    handle.provenance->gitDescribe.c_str());
+    }
 
     // Each client sweeps random design points over a handful of regions
     // of the program (warm regions are the serving common case).
@@ -447,6 +533,323 @@ runPipeline(int pid, const char *code, int argc, char **argv)
     return 0;
 }
 
+/**
+ * Load a training/eval dataset from either a sharded directory (with a
+ * manifest) or a single .bin file. Returns false (with a diagnostic) if
+ * neither exists; `manifest_hash_out` identifies the dataset for
+ * artifact provenance.
+ */
+bool
+loadDatasetArg(const std::string &path, Dataset &data,
+               uint64_t &manifest_hash_out)
+{
+    if (fileExists(path)) {
+        data = Dataset::load(path);
+        manifest_hash_out = fileHash(path);
+        return true;
+    }
+    if (fileExists(DatasetManifest::manifestFile(path))) {
+        data = loadDatasetShards(path);
+        manifest_hash_out = datasetManifestHash(path);
+        return true;
+    }
+    std::fprintf(stderr, "no dataset at '%s' (expected a .bin file or a "
+                 "sharded directory with manifest.bin)\n", path.c_str());
+    return false;
+}
+
+int
+runDataset(int argc, char **argv)
+{
+    std::map<std::string, int64_t> opt = {
+        {"samples", 512}, {"shard", 128}, {"chunks", 8}, {"seed", 99},
+        {"threads", 0},   {"max_shards", 0},
+    };
+    std::string out_dir;
+    std::string program;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos || eq + 1 == arg.size()) {
+            std::fprintf(stderr, "malformed argument '%s' (expected "
+                         "key=value)\n", arg.c_str());
+            return usage();
+        }
+        const std::string key = arg.substr(0, eq);
+        const std::string value = arg.substr(eq + 1);
+        if (key == "out") {
+            out_dir = value;
+            continue;
+        }
+        if (key == "program") {
+            program = value;
+            continue;
+        }
+        const auto it = opt.find(key);
+        int64_t parsed = 0;
+        if (it == opt.end()) {
+            std::fprintf(stderr, "unknown dataset option '%s'\n",
+                         key.c_str());
+            return usage();
+        }
+        if (!parseInt(value, parsed) || parsed < 0) {
+            std::fprintf(stderr, "bad value '%s' for dataset option "
+                         "'%s'\n", value.c_str(), key.c_str());
+            return usage();
+        }
+        it->second = parsed;
+    }
+    if (out_dir.empty()) {
+        std::fprintf(stderr, "dataset requires out=<dir>\n");
+        return usage();
+    }
+    if (opt["samples"] < 1 || opt["shard"] < 1 || opt["chunks"] < 1) {
+        std::fprintf(stderr, "samples, shard, and chunks must be "
+                     "positive\n");
+        return usage();
+    }
+
+    DatasetConfig config;
+    config.numSamples = static_cast<size_t>(opt["samples"]);
+    config.regionChunks = static_cast<uint32_t>(opt["chunks"]);
+    config.seed = static_cast<uint64_t>(opt["seed"]);
+    config.features = artifacts::featureConfig();
+    config.threads = static_cast<size_t>(opt["threads"]);
+    if (!program.empty()) {
+        const int pid = programIdByCode(program);
+        if (pid < 0) {
+            std::fprintf(stderr, "unknown program '%s'\n",
+                         program.c_str());
+            return 2;
+        }
+        config.programFilter = {pid};
+    }
+
+    Stopwatch timer;
+    const ShardedBuildResult result = buildDatasetShards(
+        config, out_dir, static_cast<size_t>(opt["shard"]),
+        static_cast<size_t>(opt["max_shards"]));
+    std::printf("dataset %s: %zu shards built, %zu resumed from disk "
+                "(%.1fs)\n", out_dir.c_str(), result.shardsBuilt,
+                result.shardsSkipped, timer.seconds());
+    if (!result.complete()) {
+        std::printf("  %zu shards remaining -- rerun the same command "
+                    "to resume\n", result.shardsRemaining);
+    } else {
+        std::printf("  complete: %lld samples of %lld chunks, manifest "
+                    "hash %016llx\n",
+                    static_cast<long long>(opt["samples"]),
+                    static_cast<long long>(opt["chunks"]),
+                    static_cast<unsigned long long>(
+                        datasetManifestHash(out_dir)));
+    }
+    return 0;
+}
+
+int
+runTrain(int argc, char **argv)
+{
+    std::map<std::string, int64_t> opt = {
+        {"epochs", 12}, {"batch", 256}, {"seed", 1234}, {"threads", 0},
+        {"max_epochs", 0},
+    };
+    std::string data_path, out_path, checkpoint;
+    double val_fraction = 0.1;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos || eq + 1 == arg.size()) {
+            std::fprintf(stderr, "malformed argument '%s' (expected "
+                         "key=value)\n", arg.c_str());
+            return usage();
+        }
+        const std::string key = arg.substr(0, eq);
+        const std::string value = arg.substr(eq + 1);
+        if (key == "data") {
+            data_path = value;
+            continue;
+        }
+        if (key == "out") {
+            out_path = value;
+            continue;
+        }
+        if (key == "checkpoint") {
+            checkpoint = value;
+            continue;
+        }
+        if (key == "val") {
+            if (!parseDouble(value, val_fraction) || val_fraction < 0.0
+                || val_fraction >= 1.0) {
+                std::fprintf(stderr, "bad value '%s' for 'val' (need "
+                             "[0, 1))\n", value.c_str());
+                return usage();
+            }
+            continue;
+        }
+        const auto it = opt.find(key);
+        int64_t parsed = 0;
+        if (it == opt.end()) {
+            std::fprintf(stderr, "unknown train option '%s'\n",
+                         key.c_str());
+            return usage();
+        }
+        if (!parseInt(value, parsed) || parsed < 0) {
+            std::fprintf(stderr, "bad value '%s' for train option "
+                         "'%s'\n", value.c_str(), key.c_str());
+            return usage();
+        }
+        it->second = parsed;
+    }
+    if (data_path.empty() || out_path.empty()) {
+        std::fprintf(stderr, "train requires data=<dir|file> and "
+                     "out=<artifact>\n");
+        return usage();
+    }
+    if (opt["epochs"] < 1 || opt["batch"] < 1) {
+        std::fprintf(stderr, "epochs and batch must be positive\n");
+        return usage();
+    }
+    if (opt["max_epochs"] > 0 && checkpoint.empty()) {
+        // Without a checkpoint the partial run's work would be lost.
+        std::fprintf(stderr, "max_epochs= requires checkpoint= (a "
+                     "partial run persists nothing otherwise)\n");
+        return usage();
+    }
+
+    Dataset data;
+    uint64_t manifest_hash = 0;
+    if (!loadDatasetArg(data_path, data, manifest_hash))
+        return 1;
+    fatal_if(FeatureLayout(artifacts::featureConfig()).dim() != data.dim,
+             "dataset dim %zu does not match the feature layout",
+             data.dim);
+
+    TrainConfig tc;
+    tc.epochs = static_cast<size_t>(opt["epochs"]);
+    tc.batchSize = static_cast<size_t>(opt["batch"]);
+    tc.seed = static_cast<uint64_t>(opt["seed"]);
+    tc.threads = static_cast<size_t>(opt["threads"]);
+    tc.valFraction = val_fraction;
+    tc.verbose = true;
+
+    std::printf("training on %zu samples (dim %zu, val fraction %.2f, "
+                "%zu epochs)\n", data.size(), data.dim, val_fraction,
+                tc.epochs);
+    Stopwatch timer;
+    const TrainRun run = trainMlpResumable(
+        data.features, data.labels, data.dim, tc, nullptr, checkpoint,
+        static_cast<size_t>(opt["max_epochs"]));
+    if (!run.finished) {
+        std::printf("stopped after %zu/%zu epochs (%.1fs); rerun with "
+                    "the same checkpoint to resume\n",
+                    run.epochsCompleted(), tc.epochs, timer.seconds());
+        return 0;
+    }
+
+    ModelArtifact artifact;
+    artifact.features = artifacts::featureConfig();
+    artifact.model = run.model;
+    artifact.provenance.datasetManifestHash = manifest_hash;
+    artifact.provenance.datasetPath = data_path;
+    artifact.provenance.gitDescribe = buildGitDescribe();
+    artifact.provenance.trainConfig = tc;
+    artifact.provenance.trainedEpochs = run.epochsCompleted();
+    if (!run.history.empty())
+        artifact.provenance.heldOutRelErr = run.history.back().valRelErr;
+    artifact.save(out_path);
+    if (run.history.back().valRelErr >= 0.0) {
+        std::printf("trained in %.1fs: train rel-err %.4f, held-out "
+                    "rel-err %.4f\n", timer.seconds(),
+                    run.history.back().trainRelErr,
+                    run.history.back().valRelErr);
+    } else {
+        std::printf("trained in %.1fs: train rel-err %.4f (no "
+                    "validation split)\n", timer.seconds(),
+                    run.history.back().trainRelErr);
+    }
+    std::printf("wrote %s (dataset %016llx, %s)\n", out_path.c_str(),
+                static_cast<unsigned long long>(manifest_hash),
+                artifact.provenance.gitDescribe.c_str());
+    return 0;
+}
+
+int
+runEval(int argc, char **argv)
+{
+    std::string model_path, data_path;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos || eq + 1 == arg.size()) {
+            std::fprintf(stderr, "malformed argument '%s' (expected "
+                         "key=value)\n", arg.c_str());
+            return usage();
+        }
+        const std::string key = arg.substr(0, eq);
+        const std::string value = arg.substr(eq + 1);
+        if (key == "model") {
+            model_path = value;
+        } else if (key == "data") {
+            data_path = value;
+        } else {
+            std::fprintf(stderr, "unknown eval option '%s'\n",
+                         key.c_str());
+            return usage();
+        }
+    }
+    if (model_path.empty() || data_path.empty()) {
+        std::fprintf(stderr, "eval requires model=<artifact> and "
+                     "data=<dir|file>\n");
+        return usage();
+    }
+    if (!fileExists(model_path)) {
+        std::fprintf(stderr, "model artifact '%s' not found\n",
+                     model_path.c_str());
+        return 1;
+    }
+
+    const ModelArtifact artifact = ModelArtifact::load(model_path);
+    Dataset data;
+    uint64_t manifest_hash = 0;
+    if (!loadDatasetArg(data_path, data, manifest_hash))
+        return 1;
+    fatal_if(artifact.model.inputDim() != data.dim,
+             "artifact expects %zu-dim features, dataset holds %zu",
+             artifact.model.inputDim(), data.dim);
+
+    const double trained_err =
+        artifact.model.meanRelativeError(data.features, data.labels,
+                                         data.dim);
+    // Same layout, random weights: the floor any real training must
+    // clear.
+    const TrainedModel stub = artifacts::untrainedModel(
+        artifact.features, 2026, artifact.provenance.trainConfig
+        .hiddenSizes.empty() ? std::vector<size_t>{192, 96}
+        : artifact.provenance.trainConfig.hiddenSizes);
+    const double stub_err =
+        stub.meanRelativeError(data.features, data.labels, data.dim);
+
+    std::printf("artifact %s\n", model_path.c_str());
+    std::printf("  provenance: dataset %016llx at '%s', %llu epochs, "
+                "%s\n",
+                static_cast<unsigned long long>(
+                    artifact.provenance.datasetManifestHash),
+                artifact.provenance.datasetPath.c_str(),
+                static_cast<unsigned long long>(
+                    artifact.provenance.trainedEpochs),
+                artifact.provenance.gitDescribe.c_str());
+    if (artifact.provenance.heldOutRelErr >= 0.0) {
+        std::printf("  ship-time held-out rel-err: %.4f\n",
+                    artifact.provenance.heldOutRelErr);
+    }
+    std::printf("eval over %zu samples (%s, dataset %016llx):\n",
+                data.size(), data_path.c_str(),
+                static_cast<unsigned long long>(manifest_hash));
+    std::printf("  trained model mean rel CPI err:  %.4f\n", trained_err);
+    std::printf("  untrained stub mean rel CPI err: %.4f\n", stub_err);
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -476,6 +879,14 @@ main(int argc, char **argv)
         }
         return 0;
     }
+
+    // Lifecycle subcommands take key=value args, not a <program>.
+    if (command == "dataset")
+        return runDataset(argc, argv);
+    if (command == "train")
+        return runTrain(argc, argv);
+    if (command == "eval")
+        return runEval(argc, argv);
 
     if (command != "predict" && command != "sweep" && command != "attribute"
         && command != "simulate" && command != "serve"
