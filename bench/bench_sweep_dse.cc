@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Design-space-sweep benchmark and CI regression gate: the Section 5.2.3
+ * claim that per-region analysis is paid once and amortized across the
+ * whole microarchitecture design space.
+ *
+ * One region is swept across every Table-1 parameter's (quantized) grid
+ * two ways:
+ *
+ *   scalar   one predictCpi(region, params) call per design point -- a
+ *            fresh FeatureProvider (trace generation, warmup replay,
+ *            d/i-side + branch analysis, every analytical model) per
+ *            point; the naive DSE loop
+ *   sweep    ConcordePredictor::predictSweep -- one AnalysisStore-shared
+ *            region analysis, one provider whose memoized model runs and
+ *            encoded blocks are reused across all points, one batched
+ *            GEMM
+ *
+ * Gates (exit 1 on failure; margins are 1-core-VM safe):
+ *   - sweep CPIs identical to the scalar loop (max |diff| == 0)
+ *   - sweep throughput >= 3x the scalar loop
+ *
+ * Modes: default uses the full model from artifacts/ (trains on first
+ * run); --smoke or CONCORDE_SMOKE=1 uses an untrained model of the
+ * production layout (no artifacts, seconds). Writes a JSON summary to
+ * $CONCORDE_BENCH_JSON (default BENCH_sweep.json).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "common/stopwatch.hh"
+#include "core/concorde.hh"
+
+using namespace concorde;
+
+namespace
+{
+
+struct RunConfig
+{
+    bool smoke = false;
+    uint32_t regionChunks = 4;
+    int scalarReps = 2;
+    int sweepReps = 3;
+};
+
+/**
+ * Every (parameter, quantized grid value) design point around the ARM N1
+ * base: the per-parameter sweeps of Section 5.2.3, covering all 20
+ * Table-1 axes.
+ */
+std::vector<UarchParams>
+designSpacePoints()
+{
+    std::vector<UarchParams> points;
+    const UarchParams base = UarchParams::armN1();
+    for (const ParamInfo &info : paramTable()) {
+        for (int64_t value : sweepValues(info.id, /*quantized=*/true)) {
+            UarchParams point = base;
+            point.set(info.id, value);
+            points.push_back(point);
+        }
+    }
+    return points;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    RunConfig cfg;
+    const char *smoke_env = std::getenv("CONCORDE_SMOKE");
+    cfg.smoke = smoke_env && *smoke_env && std::strcmp(smoke_env, "0") != 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            cfg.smoke = true;
+        } else {
+            std::fprintf(stderr, "usage: bench_sweep_dse [--smoke]\n");
+            return 2;
+        }
+    }
+    if (cfg.smoke) {
+        cfg.regionChunks = 2;
+        cfg.scalarReps = 1;
+    }
+
+    std::printf("=== design-space sweep throughput (%s mode) ===\n",
+                cfg.smoke ? "smoke" : "full");
+
+    const FeatureConfig feature_cfg = cfg.smoke
+        ? FeatureConfig{} : artifacts::featureConfig();
+    const ConcordePredictor predictor = cfg.smoke
+        ? ConcordePredictor(artifacts::untrainedModel(feature_cfg, 2028),
+                            feature_cfg)
+        : ConcordePredictor(artifacts::fullModel(), feature_cfg);
+
+    RegionSpec region;
+    region.programId = programIdByCode("S7");
+    region.traceId = 0;
+    region.startChunk = 16;
+    region.numChunks = cfg.regionChunks;
+
+    const std::vector<UarchParams> points = designSpacePoints();
+    std::printf("  region %u chunks, %zu design points over %d "
+                "parameters\n", cfg.regionChunks, points.size(),
+                kNumParams);
+
+    // ---- scalar baseline: a fresh provider per design point ----
+    std::vector<double> scalar_cpis(points.size());
+    double scalar_s = 1e30;
+    for (int r = 0; r < cfg.scalarReps; ++r) {
+        Stopwatch timer;
+        for (size_t i = 0; i < points.size(); ++i)
+            scalar_cpis[i] = predictor.predictCpi(region, points[i]);
+        scalar_s = std::min(scalar_s, timer.seconds());
+    }
+    const double scalar_rate =
+        static_cast<double>(points.size()) / scalar_s;
+    std::printf("  scalar per-config loop:  %8.1f predictions/s "
+                "(%.3fs)\n", scalar_rate, scalar_s);
+
+    // ---- sweep fast path: shared analysis, one provider, one GEMM ----
+    std::vector<double> sweep_cpis;
+    double sweep_s = 1e30;
+    for (int r = 0; r < cfg.sweepReps; ++r) {
+        Stopwatch timer;
+        sweep_cpis = predictor.predictSweep(region, points);
+        sweep_s = std::min(sweep_s, timer.seconds());
+    }
+    const double sweep_rate = static_cast<double>(points.size()) / sweep_s;
+    const double speedup = sweep_rate / scalar_rate;
+    std::printf("  predictSweep fast path:  %8.1f predictions/s "
+                "(%.3fs, %.1fx)\n", sweep_rate, sweep_s, speedup);
+
+    const AnalysisStoreStats store = AnalysisStore::global().stats();
+    std::printf("  analysis store: %llu built, %llu hits\n",
+                static_cast<unsigned long long>(store.built),
+                static_cast<unsigned long long>(store.hits));
+
+    double max_diff = 0.0;
+    for (size_t i = 0; i < points.size(); ++i)
+        max_diff = std::max(max_diff,
+                            std::abs(scalar_cpis[i] - sweep_cpis[i]));
+    std::printf("  max |scalar - sweep| CPI: %.2e\n", max_diff);
+
+    // ---- gates ----
+    bool pass = true;
+    if (max_diff != 0.0) {
+        std::printf("  GATE FAIL: sweep CPIs diverge from the per-config "
+                    "loop\n");
+        pass = false;
+    }
+    if (speedup < 3.0) {
+        std::printf("  GATE FAIL: predictSweep (%.1f pred/s) not >= 3x "
+                    "the per-config loop (%.1f)\n", sweep_rate,
+                    scalar_rate);
+        pass = false;
+    }
+
+    const char *json_env = std::getenv("CONCORDE_BENCH_JSON");
+    const std::string json_path =
+        json_env && *json_env ? json_env : "BENCH_sweep.json";
+    FILE *f = std::fopen(json_path.c_str(), "w");
+    if (f) {
+        std::fprintf(f, "{\n");
+        std::fprintf(f, "  \"bench\": \"sweep_dse\",\n");
+        std::fprintf(f, "  \"mode\": \"%s\",\n",
+                     cfg.smoke ? "smoke" : "full");
+        std::fprintf(f, "  \"region_chunks\": %u,\n", cfg.regionChunks);
+        std::fprintf(f, "  \"design_points\": %zu,\n", points.size());
+        std::fprintf(f, "  \"scalar_pred_s\": %.1f,\n", scalar_rate);
+        std::fprintf(f, "  \"sweep_pred_s\": %.1f,\n", sweep_rate);
+        std::fprintf(f, "  \"speedup\": %.3f,\n", speedup);
+        std::fprintf(f, "  \"store_built\": %llu,\n",
+                     static_cast<unsigned long long>(store.built));
+        std::fprintf(f, "  \"store_hits\": %llu,\n",
+                     static_cast<unsigned long long>(store.hits));
+        std::fprintf(f, "  \"max_abs_diff\": %.3e,\n", max_diff);
+        std::fprintf(f, "  \"gate_pass\": %s\n", pass ? "true" : "false");
+        std::fprintf(f, "}\n");
+        std::fclose(f);
+        std::printf("  wrote %s\n", json_path.c_str());
+    } else {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    }
+
+    std::printf(pass ? "  GATE PASS\n" : "  GATE FAIL\n");
+    return pass ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+#include "analysis/analysis_store.hh"
+
+namespace concorde
+{
+
+AnalysisStore::AnalysisStore(uint64_t max_resident_instructions)
+    : maxResident(max_resident_instructions)
+{
+}
+
+AnalysisStore &
+AnalysisStore::global()
+{
+    static AnalysisStore store;
+    return store;
+}
+
+AnalysisStore::Key
+AnalysisStore::keyFor(const RegionSpec &spec, uint32_t warmup_chunks)
+{
+    return {spec.programId, spec.traceId, spec.startChunk, spec.numChunks,
+            warmup_chunks};
+}
+
+std::shared_ptr<RegionAnalysis>
+AnalysisStore::acquire(const RegionSpec &spec, uint32_t warmup_chunks)
+{
+    const Key key = keyFor(spec, warmup_chunks);
+
+    std::shared_ptr<Entry> entry;
+    bool found;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        auto &slot = entries[key];
+        found = slot != nullptr;
+        if (!found)
+            slot = std::make_shared<Entry>();
+        entry = slot;
+    }
+
+    // Per-key once-init: the first caller analyzes the region while any
+    // concurrent callers for the same key block here (not on the store
+    // lock, so other keys proceed).
+    std::lock_guard<std::mutex> build_lock(entry->buildMtx);
+    if (!entry->analysis) {
+        entry->analysis =
+            std::make_shared<RegionAnalysis>(spec, warmup_chunks);
+        entry->weight = entry->analysis->instrs().size()
+            + entry->analysis->warmupInstrs().size();
+
+        std::lock_guard<std::mutex> lock(mtx);
+        // clear() may have raced ahead and dropped the slot; only charge
+        // and index entries the map still owns.
+        auto it = entries.find(key);
+        if (it != entries.end() && it->second == entry) {
+            resident += entry->weight;
+            lru.push_front(key);
+            entry->lruIt = lru.begin();
+            entry->inLru = true;
+            evictLocked();
+        }
+        ++misses;
+        ++built;
+        return entry->analysis;
+    }
+
+    std::lock_guard<std::mutex> lock(mtx);
+    ++hits;
+    if (entry->inLru)
+        lru.splice(lru.begin(), lru, entry->lruIt);
+    return entry->analysis;
+}
+
+void
+AnalysisStore::evictLocked()
+{
+    while (resident > maxResident && lru.size() > 1) {
+        const Key victim = lru.back();
+        lru.pop_back();
+        auto it = entries.find(victim);
+        if (it != entries.end()) {
+            resident -= it->second->weight;
+            it->second->inLru = false;
+            entries.erase(it);
+            ++evictions;
+        }
+    }
+}
+
+AnalysisStoreStats
+AnalysisStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    AnalysisStoreStats s;
+    s.hits = hits;
+    s.misses = misses;
+    s.built = built;
+    s.evictions = evictions;
+    s.entries = entries.size();
+    s.residentInstructions = resident;
+    s.maxResidentInstructions = maxResident;
+    return s;
+}
+
+void
+AnalysisStore::clear()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    for (auto &[key, entry] : entries)
+        entry->inLru = false;
+    entries.clear();
+    lru.clear();
+    resident = 0;
+}
+
+} // namespace concorde

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * AnalysisStore: the cross-layer cache behind Concorde's amortization
+ * claim (paper Section 5.2.3). Per-region trace analysis -- trace
+ * generation, warmup replay, and the lazily memoized d-side / i-side /
+ * branch analyses -- is done once per (region, warmup) key and then
+ * shared, as a shared_ptr<RegionAnalysis> snapshot, by every consumer:
+ * dataset generation, the serve layer's per-(model, region) providers,
+ * ConcordePredictor's sweep and long-program paths, the Shapley batch
+ * evaluator, and (opt-in) the AnalysisPipeline.
+ *
+ * Guarantees:
+ *  - bitwise neutrality: a cached analysis is the same deterministic
+ *    object a fresh RegionAnalysis would compute, so features, labels,
+ *    and artifacts are byte-identical with or without the store;
+ *  - per-key once-init: concurrent acquire() calls for one key block on
+ *    a per-entry latch and analyze the region exactly once;
+ *  - bounded residency: entries are evicted LRU by resident instruction
+ *    count (region + warmup), like the serve layer's PredictionCache.
+ *    Eviction only drops the store's reference -- live consumers keep
+ *    their snapshot alive through the shared_ptr.
+ */
+
+#ifndef CONCORDE_ANALYSIS_ANALYSIS_STORE_HH
+#define CONCORDE_ANALYSIS_ANALYSIS_STORE_HH
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "analysis/trace_analyzer.hh"
+#include "trace/program_model.hh"
+
+namespace concorde
+{
+
+/** Snapshot of store effectiveness counters. */
+struct AnalysisStoreStats
+{
+    uint64_t hits = 0;          ///< acquire() served from memory
+    uint64_t misses = 0;        ///< acquire() that had to analyze
+    uint64_t built = 0;         ///< analyses constructed (== misses)
+    uint64_t evictions = 0;
+    size_t entries = 0;
+    uint64_t residentInstructions = 0;
+    uint64_t maxResidentInstructions = 0;
+};
+
+class AnalysisStore
+{
+  public:
+    /**
+     * Default residency bound: ~2M instructions. At the corpus'
+     * ~24 bytes/instruction plus analysis vectors this keeps the store
+     * within a few hundred MB even when every entry accumulates several
+     * memoized configurations.
+     */
+    static constexpr uint64_t kDefaultMaxResidentInstructions = 2u << 20;
+
+    explicit AnalysisStore(uint64_t max_resident_instructions =
+                               kDefaultMaxResidentInstructions);
+
+    /**
+     * Get (or build) the shared analysis of a region under the given
+     * warmup convention. Thread-safe; concurrent calls for the same key
+     * build at most one analysis, and the expensive build never holds
+     * the store-wide lock.
+     */
+    std::shared_ptr<RegionAnalysis>
+    acquire(const RegionSpec &spec,
+            uint32_t warmup_chunks = kDefaultWarmupChunks);
+
+    AnalysisStoreStats stats() const;
+
+    /** Drop every cached entry (live snapshots stay valid). */
+    void clear();
+
+    /**
+     * The process-wide store every layer shares by default; bounded by
+     * kDefaultMaxResidentInstructions.
+     */
+    static AnalysisStore &global();
+
+  private:
+    /**
+     * Exact key -- deliberately not a hash, so a collision can never
+     * hand a consumer the wrong region's analysis.
+     */
+    using Key = std::tuple<int, int, uint64_t, uint32_t, uint32_t>;
+
+    struct Entry
+    {
+        std::mutex buildMtx;            ///< per-key once-init latch
+        std::shared_ptr<RegionAnalysis> analysis;   ///< set under buildMtx
+        uint64_t weight = 0;            ///< instructions incl. warmup
+        bool inLru = false;
+        std::list<Key>::iterator lruIt;
+    };
+
+    static Key keyFor(const RegionSpec &spec, uint32_t warmup_chunks);
+
+    /** Evict LRU entries until residency fits the bound (store locked). */
+    void evictLocked();
+
+    mutable std::mutex mtx;
+    const uint64_t maxResident;
+    uint64_t resident = 0;
+    std::map<Key, std::shared_ptr<Entry>> entries;
+    std::list<Key> lru;                 ///< front = most recently used
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t built = 0;
+    uint64_t evictions = 0;
+};
+
+} // namespace concorde
+
+#endif // CONCORDE_ANALYSIS_ANALYSIS_STORE_HH

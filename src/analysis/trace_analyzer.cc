@@ -48,6 +48,7 @@ RegionAnalysis::RegionAnalysis(const RegionSpec &spec,
 const DSideAnalysis &
 RegionAnalysis::dside(const MemoryConfig &config)
 {
+    std::lock_guard<std::mutex> lock(*memoMtx);
     const uint32_t key = config.dSideKey();
     auto it = dsides.find(key);
     if (it != dsides.end())
@@ -84,6 +85,7 @@ RegionAnalysis::dside(const MemoryConfig &config)
 const ISideAnalysis &
 RegionAnalysis::iside(const MemoryConfig &config)
 {
+    std::lock_guard<std::mutex> lock(*memoMtx);
     const uint32_t key = config.iSideKey();
     auto it = isides.find(key);
     if (it != isides.end())
@@ -121,6 +123,7 @@ RegionAnalysis::iside(const MemoryConfig &config)
 const BranchAnalysis &
 RegionAnalysis::branches(const BranchConfig &config)
 {
+    std::lock_guard<std::mutex> lock(*memoMtx);
     const uint32_t key = config.key();
     auto it = branchAnalyses.find(key);
     if (it != branchAnalyses.end())
@@ -144,6 +147,7 @@ RegionAnalysis::branches(const BranchConfig &config)
 void
 RegionAnalysis::adoptDside(const MemoryConfig &config, DSideAnalysis analysis)
 {
+    std::lock_guard<std::mutex> lock(*memoMtx);
     dsides[config.dSideKey()] =
         std::make_unique<DSideAnalysis>(std::move(analysis));
 }
@@ -151,6 +155,7 @@ RegionAnalysis::adoptDside(const MemoryConfig &config, DSideAnalysis analysis)
 void
 RegionAnalysis::adoptIside(const MemoryConfig &config, ISideAnalysis analysis)
 {
+    std::lock_guard<std::mutex> lock(*memoMtx);
     isides[config.iSideKey()] =
         std::make_unique<ISideAnalysis>(std::move(analysis));
 }
@@ -159,6 +164,7 @@ void
 RegionAnalysis::adoptBranches(const BranchConfig &config,
                               BranchAnalysis analysis)
 {
+    std::lock_guard<std::mutex> lock(*memoMtx);
     branchAnalyses[config.key()] =
         std::make_unique<BranchAnalysis>(std::move(analysis));
 }

@@ -8,7 +8,9 @@
  *
  * All analyses are memoized per configuration so feature precompute and
  * the Shapley engine touch each configuration at most once per region.
- * Instances are not thread-safe; use one per worker.
+ * RegionAnalysis memo tables are internally locked (instances may be
+ * shared through the AnalysisStore); AnalyzerCarryState is inherently
+ * sequential and stays single-threaded.
  */
 
 #ifndef CONCORDE_ANALYSIS_TRACE_ANALYZER_HH
@@ -17,6 +19,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "analysis/memory_state_machine.hh"
@@ -86,6 +89,12 @@ uint64_t branchSeedFor(int program_id, int trace_id, uint64_t start_chunk);
  * A region plus all of its memoized trace analyses. The paper's offline
  * stage 1; every downstream consumer (analytical models, the reference
  * simulator's branch flags) reads from here.
+ *
+ * The memo tables are internally locked: one instance may be shared
+ * between threads (the AnalysisStore hands out shared_ptr snapshots),
+ * and concurrent dside()/iside()/branches() calls compute each
+ * configuration exactly once. Returned references stay valid for the
+ * lifetime of the instance (entries are never removed).
  */
 class RegionAnalysis
 {
@@ -140,6 +149,12 @@ class RegionAnalysis
     LoadLineIndex loadLineIndex;
     uint64_t branchSeed;
 
+    /**
+     * Guards the memo maps below (held in a unique_ptr so the class
+     * stays movable; moving while another thread uses the instance is
+     * a caller bug, as with any object).
+     */
+    std::unique_ptr<std::mutex> memoMtx{std::make_unique<std::mutex>()};
     std::map<uint32_t, std::unique_ptr<DSideAnalysis>> dsides;
     std::map<uint32_t, std::unique_ptr<ISideAnalysis>> isides;
     std::map<uint32_t, std::unique_ptr<BranchAnalysis>> branchAnalyses;

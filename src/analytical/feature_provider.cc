@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "analytical/frontend_models.hh"
 #include "analytical/lsq_model.hh"
@@ -104,23 +105,33 @@ FeatureLayout::maskFor(const std::vector<FeatureGroup> &groups) const
 FeatureProvider::FeatureProvider(const RegionSpec &spec,
                                  FeatureConfig config,
                                  uint32_t warmup_chunks)
-    : cfg(std::move(config)), lay(cfg), region(spec, warmup_chunks),
+    : cfg(std::move(config)), lay(cfg),
+      region(std::make_shared<RegionAnalysis>(spec, warmup_chunks)),
       encoder(cfg.numPercentiles)
 {
 }
 
 FeatureProvider::FeatureProvider(RegionAnalysis analysis,
                                  FeatureConfig config)
+    : cfg(std::move(config)), lay(cfg),
+      region(std::make_shared<RegionAnalysis>(std::move(analysis))),
+      encoder(cfg.numPercentiles)
+{
+}
+
+FeatureProvider::FeatureProvider(std::shared_ptr<RegionAnalysis> analysis,
+                                 FeatureConfig config)
     : cfg(std::move(config)), lay(cfg), region(std::move(analysis)),
       encoder(cfg.numPercentiles)
 {
+    panic_if(!region, "FeatureProvider over a null analysis");
 }
 
 const WindowCounts &
 FeatureProvider::counts()
 {
     if (!haveCounts) {
-        windowCounts = WindowCounts::build(region.instrs(), cfg.windowK);
+        windowCounts = WindowCounts::build(region->instrs(), cfg.windowK);
         haveCounts = true;
     }
     return windowCounts;
@@ -137,9 +148,9 @@ FeatureProvider::robEntry(int rob_size, const MemoryConfig &mem,
         return it->second;
     }
 
-    const auto &dside = region.dside(mem);
+    const auto &dside = region->dside(mem);
     RobModelResult run =
-        runRobModel(region.instrs(), region.loadIndex(), dside.execLat,
+        runRobModel(region->instrs(), region->loadIndex(), dside.execLat,
                     rob_size, cfg.windowK, need_latencies);
     ++totalModelRuns;
 
@@ -147,19 +158,49 @@ FeatureProvider::robEntry(int rob_size, const MemoryConfig &mem,
     entry.windows = std::move(run.windowThroughput);
     entry.overallIpc = run.overallIpc;
     if (need_latencies) {
-        auto encode_log1p = [&](std::vector<double> &samples,
-                                std::vector<float> &out) {
-            for (double &x : samples)
-                x = std::log1p(x);
-            out.clear();
-            encoder.encode(std::move(samples), out);
-        };
-        encode_log1p(run.issueLat, entry.encIssue);
-        encode_log1p(run.commitLat, entry.encCommit);
-        encode_log1p(run.execLat, entry.encExec);
+        encodeLog1p(run.issueLat, entry.encIssue);
+        encodeLog1p(run.commitLat, entry.encCommit);
+        // Execution latencies stay raw until someone asks for their
+        // encoding; assemble() only does for the largest latency size.
+        entry.rawExec = std::move(run.execLat);
+        entry.encExec.clear();
         entry.hasLatencies = true;
     }
     return entry;
+}
+
+void
+FeatureProvider::encodeLog1p(std::vector<double> &samples,
+                             std::vector<float> &out) const
+{
+    // Sorting before the monotone log1p transform yields the same
+    // sequence as sorting after it, and lets the integral raw latencies
+    // take sortSamples' counting fast path. Sorted latencies come in
+    // long runs of equal values, so the transform is computed once per
+    // distinct value (equal inputs give bitwise-equal outputs).
+    sortSamples(samples);
+    double prev_in = std::numeric_limits<double>::quiet_NaN();
+    double prev_out = 0.0;
+    for (double &x : samples) {
+        if (x != prev_in) {
+            prev_in = x;
+            prev_out = std::log1p(x);
+        }
+        x = prev_out;
+    }
+    out.clear();
+    encoder.encodeSorted(samples, out);
+}
+
+const std::vector<float> &
+FeatureProvider::encodedExec(RobEntry &entry)
+{
+    if (entry.encExec.empty()) {
+        encodeLog1p(entry.rawExec, entry.encExec);
+        entry.rawExec.clear();
+        entry.rawExec.shrink_to_fit();
+    }
+    return entry.encExec;
 }
 
 const std::vector<double> &
@@ -178,8 +219,8 @@ FeatureProvider::BoundEntry &
 FeatureProvider::lqEntry(int lq_size, const MemoryConfig &mem)
 {
     return boundEntry(lqCache, packKey(lq_size, mem.dSideKey()), [&] {
-        const auto &dside = region.dside(mem);
-        return runLoadQueueModel(region.instrs(), region.loadIndex(),
+        const auto &dside = region->dside(mem);
+        return runLoadQueueModel(region->instrs(), region->loadIndex(),
                                  dside.execLat, lq_size, cfg.windowK);
     });
 }
@@ -194,7 +235,7 @@ FeatureProvider::BoundEntry &
 FeatureProvider::sqEntry(int sq_size)
 {
     return boundEntry(sqCache, packKey(sq_size, 0), [&] {
-        return runStoreQueueModel(region.instrs(), sq_size, cfg.windowK);
+        return runStoreQueueModel(region->instrs(), sq_size, cfg.windowK);
     });
 }
 
@@ -209,7 +250,7 @@ FeatureProvider::ifillEntry(int max_fills, const MemoryConfig &mem)
 {
     return boundEntry(ifillCache, packKey(max_fills, mem.iSideKey()),
                       [&] {
-        return runIcacheFillsModel(region.instrs(), region.iside(mem),
+        return runIcacheFillsModel(region->instrs(), region->iside(mem),
                                    max_fills, cfg.windowK);
     });
 }
@@ -225,7 +266,7 @@ FeatureProvider::fbufEntry(int num_buffers, const MemoryConfig &mem)
 {
     return boundEntry(fbufCache, packKey(num_buffers, mem.iSideKey()),
                       [&] {
-        return runFetchBufferModel(region.instrs(), region.iside(mem),
+        return runFetchBufferModel(region->instrs(), region->iside(mem),
                                    num_buffers, cfg.windowK);
     });
 }
@@ -239,9 +280,12 @@ FeatureProvider::fetchBufferWindows(int num_buffers,
 
 void
 FeatureProvider::encodeWindows(const std::vector<double> &windows,
-                               std::vector<float> &out) const
+                               std::vector<float> &out)
 {
-    encoder.encode(windows, out);
+    // The input is a memoized (const) bound; copy it into one reused
+    // scratch buffer so encoding allocates nothing once warm.
+    encodeScratch.assign(windows.begin(), windows.end());
+    encoder.encodeInPlace(encodeScratch, out);
 }
 
 const std::vector<float> &
@@ -357,10 +401,12 @@ FeatureProvider::assemble(const UarchParams &params, std::vector<float> &out)
     append(encoded(ifillEntry(params.maxIcacheFills, params.memory)));
     append(encoded(fbufEntry(params.fetchBuffers, params.memory)));
     minBoundWindows(params, scratch);
-    encodeWindows(scratch, out);
+    // The min-bound block is the only per-call encode; `scratch` is
+    // rebuilt on every call, so it can be sorted destructively in place.
+    encoder.encodeInPlace(scratch, out);
 
     // ---- branch misprediction rate ----
-    const auto &branch_info = region.branches(params.branch);
+    const auto &branch_info = region->branches(params.branch);
     out.push_back(static_cast<float>(branch_info.mispredictRate()));
 
     // ---- pipeline-stall features (parameter independent, cached) ----
@@ -385,10 +431,9 @@ FeatureProvider::assemble(const UarchParams &params, std::vector<float> &out)
     {
         const int biggest =
             cfg.latencyRobSizes.empty() ? 1024 : cfg.latencyRobSizes.back();
-        const RobEntry &exec_entry =
-            robEntry(biggest, params.memory, true);
-        out.insert(out.end(), exec_entry.encExec.begin(),
-                   exec_entry.encExec.end());
+        const std::vector<float> &enc_exec =
+            encodedExec(robEntry(biggest, params.memory, true));
+        out.insert(out.end(), enc_exec.begin(), enc_exec.end());
         for (int size : cfg.latencyRobSizes) {
             const RobEntry &e = robEntry(size, params.memory, true);
             out.insert(out.end(), e.encIssue.begin(), e.encIssue.end());

@@ -23,6 +23,7 @@
 #define CONCORDE_ANALYTICAL_FEATURE_PROVIDER_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -107,7 +108,9 @@ class FeatureLayout
  * are (a) shard-local providers, one instance per worker, as
  * AnalysisPipeline does, and (b) one shared instance serialized by an
  * external mutex, as PredictionService does per (model, region). Results
- * are bitwise identical either way.
+ * are bitwise identical either way. The underlying RegionAnalysis MAY be
+ * shared between providers on different threads (the AnalysisStore hands
+ * out such snapshots); its own memo tables are internally locked.
  */
 class FeatureProvider
 {
@@ -123,9 +126,21 @@ class FeatureProvider
     explicit FeatureProvider(RegionAnalysis analysis,
                              FeatureConfig config = FeatureConfig{});
 
+    /**
+     * Share an analysis snapshot (e.g. from an AnalysisStore): the trace
+     * and every memoized trace analysis are reused across all providers
+     * holding the pointer instead of being recomputed per provider.
+     */
+    explicit FeatureProvider(std::shared_ptr<RegionAnalysis> analysis,
+                             FeatureConfig config = FeatureConfig{});
+
     const FeatureConfig &config() const { return cfg; }
     const FeatureLayout &layout() const { return lay; }
-    RegionAnalysis &analysis() { return region; }
+    RegionAnalysis &analysis() { return *region; }
+    const std::shared_ptr<RegionAnalysis> &analysisPtr() const
+    {
+        return region;
+    }
 
     /** Append layout().dim() floats for the given design point. */
     void assemble(const UarchParams &params, std::vector<float> &out);
@@ -167,6 +182,13 @@ class FeatureProvider
         bool hasLatencies = false;
         std::vector<float> encIssue;
         std::vector<float> encCommit;
+        /**
+         * Raw execution latencies, kept unencoded: assemble() only ever
+         * reads the encoding for the largest latency-ROB size, so the
+         * log1p + sort + encode is done lazily (encodedExec) instead of
+         * once per collected size.
+         */
+        std::vector<double> rawExec;
         std::vector<float> encExec;
     };
 
@@ -212,9 +234,14 @@ class FeatureProvider
     BoundEntry &ifillEntry(int max_fills, const MemoryConfig &mem);
     BoundEntry &fbufEntry(int num_buffers, const MemoryConfig &mem);
     void encodeWindows(const std::vector<double> &windows,
-                       std::vector<float> &out) const;
+                       std::vector<float> &out);
     /** Memoized encoding of a cached bound. */
     const std::vector<float> &encoded(BoundEntry &entry);
+    /** Memoized log1p encoding of an entry's raw execution latencies. */
+    const std::vector<float> &encodedExec(RobEntry &entry);
+    /** log1p-transform, sort, and encode one stage-latency vector. */
+    void encodeLog1p(std::vector<double> &samples,
+                     std::vector<float> &out) const;
     /** Memoized per-width issue bound (ALU / FP / LS). */
     BoundEntry &widthEntry(BoundCache &cache, const std::vector<uint32_t>
                            &class_counts, int width);
@@ -224,7 +251,7 @@ class FeatureProvider
 
     FeatureConfig cfg;
     FeatureLayout lay;
-    RegionAnalysis region;
+    std::shared_ptr<RegionAnalysis> region;
     DistributionEncoder encoder;
 
     bool haveCounts = false;
@@ -246,6 +273,8 @@ class FeatureProvider
 
     size_t totalModelRuns = 0;
     std::vector<double> scratch;
+    /** Reused copy buffer for encoding memoized (const) window vectors. */
+    std::vector<double> encodeScratch;
 };
 
 } // namespace concorde

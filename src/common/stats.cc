@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/logging.hh"
 
@@ -20,7 +21,7 @@ mean(const std::vector<double> &xs)
 }
 
 double
-percentile(std::vector<double> sorted_xs, double q)
+percentile(const std::vector<double> &sorted_xs, double q)
 {
     if (sorted_xs.empty())
         return 0.0;
@@ -30,6 +31,51 @@ percentile(std::vector<double> sorted_xs, double q)
     const size_t hi = std::min(lo + 1, sorted_xs.size() - 1);
     const double frac = pos - static_cast<double>(lo);
     return sorted_xs[lo] * (1.0 - frac) + sorted_xs[hi] * frac;
+}
+
+void
+sortSamples(std::vector<double> &xs)
+{
+    // Counting is only worth the two extra passes for decently sized
+    // inputs, and the histogram must stay cache-friendly.
+    constexpr size_t kMinCountingSize = 256;
+    constexpr uint32_t kMaxCountingValue = 1u << 16;
+
+    if (xs.size() >= kMinCountingSize) {
+        uint32_t max_value = 0;
+        bool integral = true;
+        for (double x : xs) {
+            // signbit rejects negatives and -0.0 (whose bit pattern a
+            // rebuild from the histogram would not preserve).
+            if (std::signbit(x) || x > kMaxCountingValue) {
+                integral = false;
+                break;
+            }
+            const uint32_t v = static_cast<uint32_t>(x);
+            if (static_cast<double>(v) != x) {
+                integral = false;
+                break;
+            }
+            max_value = std::max(max_value, v);
+        }
+        if (integral) {
+            // Rebuilding count[v] copies of double(v) in ascending value
+            // order yields exactly std::sort's output: the same multiset,
+            // and equal values are bitwise-identical doubles.
+            static thread_local std::vector<uint32_t> counts;
+            counts.assign(static_cast<size_t>(max_value) + 1, 0);
+            for (double x : xs)
+                ++counts[static_cast<uint32_t>(x)];
+            size_t at = 0;
+            for (uint32_t v = 0; v <= max_value; ++v) {
+                const double value = static_cast<double>(v);
+                for (uint32_t c = counts[v]; c > 0; --c)
+                    xs[at++] = value;
+            }
+            return;
+        }
+    }
+    std::sort(xs.begin(), xs.end());
 }
 
 DistributionEncoder::DistributionEncoder(size_t num_percentiles)
@@ -42,12 +88,26 @@ void
 DistributionEncoder::encode(std::vector<double> samples,
                             std::vector<float> &out) const
 {
+    encodeInPlace(samples, out);
+}
+
+void
+DistributionEncoder::encodeInPlace(std::vector<double> &samples,
+                                   std::vector<float> &out) const
+{
+    sortSamples(samples);
+    encodeSorted(samples, out);
+}
+
+void
+DistributionEncoder::encodeSorted(const std::vector<double> &samples,
+                                  std::vector<float> &out) const
+{
     const size_t base = out.size();
     out.resize(base + dim(), 0.0f);
     if (samples.empty())
         return;
 
-    std::sort(samples.begin(), samples.end());
     const size_t n = samples.size();
 
     // Plain percentiles.

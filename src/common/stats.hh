@@ -19,10 +19,19 @@ namespace concorde
 double mean(const std::vector<double> &xs);
 
 /**
- * Percentile of a sample vector with linear interpolation between order
- * statistics. @param q in [0, 1].
+ * Percentile of an already-sorted sample vector with linear interpolation
+ * between order statistics. @param q in [0, 1].
  */
-double percentile(std::vector<double> sorted_xs, double q);
+double percentile(const std::vector<double> &sorted_xs, double q);
+
+/**
+ * Sort samples ascending, bitwise-identically to std::sort. Small
+ * non-negative integral samples (stage latencies, instruction counts)
+ * take a counting-sort fast path -- the hot encode paths sort thousands
+ * of integral latencies per region, where counting beats comparison
+ * sorting severalfold; everything else falls back to std::sort.
+ */
+void sortSamples(std::vector<double> &xs);
 
 /**
  * Fixed-size encoding of an empirical distribution.
@@ -43,9 +52,22 @@ class DistributionEncoder
 
     /**
      * Encode samples into `out` (exactly dim() values appended).
-     * Empty input encodes as all zeros.
+     * Empty input encodes as all zeros. Delegates to encodeInPlace; the
+     * by-value parameter exists so call sites may move a buffer in.
      */
     void encode(std::vector<double> samples, std::vector<float> &out) const;
+
+    /**
+     * Scratch-reusing variant: sorts `samples` in place (destructive)
+     * and encodes without allocating, so a caller looping over many
+     * distributions can recycle one buffer.
+     */
+    void encodeInPlace(std::vector<double> &samples,
+                       std::vector<float> &out) const;
+
+    /** Encode samples the caller has already sorted ascending. */
+    void encodeSorted(const std::vector<double> &sorted,
+                      std::vector<float> &out) const;
 
   private:
     size_t numPercentiles;

@@ -60,6 +60,27 @@ ConcordePredictor::predictCpiBatch(FeatureProvider &provider,
 }
 
 std::vector<double>
+ConcordePredictor::predictSweep(const RegionSpec &region,
+                                const UarchParams *params, size_t n,
+                                size_t threads, AnalysisStore *store) const
+{
+    if (n == 0)
+        return {};
+    if (!store)
+        store = &AnalysisStore::global();
+    FeatureProvider provider(store->acquire(region), featureCfg);
+    return predictCpiBatch(provider, params, n, threads);
+}
+
+std::vector<double>
+ConcordePredictor::predictSweep(const RegionSpec &region,
+                                const std::vector<UarchParams> &pts,
+                                size_t threads, AnalysisStore *store) const
+{
+    return predictSweep(region, pts.data(), pts.size(), threads, store);
+}
+
+std::vector<double>
 ConcordePredictor::predictCpiFromFeatures(const std::vector<float> &rows,
                                           size_t n, size_t threads) const
 {
@@ -87,7 +108,10 @@ ConcordePredictor::predictLongProgram(const UarchParams &params,
     panic_if(num_samples < 1, "need at least one sample");
     Rng rng(hashMix(seed, 0x10060ULL));
     // The long program's CPI prediction is the mean of region predictions
-    // over uniformly sampled region offsets (Section 5.1).
+    // over uniformly sampled region offsets (Section 5.1). Offsets are
+    // drawn with replacement, so revisited regions hit the shared
+    // analysis store instead of re-analyzing the trace.
+    AnalysisStore &store = AnalysisStore::global();
     double acc = 0.0;
     for (int s = 0; s < num_samples; ++s) {
         RegionSpec spec;
@@ -98,7 +122,8 @@ ConcordePredictor::predictLongProgram(const UarchParams &params,
             ? trace_chunks - region_chunks : 0;
         spec.startChunk =
             max_start > 0 ? rng.nextBounded(max_start + 1) : 0;
-        acc += predictCpi(spec, params);
+        FeatureProvider provider(store.acquire(spec), featureCfg);
+        acc += predictCpi(provider, params);
     }
     return acc / num_samples;
 }

@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "analysis/analysis_store.hh"
 #include "analytical/feature_provider.hh"
 #include "ml/trainer.hh"
 #include "trace/workloads.hh"
@@ -62,6 +63,29 @@ class ConcordePredictor
                                         size_t threads = 0) const;
 
     /**
+     * Design-space-sweep fast path (Section 5.2.3): acquire the region's
+     * analysis from the shared AnalysisStore (so repeated sweeps -- and
+     * any other layer touching the region -- reuse one trace analysis),
+     * assemble every design point's row through one FeatureProvider
+     * (each analytical-model run and encoded block computed at most
+     * once), and evaluate all rows in a single batched GEMM. Matches a
+     * per-config predictCpi(region, params) loop bitwise; the
+     * bench_sweep_dse gate pins both the equality and the speedup.
+     *
+     * @param store analysis cache to share (default: the global store)
+     */
+    std::vector<double> predictSweep(const RegionSpec &region,
+                                     const UarchParams *params, size_t n,
+                                     size_t threads = 0,
+                                     AnalysisStore *store = nullptr) const;
+
+    /** Convenience overload over a vector of design points. */
+    std::vector<double> predictSweep(const RegionSpec &region,
+                                     const std::vector<UarchParams> &pts,
+                                     size_t threads = 0,
+                                     AnalysisStore *store = nullptr) const;
+
+    /**
      * Batched prediction from `n` pre-assembled raw feature rows
      * (layout().dim() floats each). The serve layer assembles rows per
      * region under its own locking, mixes rows from different regions
@@ -74,6 +98,9 @@ class ConcordePredictor
     /**
      * Estimate the CPI of a long program by averaging predictions over
      * `num_samples` randomly sampled regions (Section 5.1, Figure 9).
+     * Regions are sampled with replacement, so their analyses go through
+     * the shared AnalysisStore: a revisited region costs one MLP
+     * evaluation instead of a fresh trace analysis.
      */
     double predictLongProgram(const UarchParams &params, int program_id,
                               int trace_id, uint64_t trace_chunks,

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
+#include <tuple>
 
+#include "analysis/analysis_store.hh"
 #include "common/logging.hh"
 #include "common/serialize.hh"
 #include "common/thread_pool.hh"
@@ -77,17 +80,20 @@ drawSpecs(const DatasetConfig &config)
     return specs;
 }
 
-/** Label one drawn sample: features + simulator ground truth. */
+/**
+ * Label one drawn sample through a caller-owned provider: features +
+ * simulator ground truth. Every output is a pure function of
+ * (meta.region, meta.params, config.features), so sharing the provider
+ * (and its memo caches) across samples of one region is bitwise-neutral.
+ */
 void
-labelSample(const DatasetConfig &config, SampleMeta &meta,
-            float *feature_row, float &label)
+labelSample(FeatureProvider &provider, SampleMeta &meta,
+            std::vector<float> &row, float *feature_row, float &label)
 {
-    FeatureProvider provider(meta.region, config.features);
-
-    // Features.
-    std::vector<float> features;
-    provider.assemble(meta.params, features);
-    std::copy(features.begin(), features.end(), feature_row);
+    // Features, assembled into a reused scratch row.
+    row.clear();
+    provider.assemble(meta.params, row);
+    std::copy(row.begin(), row.end(), feature_row);
 
     // Ground-truth label from the cycle-level simulator.
     const SimResult sim = simulateRegion(meta.params, provider.analysis());
@@ -113,10 +119,31 @@ labelSample(const DatasetConfig &config, SampleMeta &meta,
     label = meta.cpi;
 }
 
-/** Label the spec range [begin, end) into a standalone Dataset. */
+/**
+ * Residency bound of a dataset build's AnalysisStore. Bulk generation
+ * visits mostly-unique regions, so a large cache would pay RSS churn
+ * for entries it never revisits (measured as a net slowdown on the CI
+ * box when generation ran against the big global store) -- the store
+ * here exists to dedup repeated regions, and a couple dozen resident
+ * entries cover that.
+ */
+constexpr uint64_t kDatasetStoreResidentInstructions = 512u << 10;
+
+/**
+ * Label the spec range [begin, end) into a standalone Dataset.
+ *
+ * Samples are grouped by region, and each group is labeled through one
+ * AnalysisStore-backed FeatureProvider: trace generation, warmup replay,
+ * and the per-configuration trace analyses run once per region instead
+ * of once per sample, and the provider's analytical-model memo caches
+ * are shared across the group's design points. Grouping reorders *work*
+ * only -- each sample's bytes land at its own (config, index) slot, so
+ * shard content is unchanged (pinned by test_analysis_store).
+ */
 Dataset
 labelRange(const DatasetConfig &config, const FeatureLayout &layout,
-           const std::vector<SampleMeta> &specs, size_t begin, size_t end)
+           const std::vector<SampleMeta> &specs, size_t begin, size_t end,
+           AnalysisStore &store)
 {
     const size_t count = end - begin;
     Dataset data;
@@ -125,10 +152,32 @@ labelRange(const DatasetConfig &config, const FeatureLayout &layout,
     data.labels.assign(count, 0.0f);
     data.meta.assign(specs.begin() + begin, specs.begin() + end);
 
-    parallelFor(count, [&](size_t s) {
-        labelSample(config, data.meta[s],
-                    data.features.data() + s * layout.dim(),
-                    data.labels[s]);
+    // Group sample indices by exact region identity (deterministic map
+    // order, though output placement makes order irrelevant).
+    using RegionKey = std::tuple<int, int, uint64_t, uint32_t>;
+    std::map<RegionKey, std::vector<size_t>> groups;
+    for (size_t s = 0; s < count; ++s) {
+        const RegionSpec &r = data.meta[s].region;
+        groups[{r.programId, r.traceId, r.startChunk, r.numChunks}]
+            .push_back(s);
+    }
+    std::vector<const std::vector<size_t> *> group_list;
+    group_list.reserve(groups.size());
+    for (const auto &[key, members] : groups)
+        group_list.push_back(&members);
+
+    parallelFor(group_list.size(), [&](size_t g) {
+        const std::vector<size_t> &members = *group_list[g];
+        FeatureProvider provider(
+            store.acquire(data.meta[members.front()].region),
+            config.features);
+        std::vector<float> row;
+        row.reserve(layout.dim());
+        for (size_t s : members) {
+            labelSample(provider, data.meta[s], row,
+                        data.features.data() + s * layout.dim(),
+                        data.labels[s]);
+        }
     }, config.threads);
     return data;
 }
@@ -177,6 +226,11 @@ Dataset::append(const Dataset &other)
         dim = other.dim;
     panic_if(other.dim != dim, "appending dataset of dim %zu to dim %zu",
              other.dim, dim);
+    // Pre-reserve so repeated appends (shard concatenation) grow each
+    // vector at most once per call instead of reallocating mid-insert.
+    features.reserve(features.size() + other.features.size());
+    labels.reserve(labels.size() + other.labels.size());
+    meta.reserve(meta.size() + other.meta.size());
     features.insert(features.end(), other.features.begin(),
                     other.features.end());
     labels.insert(labels.end(), other.labels.begin(), other.labels.end());
@@ -231,8 +285,9 @@ Dataset
 buildDataset(const DatasetConfig &config)
 {
     const FeatureLayout layout(config.features);
+    AnalysisStore store(kDatasetStoreResidentInstructions);
     return labelRange(config, layout, drawSpecs(config), 0,
-                      config.numSamples);
+                      config.numSamples, store);
 }
 
 // ---- sharded generation ----
@@ -357,6 +412,9 @@ buildDatasetShards(const DatasetConfig &config, const std::string &dir,
     const std::vector<SampleMeta> specs = drawSpecs(config);
     const FeatureLayout layout(config.features);
 
+    // One analysis store for the whole (possibly resumed) run, so a
+    // region repeated across shard boundaries is analyzed once.
+    AnalysisStore store(kDatasetStoreResidentInstructions);
     ShardedBuildResult result;
     for (size_t shard = 0; shard < manifest.numShards(); ++shard) {
         const std::string path = DatasetManifest::shardFile(dir, shard);
@@ -371,7 +429,7 @@ buildDatasetShards(const DatasetConfig &config, const std::string &dir,
         }
         const Dataset data = labelRange(config, layout, specs,
                                         manifest.shardBegin(shard),
-                                        manifest.shardEnd(shard));
+                                        manifest.shardEnd(shard), store);
         const std::string tmp = path + ".tmp";
         data.save(tmp);
         publishFile(tmp, path);
@@ -397,6 +455,14 @@ loadDatasetShards(const std::string &dir)
         fatal_if(shard_data.size() != expected,
                  "shard '%s' holds %zu samples, manifest expects %zu",
                  path.c_str(), shard_data.size(), expected);
+        if (shard == 0) {
+            // The manifest gives the total; the first shard gives the
+            // feature dim. Reserve once so concatenation never
+            // reallocates mid-build.
+            data.features.reserve(manifest.numSamples * shard_data.dim);
+            data.labels.reserve(manifest.numSamples);
+            data.meta.reserve(manifest.numSamples);
+        }
         data.append(shard_data);
     }
     fatal_if(data.size() != manifest.numSamples,

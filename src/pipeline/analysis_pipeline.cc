@@ -123,8 +123,16 @@ AnalysisPipeline::run(const TraceSpan &span, const UarchParams &params)
     std::vector<float> rows(n * res.featureDim, 0.0f);
     auto featurize = [&](size_t i) {
         if (!providers[i]) {
-            providers[i] = std::make_unique<FeatureProvider>(
-                res.regions[i], pred.featureConfig(), cfg.warmupChunks);
+            // Independent-state analyses are the store's convention;
+            // share them when a store is configured.
+            providers[i] = cfg.analysisStore
+                ? std::make_unique<FeatureProvider>(
+                      cfg.analysisStore->acquire(res.regions[i],
+                                                 cfg.warmupChunks),
+                      pred.featureConfig())
+                : std::make_unique<FeatureProvider>(
+                      res.regions[i], pred.featureConfig(),
+                      cfg.warmupChunks);
         }
         std::vector<float> row;
         row.reserve(res.featureDim);

@@ -39,6 +39,7 @@
 #include <memory>
 #include <vector>
 
+#include "analysis/analysis_store.hh"
 #include "common/thread_pool.hh"
 #include "core/concorde.hh"
 #include "core/model_artifact.hh"
@@ -63,6 +64,18 @@ struct PipelineConfig
     size_t threads = 0;             ///< feature workers (0 = hardware)
     size_t mlpThreads = 1;          ///< threads of the batched MLP pass
     bool keepFeatures = false;      ///< retain the feature matrix
+
+    /**
+     * Optional shared analysis cache for Independent-state runs:
+     * region analyses are acquired from (and left in) the store, so
+     * repeated runs over overlapping spans -- and any other layer that
+     * touches the same regions -- skip trace analysis entirely. Results
+     * are bitwise identical with or without it. Deliberately opt-in
+     * (nullptr = analyze per run): the pipeline perf gates measure the
+     * cold path, and Carry-state analyses are span-position-dependent
+     * and never cached.
+     */
+    AnalysisStore *analysisStore = nullptr;
 };
 
 struct PipelineResult

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "analysis/analysis_store.hh"
 #include "common/rng.hh"
 #include "common/stopwatch.hh"
 
@@ -111,8 +112,14 @@ PredictionService::providerFor(const PredictionRequest &request)
     auto &slot = providers[providerKey(request)];
     if (!slot) {
         slot = std::make_unique<ProviderEntry>();
+        // The region analysis comes from the shared AnalysisStore, so
+        // every model serving the same region -- and every other layer
+        // touching it -- reuses one trace analysis. The provider itself
+        // stays per (model, region): its memo caches depend on the
+        // model's FeatureConfig.
         slot->provider = std::make_unique<FeatureProvider>(
-            request.region, request.model.predictor->featureConfig());
+            AnalysisStore::global().acquire(request.region),
+            request.model.predictor->featureConfig());
     }
     return *slot;
 }

@@ -107,8 +107,11 @@ class PredictionService
     /**
      * Drop the cached FeatureProvider state for regions served so far
      * (providers are kept per (model, region) and grow with the number
-     * of distinct regions seen). Only safe once the service is idle --
-     * in-flight batches hold references into the provider table.
+     * of distinct regions seen). The underlying region analyses live in
+     * the shared AnalysisStore and survive this call (bounded by the
+     * store's LRU), so re-created providers skip trace analysis. Only
+     * safe once the service is idle -- in-flight batches hold
+     * references into the provider table.
      */
     void clearProviders();
 

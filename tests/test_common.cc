@@ -6,8 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <cstring>
 
 #include "common/rng.hh"
 #include "common/serialize.hh"
@@ -166,6 +168,81 @@ TEST(DistributionEncoder, PercentilesAreMonotone)
         EXPECT_LE(out[i - 1], out[i]);
     for (size_t i = 26; i < 50; ++i)
         EXPECT_LE(out[i - 1], out[i]);
+}
+
+TEST(SortSamples, MatchesStdSortBitwise)
+{
+    Rng rng(77);
+    auto check = [](std::vector<double> xs) {
+        std::vector<double> reference = xs;
+        std::sort(reference.begin(), reference.end());
+        sortSamples(xs);
+        ASSERT_EQ(xs.size(), reference.size());
+        for (size_t i = 0; i < xs.size(); ++i) {
+            // Bitwise equality, not just value equality.
+            EXPECT_EQ(std::memcmp(&xs[i], &reference[i], sizeof(double)),
+                      0) << "index " << i;
+        }
+    };
+
+    // Large integral input: the counting fast path.
+    std::vector<double> integral(4096);
+    for (double &x : integral)
+        x = static_cast<double>(rng.nextBounded(300));
+    check(integral);
+
+    // Duplicate-heavy and all-equal inputs.
+    check(std::vector<double>(512, 7.0));
+
+    // Fractional values: std::sort fallback.
+    std::vector<double> fractional(512);
+    for (double &x : fractional)
+        x = rng.nextDouble() * 50.0;
+    check(fractional);
+
+    // Negative values and huge values force the fallback too.
+    std::vector<double> mixed(512);
+    for (double &x : mixed)
+        x = static_cast<double>(rng.nextBounded(100)) - 50.0;
+    check(mixed);
+    std::vector<double> huge(512);
+    for (double &x : huge)
+        x = static_cast<double>(rng.nextBounded(1000)) * 1e6;
+    check(huge);
+
+    // Small inputs stay on std::sort (below the counting threshold).
+    check({3.0, 1.0, 2.0});
+    check({});
+}
+
+TEST(DistributionEncoder, InPlaceAndSortedMatchEncode)
+{
+    DistributionEncoder enc(25);
+    Rng rng(78);
+    for (int round = 0; round < 3; ++round) {
+        std::vector<double> samples(700);
+        for (double &x : samples) {
+            x = round == 0 ? static_cast<double>(rng.nextBounded(40))
+                           : rng.nextDouble() * 10.0;
+        }
+
+        std::vector<float> via_encode, via_in_place, via_sorted;
+        enc.encode(samples, via_encode);
+
+        std::vector<double> scratch = samples;
+        enc.encodeInPlace(scratch, via_in_place);
+        // The scratch buffer was sorted in place, not reallocated.
+        EXPECT_TRUE(std::is_sorted(scratch.begin(), scratch.end()));
+        enc.encodeSorted(scratch, via_sorted);
+
+        ASSERT_EQ(via_encode.size(), enc.dim());
+        ASSERT_EQ(via_in_place.size(), enc.dim());
+        ASSERT_EQ(via_sorted.size(), enc.dim());
+        for (size_t i = 0; i < enc.dim(); ++i) {
+            EXPECT_EQ(via_encode[i], via_in_place[i]) << "entry " << i;
+            EXPECT_EQ(via_encode[i], via_sorted[i]) << "entry " << i;
+        }
+    }
 }
 
 TEST(DistributionEncoder, MeanIsLastEntry)

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Render the flat BENCH_*.json files our benches write as a Markdown
+# table, one row per (bench, key) pair of interest. Used two ways:
+#
+#   tools/bench_summary.sh BENCH_*.json            # stdout (check.sh)
+#   tools/bench_summary.sh BENCH_*.json >> "$GITHUB_STEP_SUMMARY"
+#
+# The benches write strictly flat one-key-per-line JSON, so a tiny
+# sed/awk parse is enough -- no jq/python dependency.
+set -eu
+
+[ "$#" -gt 0 ] || { echo "usage: $0 BENCH_*.json" >&2; exit 2; }
+
+echo ""
+echo "### Bench results"
+echo ""
+echo "| bench | metric | value |"
+echo "|---|---|---|"
+for f in "$@"; do
+    [ -f "$f" ] || continue
+    bench=$(sed -n 's/^ *"bench": *"\([^"]*\)".*/\1/p' "$f")
+    # Every scalar field except the identity ones, in file order.
+    sed -n 's/^ *"\([a-z_0-9]*\)": *"\{0,1\}\([^",]*\)"\{0,1\},\{0,1\}$/\1 \2/p' "$f" \
+    | while read -r key value; do
+        case "$key" in
+            bench) continue ;;
+        esac
+        echo "| $bench | $key | $value |"
+    done
+done
+echo ""

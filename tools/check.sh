@@ -45,6 +45,12 @@ if [ "${SKIP_BENCH:-0}" != "1" ]; then
     CONCORDE_SMOKE=1 CONCORDE_BENCH_JSON=BENCH_pipeline.json \
         ./build/bench/bench_pipeline_e2e
 
+    # Design-space-sweep gate: predictSweep (shared analysis, one
+    # provider, one GEMM) must beat the naive per-config predictCpi
+    # loop >= 3x with bitwise-identical CPIs.
+    CONCORDE_SMOKE=1 CONCORDE_BENCH_JSON=BENCH_sweep.json \
+        ./build/bench/bench_sweep_dse
+
     # Model-lifecycle accuracy gate: sharded dataset -> checkpointed
     # training -> versioned artifact -> serve registry; the trained
     # model must beat the untrained stub on held-out data by a wide,
@@ -71,6 +77,10 @@ if [ "${SKIP_BENCH:-0}" != "1" ]; then
     else
         echo "bench_fig10_speed not built (no google-benchmark); skipping"
     fi
+
+    # Human-readable roll-up of every BENCH_*.json written above (the
+    # same summary CI posts to the job page).
+    sh tools/bench_summary.sh BENCH_*.json || true
 fi
 
 echo "== all checks passed =="

@@ -54,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/analysis_store.hh"
 #include "common/serialize.hh"
 #include "common/stopwatch.hh"
 #include "core/artifacts.hh"
@@ -490,6 +491,10 @@ runPipeline(int pid, const char *code, int argc, char **argv)
                 static_cast<double>(span.numInstructions()) / 1000.0,
                 static_cast<long long>(opt["region"]), mode.c_str(),
                 state.c_str());
+
+    // Independent-state runs share region analyses with the rest of the
+    // process through the global store (Carry analyses are never cached).
+    config.analysisStore = &AnalysisStore::global();
 
     pipeline::PipelineResult result;
     if (mode == "service") {
@@ -947,7 +952,12 @@ main(int argc, char **argv)
 
     ConcordePredictor predictor(artifacts::fullModel(),
                                 artifacts::featureConfig());
-    FeatureProvider provider(regionFor(pid), artifacts::featureConfig());
+    // All three prediction subcommands share the region analysis through
+    // the process-wide AnalysisStore, the same cache the serve layer and
+    // dataset generation use.
+    FeatureProvider provider(
+        AnalysisStore::global().acquire(regionFor(pid)),
+        artifacts::featureConfig());
 
     if (command == "predict") {
         const double cpi = predictor.predictCpi(provider, params);
@@ -967,7 +977,8 @@ main(int argc, char **argv)
         std::printf("sweep of %s for %s:\n",
                     paramTable()[static_cast<int>(it->second)].name,
                     argv[2]);
-        // One batched-inference pass over the whole sweep grid.
+        // The DSE fast path: one store-shared analysis, one provider's
+        // memo caches across the grid, one batched-inference pass.
         const auto values = sweepValues(it->second, true);
         std::vector<UarchParams> points;
         points.reserve(values.size());
@@ -975,7 +986,7 @@ main(int argc, char **argv)
             params.set(it->second, value);
             points.push_back(params);
         }
-        const auto cpis = predictor.predictCpiBatch(provider, points);
+        const auto cpis = predictor.predictSweep(regionFor(pid), points);
         for (size_t i = 0; i < values.size(); ++i) {
             std::printf("  %6lld -> CPI %.4f\n",
                         static_cast<long long>(values[i]), cpis[i]);
@@ -985,7 +996,8 @@ main(int argc, char **argv)
 
     // command == "attribute"
     // Every permutation scan point is evaluated through one batched
-    // inference pass instead of thousands of scalar predictions.
+    // inference pass instead of thousands of scalar predictions, against
+    // the store-shared region analysis.
     const BatchEval eval = [&](const std::vector<UarchParams> &pts) {
         return predictor.predictCpiBatch(provider, pts);
     };
