@@ -45,8 +45,8 @@ AnalysisStore::acquire(const RegionSpec &spec, uint32_t warmup_chunks)
     if (!entry->analysis) {
         entry->analysis =
             std::make_shared<RegionAnalysis>(spec, warmup_chunks);
-        entry->weight = entry->analysis->instrs().size()
-            + entry->analysis->warmupInstrs().size();
+        entry->weight = entry->analysis->regionSize()
+            + entry->analysis->warmupSize();
 
         std::lock_guard<std::mutex> lock(mtx);
         // clear() may have raced ahead and dropped the slot; only charge

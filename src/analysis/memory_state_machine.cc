@@ -8,19 +8,24 @@
 namespace concorde
 {
 
+namespace
+{
+
+/** Shared builder; is_load / line_of abstract the trace layout. */
+template <typename IsLoad, typename LineOf>
 LoadLineIndex
-LoadLineIndex::build(const std::vector<Instruction> &region)
+buildIndex(size_t n, IsLoad is_load, LineOf line_of)
 {
     LoadLineIndex index;
-    index.lineIdOf.assign(region.size(), -1);
+    index.lineIdOf.assign(n, -1);
 
     std::unordered_map<uint64_t, uint32_t> dense;
-    dense.reserve(region.size() / 4);
+    dense.reserve(n / 4);
     std::vector<uint32_t> counts;
-    for (size_t i = 0; i < region.size(); ++i) {
-        if (!region[i].isLoad())
+    for (size_t i = 0; i < n; ++i) {
+        if (!is_load(i))
             continue;
-        const uint64_t line = region[i].dataLine();
+        const uint64_t line = line_of(i);
         auto [it, inserted] = dense.try_emplace(
             line, static_cast<uint32_t>(dense.size()));
         if (inserted)
@@ -36,12 +41,30 @@ LoadLineIndex::build(const std::vector<Instruction> &region)
     index.loadList.resize(index.lineStart[index.numLines]);
     std::vector<uint32_t> cursor(index.lineStart.begin(),
                                  index.lineStart.end() - 1);
-    for (size_t i = 0; i < region.size(); ++i) {
+    for (size_t i = 0; i < n; ++i) {
         const int32_t lid = index.lineIdOf[i];
         if (lid >= 0)
             index.loadList[cursor[lid]++] = static_cast<uint32_t>(i);
     }
     return index;
+}
+
+} // anonymous namespace
+
+LoadLineIndex
+LoadLineIndex::build(const std::vector<Instruction> &region)
+{
+    return buildIndex(
+        region.size(), [&](size_t i) { return region[i].isLoad(); },
+        [&](size_t i) { return region[i].dataLine(); });
+}
+
+LoadLineIndex
+LoadLineIndex::build(const TraceColumns &region)
+{
+    return buildIndex(
+        region.size(), [&](size_t i) { return region.isLoad(i); },
+        [&](size_t i) { return region.dataLine(i); });
 }
 
 MemoryStateMachine::MemoryStateMachine(const LoadLineIndex &index_in,
@@ -54,10 +77,9 @@ MemoryStateMachine::MemoryStateMachine(const LoadLineIndex &index_in,
 }
 
 uint64_t
-MemoryStateMachine::respCycle(uint64_t req_cycle, size_t idx,
-                              const Instruction &instr)
+MemoryStateMachine::respCycle(uint64_t req_cycle, size_t idx, bool is_load)
 {
-    if (!instr.isLoad()) {
+    if (!is_load) {
         // Nothing special for non-load instructions.
         return req_cycle + static_cast<uint64_t>(execLat[idx]);
     }

@@ -14,11 +14,13 @@
 #ifndef CONCORDE_ANALYSIS_MEMORY_STATE_MACHINE_HH
 #define CONCORDE_ANALYSIS_MEMORY_STATE_MACHINE_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "trace/instruction.hh"
+#include "trace/trace_columns.hh"
 
 namespace concorde
 {
@@ -38,6 +40,7 @@ struct LoadLineIndex
     std::vector<uint32_t> loadList;
 
     static LoadLineIndex build(const std::vector<Instruction> &region);
+    static LoadLineIndex build(const TraceColumns &region);
 };
 
 /**
@@ -58,10 +61,40 @@ class MemoryStateMachine
 
     /**
      * Response (execution completion) cycle for instruction `idx` whose
-     * request is issued at `req_cycle`.
+     * request is issued at `req_cycle`. Only the instruction's load-ness
+     * matters; the bool overload serves columnar callers.
      */
-    uint64_t respCycle(uint64_t req_cycle, size_t idx,
-                       const Instruction &instr);
+    uint64_t respCycle(uint64_t req_cycle, size_t idx, bool is_load);
+
+    uint64_t
+    respCycle(uint64_t req_cycle, size_t idx, const Instruction &instr)
+    {
+        return respCycle(req_cycle, idx, instr.isLoad());
+    }
+
+    /**
+     * Trace-order fast path for the analytical models, which visit every
+     * load exactly once in trace order. Under that calling convention the
+     * access_number-th load to a line IS instruction idx, so respCycle()'s
+     * donor lookup degenerates to exec_lat[idx] and the access counters
+     * carry no information; only the per-line request/response clamps
+     * remain. Results are bitwise identical to respCycle(). Do not mix
+     * the two variants on one instance (this one skips the counters).
+     */
+    uint64_t
+    respCycleInOrder(uint64_t req_cycle, size_t idx, bool is_load)
+    {
+        if (!is_load)
+            return req_cycle + static_cast<uint64_t>(execLat[idx]);
+        const int32_t lid = index.lineIdOf[idx];
+        const uint64_t req = std::max(req_cycle, lastReqCycles[lid]);
+        lastReqCycles[lid] = req;
+        const uint64_t resp =
+            std::max(req + static_cast<uint64_t>(execLat[idx]),
+                     lastRespCycles[lid]);
+        lastRespCycles[lid] = resp;
+        return resp;
+    }
 
     /** Reset all per-line state for a fresh model run. */
     void reset();

@@ -1,5 +1,8 @@
 #include "analysis/trace_analyzer.hh"
 
+#include <algorithm>
+#include <optional>
+
 #include "common/rng.hh"
 #include "trace/workloads.hh"
 
@@ -14,159 +17,316 @@ branchSeedFor(int program_id, int trace_id, uint64_t start_chunk)
                    start_chunk + 0xB4A2C);
 }
 
+namespace
+{
+
+/**
+ * The fused analysis sweep: one pass over `cols` feeding every non-null
+ * structure. The d-hierarchy, i-hierarchy, and branch predictor are
+ * independent state machines, and each sees exactly the subsequence (in
+ * exactly the order) the legacy per-side loops fed it, so the results
+ * are bitwise-identical to three separate passes.
+ *
+ * Null outputs with a non-null structure = warmup (train, don't record).
+ */
+void
+fusedSweep(const TraceColumns &cols, DataHierarchy *dh, InstHierarchy *ih,
+           uint64_t &last_i_line, BranchPredictor *bp, DSideAnalysis *d,
+           ISideAnalysis *i, BranchAnalysis *b)
+{
+    const size_t n = cols.size();
+    if (d) {
+        d->execLat.resize(n);
+        d->loadLevel.assign(n, CacheLevel::L1);
+    }
+    if (i) {
+        i->newLine.assign(n, 0);
+        i->lineLat.assign(n, kL1iHitLat);
+    }
+    if (b)
+        b->mispredict.assign(n, 0);
+
+    for (size_t k = 0; k < n; ++k) {
+        const InstrType t = cols.type[k];
+        if (dh) {
+            if (t == InstrType::Load) {
+                const CacheLevel level =
+                    dh->access(cols.pc[k], cols.memAddr[k], false);
+                if (d) {
+                    d->loadLevel[k] = level;
+                    d->execLat[k] = loadLatency(level);
+                }
+            } else {
+                if (t == InstrType::Store)
+                    dh->access(cols.pc[k], cols.memAddr[k], true);
+                if (d)
+                    d->execLat[k] = fixedLatency(t);
+            }
+        }
+        if (ih) {
+            const uint64_t line = cols.instLine[k];
+            if (line != last_i_line) {
+                const CacheLevel level = ih->access(line);
+                if (i) {
+                    i->newLine[k] = 1;
+                    i->lineLat[k] = level == CacheLevel::L1
+                        ? kL1iHitLat : loadLatency(level);
+                }
+                last_i_line = line;
+            }
+        }
+        if (bp && t == InstrType::Branch) {
+            const BranchKind kind = cols.branchKind[k];
+            const uint8_t miss = predictorStep(*bp, cols.pc[k], kind,
+                                               cols.taken[k] != 0,
+                                               cols.targetId[k]);
+            if (b) {
+                b->mispredict[k] = miss;
+                if (kind != BranchKind::DirectUncond) {
+                    ++b->numBranches;
+                    b->numMispredicts += miss;
+                }
+            }
+        }
+    }
+    if (d && dh)
+        d->stats = dh->stats();
+    if (i && ih)
+        i->stats = ih->stats();
+}
+
+} // anonymous namespace
+
 RegionAnalysis::RegionAnalysis(const RegionSpec &spec, uint32_t warmup_chunks)
     : regionSpec(spec)
 {
     const ProgramModel &model = programModel(spec.programId);
+    GenScratch scratch;
 
-    // Warmup prefix: the chunks immediately preceding the region (when the
-    // region starts at the trace head, fall back to re-playing its first
-    // chunks, which warms structures with representative content).
-    RegionSpec warm = spec;
-    warm.numChunks = warmup_chunks;
-    warm.startChunk = spec.startChunk >= warmup_chunks
-        ? spec.startChunk - warmup_chunks : spec.startChunk;
-    if (warmup_chunks > 0)
-        warmup = model.generateRegion(warm);
+    if (warmup_chunks > 0 && spec.startChunk < warmup_chunks) {
+        // Warmup prefix for a region at the trace head: re-play the
+        // region's own first chunks. Those chunks are already covered by
+        // the region, so generate the region once and slice the shared
+        // prefix instead of generating it twice (dependency indices are
+        // chunk-relative, so the slices are bitwise-identical).
+        model.generateRegionColumns(spec, region, scratch);
+        const uint32_t shared = std::min(warmup_chunks, spec.numChunks);
+        warmup.reserve(static_cast<size_t>(warmup_chunks) * kChunkLen);
+        warmup.appendSlice(region, 0,
+                           static_cast<size_t>(shared) * kChunkLen);
+        for (uint32_t c = shared; c < warmup_chunks; ++c) {
+            model.generateChunk(spec.traceId, spec.startChunk + c, warmup,
+                                static_cast<int64_t>(warmup.size()),
+                                scratch);
+        }
+    } else {
+        // Warmup prefix: the chunks immediately preceding the region.
+        if (warmup_chunks > 0) {
+            RegionSpec warm = spec;
+            warm.numChunks = warmup_chunks;
+            warm.startChunk = spec.startChunk - warmup_chunks;
+            model.generateRegionColumns(warm, warmup, scratch);
+        }
+        model.generateRegionColumns(spec, region, scratch);
+    }
 
-    region = model.generateRegion(spec);
     loadLineIndex = LoadLineIndex::build(region);
-
     branchSeed = branchSeedFor(spec.programId, spec.traceId,
                                spec.startChunk);
 }
 
 RegionAnalysis::RegionAnalysis(const RegionSpec &spec,
                                std::vector<Instruction> instrs)
-    : regionSpec(spec), region(std::move(instrs))
+    : regionSpec(spec), region(TraceColumns::fromInstructions(instrs))
+{
+    loadLineIndex = LoadLineIndex::build(region);
+    branchSeed = branchSeedFor(spec.programId, spec.traceId,
+                               spec.startChunk);
+    // The caller already materialized the rows; keep them as the shim.
+    st->shim.region = std::move(instrs);
+    st->shim.regionReady.store(true, std::memory_order_release);
+}
+
+RegionAnalysis::RegionAnalysis(const RegionSpec &spec, TraceColumns cols)
+    : regionSpec(spec), region(std::move(cols))
 {
     loadLineIndex = LoadLineIndex::build(region);
     branchSeed = branchSeedFor(spec.programId, spec.traceId,
                                spec.startChunk);
 }
 
+const std::vector<Instruction> &
+RegionAnalysis::instrs() const
+{
+    AosShim &shim = st->shim;
+    if (!shim.regionReady.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(shim.mtx);
+        if (!shim.regionReady.load(std::memory_order_relaxed)) {
+            shim.region = region.toInstructions();
+            shim.regionReady.store(true, std::memory_order_release);
+        }
+    }
+    return shim.region;
+}
+
+const std::vector<Instruction> &
+RegionAnalysis::warmupInstrs() const
+{
+    AosShim &shim = st->shim;
+    if (!shim.warmReady.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> lock(shim.mtx);
+        if (!shim.warmReady.load(std::memory_order_relaxed)) {
+            shim.warm = warmup.toInstructions();
+            shim.warmReady.store(true, std::memory_order_release);
+        }
+    }
+    return shim.warm;
+}
+
+void
+RegionAnalysis::buildFused(const MemoryConfig *mem, DSideAnalysis *d,
+                           ISideAnalysis *i, const BranchConfig *br,
+                           BranchAnalysis *b) const
+{
+    std::optional<DataHierarchy> dh;
+    std::optional<InstHierarchy> ih;
+    std::unique_ptr<BranchPredictor> bp;
+    uint64_t last_i_line = ~0ULL;
+    if (d)
+        dh.emplace(*mem);
+    if (i)
+        ih.emplace(*mem);
+    if (b)
+        bp = makePredictor(*br, branchSeed);
+
+    fusedSweep(warmup, dh ? &*dh : nullptr, ih ? &*ih : nullptr,
+               last_i_line, bp.get(), nullptr, nullptr, nullptr);
+    fusedSweep(region, dh ? &*dh : nullptr, ih ? &*ih : nullptr,
+               last_i_line, bp.get(), d, i, b);
+}
+
 const DSideAnalysis &
 RegionAnalysis::dside(const MemoryConfig &config)
 {
-    std::lock_guard<std::mutex> lock(*memoMtx);
-    const uint32_t key = config.dSideKey();
-    auto it = dsides.find(key);
-    if (it != dsides.end())
-        return *it->second;
-
+    auto &e = st->dsides.entryFor(config.dSideKey());
+    if (DSideAnalysis *p = e.ready.load(std::memory_order_acquire))
+        return *p;
+    std::lock_guard<std::mutex> lock(e.buildMtx);
+    if (DSideAnalysis *p = e.ready.load(std::memory_order_relaxed))
+        return *p;
     auto analysis = std::make_unique<DSideAnalysis>();
-    analysis->execLat.resize(region.size());
-    analysis->loadLevel.assign(region.size(), CacheLevel::L1);
-
-    DataHierarchy hierarchy(config);
-    for (const auto &instr : warmup) {
-        if (instr.isMem())
-            hierarchy.access(instr.pc, instr.memAddr, instr.isStore());
-    }
-    for (size_t i = 0; i < region.size(); ++i) {
-        const Instruction &instr = region[i];
-        if (instr.isLoad()) {
-            const CacheLevel level =
-                hierarchy.access(instr.pc, instr.memAddr, false);
-            analysis->loadLevel[i] = level;
-            analysis->execLat[i] = loadLatency(level);
-        } else {
-            if (instr.isStore())
-                hierarchy.access(instr.pc, instr.memAddr, true);
-            analysis->execLat[i] = fixedLatency(instr.type);
-        }
-    }
-    analysis->stats = hierarchy.stats();
-
-    auto [pos, inserted] = dsides.emplace(key, std::move(analysis));
-    return *pos->second;
+    buildFused(&config, analysis.get(), nullptr, nullptr, nullptr);
+    DSideAnalysis *raw = analysis.get();
+    e.value = std::move(analysis);
+    e.ready.store(raw, std::memory_order_release);
+    return *raw;
 }
 
 const ISideAnalysis &
 RegionAnalysis::iside(const MemoryConfig &config)
 {
-    std::lock_guard<std::mutex> lock(*memoMtx);
-    const uint32_t key = config.iSideKey();
-    auto it = isides.find(key);
-    if (it != isides.end())
-        return *it->second;
-
+    auto &e = st->isides.entryFor(config.iSideKey());
+    if (ISideAnalysis *p = e.ready.load(std::memory_order_acquire))
+        return *p;
+    std::lock_guard<std::mutex> lock(e.buildMtx);
+    if (ISideAnalysis *p = e.ready.load(std::memory_order_relaxed))
+        return *p;
     auto analysis = std::make_unique<ISideAnalysis>();
-    analysis->newLine.assign(region.size(), 0);
-    analysis->lineLat.assign(region.size(), kL1iHitLat);
-
-    InstHierarchy hierarchy(config);
-    uint64_t last_line = ~0ULL;
-    for (const auto &instr : warmup) {
-        const uint64_t line = instr.instLine();
-        if (line != last_line) {
-            hierarchy.access(line);
-            last_line = line;
-        }
-    }
-    for (size_t i = 0; i < region.size(); ++i) {
-        const uint64_t line = region[i].instLine();
-        if (line != last_line) {
-            const CacheLevel level = hierarchy.access(line);
-            analysis->newLine[i] = 1;
-            analysis->lineLat[i] = level == CacheLevel::L1
-                ? kL1iHitLat : loadLatency(level);
-            last_line = line;
-        }
-    }
-    analysis->stats = hierarchy.stats();
-
-    auto [pos, inserted] = isides.emplace(key, std::move(analysis));
-    return *pos->second;
+    buildFused(&config, nullptr, analysis.get(), nullptr, nullptr);
+    ISideAnalysis *raw = analysis.get();
+    e.value = std::move(analysis);
+    e.ready.store(raw, std::memory_order_release);
+    return *raw;
 }
 
 const BranchAnalysis &
 RegionAnalysis::branches(const BranchConfig &config)
 {
-    std::lock_guard<std::mutex> lock(*memoMtx);
-    const uint32_t key = config.key();
-    auto it = branchAnalyses.find(key);
-    if (it != branchAnalyses.end())
-        return *it->second;
-
+    auto &e = st->branchAnalyses.entryFor(config.key());
+    if (BranchAnalysis *p = e.ready.load(std::memory_order_acquire))
+        return *p;
+    std::lock_guard<std::mutex> lock(e.buildMtx);
+    if (BranchAnalysis *p = e.ready.load(std::memory_order_relaxed))
+        return *p;
     auto analysis = std::make_unique<BranchAnalysis>();
-    analysis->mispredict =
-        computeMispredicts(warmup, region, config, branchSeed);
-    for (size_t i = 0; i < region.size(); ++i) {
-        if (region[i].isBranch()
-            && region[i].branchKind != BranchKind::DirectUncond) {
-            ++analysis->numBranches;
-            analysis->numMispredicts += analysis->mispredict[i];
-        }
+    buildFused(nullptr, nullptr, nullptr, &config, analysis.get());
+    BranchAnalysis *raw = analysis.get();
+    e.value = std::move(analysis);
+    e.ready.store(raw, std::memory_order_release);
+    return *raw;
+}
+
+void
+RegionAnalysis::analyzeAll(const MemoryConfig &config,
+                           const BranchConfig &branch)
+{
+    auto &de = st->dsides.entryFor(config.dSideKey());
+    auto &ie = st->isides.entryFor(config.iSideKey());
+    auto &be = st->branchAnalyses.entryFor(branch.key());
+    if (de.ready.load(std::memory_order_acquire)
+        && ie.ready.load(std::memory_order_acquire)
+        && be.ready.load(std::memory_order_acquire)) {
+        return;
     }
 
-    auto [pos, inserted] = branchAnalyses.emplace(key, std::move(analysis));
-    return *pos->second;
+    // Lock all three sides at once (deadlock-avoidant) so the missing
+    // subset is filled by one sweep while per-side builders of other
+    // configurations proceed under their own entries' latches.
+    std::scoped_lock lock(de.buildMtx, ie.buildMtx, be.buildMtx);
+    const bool want_d = !de.ready.load(std::memory_order_relaxed);
+    const bool want_i = !ie.ready.load(std::memory_order_relaxed);
+    const bool want_b = !be.ready.load(std::memory_order_relaxed);
+    if (!want_d && !want_i && !want_b)
+        return;
+
+    auto d = want_d ? std::make_unique<DSideAnalysis>() : nullptr;
+    auto i = want_i ? std::make_unique<ISideAnalysis>() : nullptr;
+    auto b = want_b ? std::make_unique<BranchAnalysis>() : nullptr;
+    buildFused(&config, d.get(), i.get(), &branch, b.get());
+
+    if (want_d) {
+        DSideAnalysis *raw = d.get();
+        de.value = std::move(d);
+        de.ready.store(raw, std::memory_order_release);
+    }
+    if (want_i) {
+        ISideAnalysis *raw = i.get();
+        ie.value = std::move(i);
+        ie.ready.store(raw, std::memory_order_release);
+    }
+    if (want_b) {
+        BranchAnalysis *raw = b.get();
+        be.value = std::move(b);
+        be.ready.store(raw, std::memory_order_release);
+    }
 }
 
 void
 RegionAnalysis::adoptDside(const MemoryConfig &config, DSideAnalysis analysis)
 {
-    std::lock_guard<std::mutex> lock(*memoMtx);
-    dsides[config.dSideKey()] =
-        std::make_unique<DSideAnalysis>(std::move(analysis));
+    auto &e = st->dsides.entryFor(config.dSideKey());
+    std::lock_guard<std::mutex> lock(e.buildMtx);
+    e.value = std::make_unique<DSideAnalysis>(std::move(analysis));
+    e.ready.store(e.value.get(), std::memory_order_release);
 }
 
 void
 RegionAnalysis::adoptIside(const MemoryConfig &config, ISideAnalysis analysis)
 {
-    std::lock_guard<std::mutex> lock(*memoMtx);
-    isides[config.iSideKey()] =
-        std::make_unique<ISideAnalysis>(std::move(analysis));
+    auto &e = st->isides.entryFor(config.iSideKey());
+    std::lock_guard<std::mutex> lock(e.buildMtx);
+    e.value = std::make_unique<ISideAnalysis>(std::move(analysis));
+    e.ready.store(e.value.get(), std::memory_order_release);
 }
 
 void
 RegionAnalysis::adoptBranches(const BranchConfig &config,
                               BranchAnalysis analysis)
 {
-    std::lock_guard<std::mutex> lock(*memoMtx);
-    branchAnalyses[config.key()] =
-        std::make_unique<BranchAnalysis>(std::move(analysis));
+    auto &e = st->branchAnalyses.entryFor(config.key());
+    std::lock_guard<std::mutex> lock(e.buildMtx);
+    e.value = std::make_unique<BranchAnalysis>(std::move(analysis));
+    e.ready.store(e.value.get(), std::memory_order_release);
 }
 
 AnalyzerCarryState::AnalyzerCarryState(const MemoryConfig &mem,
@@ -191,6 +351,22 @@ AnalyzerCarryState::warm(const std::vector<Instruction> &instrs)
         }
     }
     runPredictor(*predictor, instrs, nullptr);
+}
+
+void
+AnalyzerCarryState::warm(const TraceColumns &instrs)
+{
+    fusedSweep(instrs, &dHier, &iHier, lastILine, predictor.get(),
+               nullptr, nullptr, nullptr);
+}
+
+ShardAnalyses
+AnalyzerCarryState::analyzeShard(const TraceColumns &shard)
+{
+    ShardAnalyses out;
+    fusedSweep(shard, &dHier, &iHier, lastILine, predictor.get(),
+               &out.dside, &out.iside, &out.branches);
+    return out;
 }
 
 DSideAnalysis

@@ -6,16 +6,19 @@
  * access latencies from an in-order instruction-cache simulation, and
  * branch misprediction flags from branch-predictor simulation.
  *
- * All analyses are memoized per configuration so feature precompute and
- * the Shapley engine touch each configuration at most once per region.
- * RegionAnalysis memo tables are internally locked (instances may be
- * shared through the AnalysisStore); AnalyzerCarryState is inherently
- * sequential and stays single-threaded.
+ * The region is held columnar (TraceColumns); all analyses run as fused
+ * sweeps over the columns, and analyzeAll() fills every still-missing
+ * side in ONE pass over warmup + region. All analyses are memoized per
+ * configuration behind per-key once-init latches, so concurrent
+ * consumers of *different* configurations on a shared snapshot build in
+ * parallel (instances may be shared through the AnalysisStore);
+ * AnalyzerCarryState is inherently sequential and stays single-threaded.
  */
 
 #ifndef CONCORDE_ANALYSIS_TRACE_ANALYZER_HH
 #define CONCORDE_ANALYSIS_TRACE_ANALYZER_HH
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -27,6 +30,7 @@
 #include "memory/hierarchy.hh"
 #include "trace/instruction.hh"
 #include "trace/program_model.hh"
+#include "trace/trace_columns.hh"
 
 namespace concorde
 {
@@ -66,6 +70,14 @@ struct BranchAnalysis
     }
 };
 
+/** All three per-shard analyses, produced by one fused sweep. */
+struct ShardAnalyses
+{
+    DSideAnalysis dside;
+    ISideAnalysis iside;
+    BranchAnalysis branches;
+};
+
 /** I-side fetch latency of an L1i hit (fetch-pipeline access). */
 constexpr int kL1iHitLat = 1;
 
@@ -90,11 +102,12 @@ uint64_t branchSeedFor(int program_id, int trace_id, uint64_t start_chunk);
  * stage 1; every downstream consumer (analytical models, the reference
  * simulator's branch flags) reads from here.
  *
- * The memo tables are internally locked: one instance may be shared
- * between threads (the AnalysisStore hands out shared_ptr snapshots),
- * and concurrent dside()/iside()/branches() calls compute each
- * configuration exactly once. Returned references stay valid for the
- * lifetime of the instance (entries are never removed).
+ * Memoization is per-key latched: one instance may be shared between
+ * threads (the AnalysisStore hands out shared_ptr snapshots), concurrent
+ * dside()/iside()/branches()/analyzeAll() calls compute each
+ * configuration exactly once, and builds of *different* configurations
+ * proceed concurrently. Returned references stay valid for the lifetime
+ * of the instance (entries are never removed).
  */
 class RegionAnalysis
 {
@@ -103,7 +116,9 @@ class RegionAnalysis
      * Generate and index a region. `warmup_chunks` extra chunks are
      * generated before the region and used to warm caches and predictors
      * (both trace analysis and the reference simulator use the same
-     * warmup convention).
+     * warmup convention). When the warmup window overlaps the region
+     * (a region at the trace head), the overlapping chunks are generated
+     * once and sliced, not generated twice.
      */
     explicit RegionAnalysis(const RegionSpec &spec,
                             uint32_t warmup_chunks = kDefaultWarmupChunks);
@@ -116,9 +131,25 @@ class RegionAnalysis
      */
     RegionAnalysis(const RegionSpec &spec, std::vector<Instruction> instrs);
 
+    /** Columnar variant of the pre-generated-region constructor. */
+    RegionAnalysis(const RegionSpec &spec, TraceColumns cols);
+
     const RegionSpec &spec() const { return regionSpec; }
-    const std::vector<Instruction> &instrs() const { return region; }
-    const std::vector<Instruction> &warmupInstrs() const { return warmup; }
+
+    /** Columnar region / warmup traces (the analysis-facing layout). */
+    const TraceColumns &regionColumns() const { return region; }
+    const TraceColumns &warmupColumns() const { return warmup; }
+    size_t regionSize() const { return region.size(); }
+    size_t warmupSize() const { return warmup.size(); }
+
+    /**
+     * AoS shims for row-oriented consumers (reference simulator, TAO
+     * baseline, dataset labeling): materialized lazily from the columns
+     * on first call, then cached for the instance lifetime.
+     */
+    const std::vector<Instruction> &instrs() const;
+    const std::vector<Instruction> &warmupInstrs() const;
+
     const LoadLineIndex &loadIndex() const { return loadLineIndex; }
 
     /** In-order D-cache simulation (memoized per d-side config). */
@@ -127,6 +158,17 @@ class RegionAnalysis
     const ISideAnalysis &iside(const MemoryConfig &config);
     /** Branch-predictor simulation (memoized per predictor config). */
     const BranchAnalysis &branches(const BranchConfig &config);
+
+    /**
+     * Fused analysis: fill every side of (config, branch) that is not
+     * yet memoized with ONE sweep over warmup + region feeding the data
+     * hierarchy, the instruction hierarchy, and the branch predictor
+     * simultaneously -- bitwise-identical to running the three per-side
+     * loops. Sides already memoized (e.g. a sweep config sharing its
+     * d-side with a previous config) are not re-analyzed, which is what
+     * makes incremental sweep re-analysis cheap.
+     */
+    void analyzeAll(const MemoryConfig &config, const BranchConfig &branch);
 
     /**
      * Inject externally computed analyses (e.g. the pipeline's
@@ -138,26 +180,84 @@ class RegionAnalysis
     void adoptBranches(const BranchConfig &config, BranchAnalysis analysis);
 
     /** Number of memoized d-side / i-side / branch analyses (for tests). */
-    size_t numDsideAnalyses() const { return dsides.size(); }
-    size_t numIsideAnalyses() const { return isides.size(); }
-    size_t numBranchAnalyses() const { return branchAnalyses.size(); }
+    size_t numDsideAnalyses() const { return st->dsides.numReady(); }
+    size_t numIsideAnalyses() const { return st->isides.numReady(); }
+    size_t numBranchAnalyses() const { return st->branchAnalyses.numReady(); }
 
   private:
+    /**
+     * Per-key once-init memo (the AnalysisStore idiom): a brief map lock
+     * hands out the per-key entry; the build itself runs under that
+     * entry's own latch, so different keys build concurrently and
+     * completed entries are read lock-free.
+     */
+    template <typename T>
+    struct SideMemo
+    {
+        struct Entry
+        {
+            std::mutex buildMtx;
+            std::atomic<T *> ready{nullptr};
+            std::unique_ptr<T> value;   ///< set under buildMtx
+        };
+
+        Entry &
+        entryFor(uint32_t key)
+        {
+            std::lock_guard<std::mutex> lock(mapMtx);
+            auto &slot = entries[key];
+            if (!slot)
+                slot = std::make_unique<Entry>();
+            return *slot;
+        }
+
+        size_t
+        numReady() const
+        {
+            std::lock_guard<std::mutex> lock(mapMtx);
+            size_t n = 0;
+            for (const auto &kv : entries) {
+                if (kv.second->ready.load(std::memory_order_acquire))
+                    ++n;
+            }
+            return n;
+        }
+
+        mutable std::mutex mapMtx;
+        std::map<uint32_t, std::unique_ptr<Entry>> entries;
+    };
+
+    /** Lazily materialized AoS mirrors of the columnar traces. */
+    struct AosShim
+    {
+        std::mutex mtx;
+        std::atomic<bool> regionReady{false};
+        std::atomic<bool> warmReady{false};
+        std::vector<Instruction> region;
+        std::vector<Instruction> warm;
+    };
+
+    /** Non-movable innards, boxed so the class stays movable. */
+    struct State
+    {
+        SideMemo<DSideAnalysis> dsides;
+        SideMemo<ISideAnalysis> isides;
+        SideMemo<BranchAnalysis> branchAnalyses;
+        AosShim shim;
+    };
+
+    /** One fused sweep building exactly the requested (null = skip) sides. */
+    void buildFused(const MemoryConfig *mem, DSideAnalysis *d,
+                    ISideAnalysis *i, const BranchConfig *br,
+                    BranchAnalysis *b) const;
+
     RegionSpec regionSpec;
-    std::vector<Instruction> warmup;
-    std::vector<Instruction> region;
+    TraceColumns warmup;
+    TraceColumns region;
     LoadLineIndex loadLineIndex;
     uint64_t branchSeed;
 
-    /**
-     * Guards the memo maps below (held in a unique_ptr so the class
-     * stays movable; moving while another thread uses the instance is
-     * a caller bug, as with any object).
-     */
-    std::unique_ptr<std::mutex> memoMtx{std::make_unique<std::mutex>()};
-    std::map<uint32_t, std::unique_ptr<DSideAnalysis>> dsides;
-    std::map<uint32_t, std::unique_ptr<ISideAnalysis>> isides;
-    std::map<uint32_t, std::unique_ptr<BranchAnalysis>> branchAnalyses;
+    std::unique_ptr<State> st{std::make_unique<State>()};
 };
 
 /**
@@ -180,8 +280,16 @@ class AnalyzerCarryState
 
     /** Replay instructions into all structures without recording. */
     void warm(const std::vector<Instruction> &instrs);
+    void warm(const TraceColumns &instrs);
 
-    /** Analyze the next shard in trace order. */
+    /**
+     * Analyze the next shard in trace order: one fused sweep producing
+     * all three analyses, bitwise-identical to calling analyzeDside /
+     * analyzeIside / analyzeBranches on the same shard.
+     */
+    ShardAnalyses analyzeShard(const TraceColumns &shard);
+
+    /** Per-side variants (one sweep each; kept for tests). */
     DSideAnalysis analyzeDside(const std::vector<Instruction> &shard);
     ISideAnalysis analyzeIside(const std::vector<Instruction> &shard);
     BranchAnalysis analyzeBranches(const std::vector<Instruction> &shard);

@@ -131,7 +131,8 @@ const WindowCounts &
 FeatureProvider::counts()
 {
     if (!haveCounts) {
-        windowCounts = WindowCounts::build(region->instrs(), cfg.windowK);
+        windowCounts =
+            WindowCounts::build(region->regionColumns(), cfg.windowK);
         haveCounts = true;
     }
     return windowCounts;
@@ -150,8 +151,9 @@ FeatureProvider::robEntry(int rob_size, const MemoryConfig &mem,
 
     const auto &dside = region->dside(mem);
     RobModelResult run =
-        runRobModel(region->instrs(), region->loadIndex(), dside.execLat,
-                    rob_size, cfg.windowK, need_latencies);
+        runRobModel(region->regionColumns(), region->loadIndex(),
+                    dside.execLat, rob_size, cfg.windowK, need_latencies,
+                    &modelScratch);
     ++totalModelRuns;
 
     RobEntry &entry = robCache[key];
@@ -175,21 +177,86 @@ FeatureProvider::encodeLog1p(std::vector<double> &samples,
 {
     // Sorting before the monotone log1p transform yields the same
     // sequence as sorting after it, and lets the integral raw latencies
-    // take sortSamples' counting fast path. Sorted latencies come in
-    // long runs of equal values, so the transform is computed once per
-    // distinct value (equal inputs give bitwise-equal outputs).
-    sortSamples(samples);
-    double prev_in = std::numeric_limits<double>::quiet_NaN();
-    double prev_out = 0.0;
-    for (double &x : samples) {
-        if (x != prev_in) {
-            prev_in = x;
-            prev_out = std::log1p(x);
-        }
-        x = prev_out;
-    }
+    // take the counting fast path, which writes the transformed sorted
+    // vector in one rebuild pass (log1p once per distinct value).
+    sortAndTransformSamples(samples,
+                            [](double x) { return std::log1p(x); });
     out.clear();
     encoder.encodeSorted(samples, out);
+}
+
+void
+FeatureProvider::ensureRobEntries(const UarchParams &params)
+{
+    const MemoryConfig &mem = params.memory;
+    const uint32_t dkey = mem.dSideKey();
+    const int biggest =
+        cfg.latencyRobSizes.empty() ? 1024 : cfg.latencyRobSizes.back();
+
+    auto needs_lat = [&](int rob_size) {
+        return std::find(cfg.latencyRobSizes.begin(),
+                         cfg.latencyRobSizes.end(), rob_size)
+            != cfg.latencyRobSizes.end();
+    };
+
+    // Distinct sizes this assemble will touch (a dozen or so; linear
+    // dedup beats a set here).
+    std::vector<RobSweepRequest> wanted;
+    auto add = [&](int size, bool lat) {
+        for (RobSweepRequest &req : wanted) {
+            if (req.robSize == size) {
+                req.collectLatencies |= lat;
+                return;
+            }
+        }
+        wanted.push_back(RobSweepRequest{size, lat});
+    };
+    add(params.robSize, needs_lat(params.robSize));
+    for (int size : cfg.robSweep)
+        add(size, needs_lat(size));
+    for (int size : cfg.latencyRobSizes)
+        add(size, true);
+    add(biggest, true);
+
+    std::vector<RobSweepRequest> missing;
+    for (const RobSweepRequest &req : wanted) {
+        auto it = robCache.find(packKey(req.robSize, dkey));
+        if (it == robCache.end()
+            || (req.collectLatencies && !it->second.hasLatencies)) {
+            missing.push_back(req);
+        }
+    }
+    if (missing.empty())
+        return;
+
+    const auto &dside = region->dside(mem);
+    std::vector<RobModelResult> runs =
+        runRobModelSweep(region->regionColumns(), region->loadIndex(),
+                         dside.execLat, missing, cfg.windowK);
+    totalModelRuns += missing.size();
+
+    for (size_t i = 0; i < missing.size(); ++i) {
+        RobModelResult &run = runs[i];
+        RobEntry &entry = robCache[packKey(missing[i].robSize, dkey)];
+        entry.windows = std::move(run.windowThroughput);
+        entry.overallIpc = run.overallIpc;
+        if (!missing[i].collectLatencies)
+            continue;
+        encodeLog1p(run.issueLat, entry.encIssue);
+        encodeLog1p(run.commitLat, entry.encCommit);
+        if (missing[i].robSize == biggest) {
+            // assemble() reads the exec encoding only for the biggest
+            // latency size; encode it here and leave rawExec in the
+            // same cleared state encodedExec() would.
+            encodeLog1p(run.execLat, entry.encExec);
+            entry.rawExec.clear();
+            entry.rawExec.shrink_to_fit();
+        } else {
+            entry.rawExec = std::move(run.execLat);
+            entry.encExec.clear();
+        }
+        entry.hasLatencies = true;
+    }
 }
 
 const std::vector<float> &
@@ -220,8 +287,9 @@ FeatureProvider::lqEntry(int lq_size, const MemoryConfig &mem)
 {
     return boundEntry(lqCache, packKey(lq_size, mem.dSideKey()), [&] {
         const auto &dside = region->dside(mem);
-        return runLoadQueueModel(region->instrs(), region->loadIndex(),
-                                 dside.execLat, lq_size, cfg.windowK);
+        return runLoadQueueModel(region->regionColumns(),
+                                 region->loadIndex(), dside.execLat,
+                                 lq_size, cfg.windowK);
     });
 }
 
@@ -235,7 +303,8 @@ FeatureProvider::BoundEntry &
 FeatureProvider::sqEntry(int sq_size)
 {
     return boundEntry(sqCache, packKey(sq_size, 0), [&] {
-        return runStoreQueueModel(region->instrs(), sq_size, cfg.windowK);
+        return runStoreQueueModel(region->regionColumns(), sq_size,
+                                  cfg.windowK);
     });
 }
 
@@ -250,8 +319,9 @@ FeatureProvider::ifillEntry(int max_fills, const MemoryConfig &mem)
 {
     return boundEntry(ifillCache, packKey(max_fills, mem.iSideKey()),
                       [&] {
-        return runIcacheFillsModel(region->instrs(), region->iside(mem),
-                                   max_fills, cfg.windowK);
+        return runIcacheFillsModel(region->regionColumns(),
+                                   region->iside(mem), max_fills,
+                                   cfg.windowK);
     });
 }
 
@@ -266,8 +336,9 @@ FeatureProvider::fbufEntry(int num_buffers, const MemoryConfig &mem)
 {
     return boundEntry(fbufCache, packKey(num_buffers, mem.iSideKey()),
                       [&] {
-        return runFetchBufferModel(region->instrs(), region->iside(mem),
-                                   num_buffers, cfg.windowK);
+        return runFetchBufferModel(region->regionColumns(),
+                                   region->iside(mem), num_buffers,
+                                   cfg.windowK);
     });
 }
 
@@ -374,6 +445,18 @@ void
 FeatureProvider::assemble(const UarchParams &params, std::vector<float> &out)
 {
     out.reserve(out.size() + lay.dim());
+
+    // Fill every still-missing trace analysis of this design point with
+    // one fused warmup+region sweep (a cold assemble previously paid six
+    // separate passes); sides shared with earlier design points are
+    // reused as-is.
+    region->analyzeAll(params.memory, params.branch);
+
+    // Fold every ROB-model size the blocks below will ask for into one
+    // fused multi-size sweep over the trace (plus one batched latency
+    // encode); the per-size robEntry lookups then all hit the cache.
+    ensureRobEntries(params);
+
     const WindowCounts &wc = counts();
 
     // All parameter-value-dependent blocks are memoized together with
@@ -384,9 +467,19 @@ FeatureProvider::assemble(const UarchParams &params, std::vector<float> &out)
         out.insert(out.end(), enc.begin(), enc.end());
     };
 
+    // Collect stage latencies on an entry's FIRST build when its size
+    // will need them for the latency blocks below, instead of running
+    // the model a second time (precomputeAll's idiom).
+    auto needs_lat = [&](int rob_size) {
+        return std::find(cfg.latencyRobSizes.begin(),
+                         cfg.latencyRobSizes.end(), rob_size)
+            != cfg.latencyRobSizes.end();
+    };
+
     // ---- primary throughput distributions ----
     {
-        RobEntry &rob = robEntry(params.robSize, params.memory, false);
+        RobEntry &rob = robEntry(params.robSize, params.memory,
+                                 needs_lat(params.robSize));
         if (rob.encWindows.empty())
             encodeWindows(rob.windows, rob.encWindows);
         append(rob.encWindows);
@@ -424,7 +517,7 @@ FeatureProvider::assemble(const UarchParams &params, std::vector<float> &out)
     append(encCountDists);
     for (int size : cfg.robSweep) {
         out.push_back(static_cast<float>(
-            robOverallIpc(size, params.memory)));
+            robEntry(size, params.memory, needs_lat(size)).overallIpc));
     }
 
     // ---- latency distributions ----

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "analysis/trace_analyzer.hh"
+#include "analytical/rob_model.hh"
 #include "analytical/windows.hh"
 #include "common/stats.hh"
 #include "uarch/params.hh"
@@ -215,6 +216,15 @@ class FeatureProvider
     RobEntry &robEntry(int rob_size, const MemoryConfig &mem,
                        bool need_latencies);
 
+    /**
+     * Batch every ROB size one assemble() touches (the target size, the
+     * sweep sizes, and the latency sizes) whose entry is still missing
+     * into ONE runRobModelSweep call, then encode the collected latency
+     * distributions. Bitwise-identical to the per-size robEntry path;
+     * warm assembles find nothing missing and return immediately.
+     */
+    void ensureRobEntries(const UarchParams &params);
+
     /** Lookup-or-compute memoization shared by all bound caches. */
     template <typename Compute>
     BoundEntry &
@@ -273,6 +283,8 @@ class FeatureProvider
 
     size_t totalModelRuns = 0;
     std::vector<double> scratch;
+    /** Reused ROB-model working buffers (commit ring, finish cycles). */
+    RobModelScratch modelScratch;
     /** Reused copy buffer for encoding memoized (const) window vectors. */
     std::vector<double> encodeScratch;
 };

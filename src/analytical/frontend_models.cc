@@ -1,7 +1,6 @@
 #include "analytical/frontend_models.hh"
 
 #include <algorithm>
-#include <functional>
 #include <queue>
 
 #include "analytical/windows.hh"
@@ -21,20 +20,21 @@ using MinHeap = std::priority_queue<uint64_t, std::vector<uint64_t>,
  * `slots`), hold it for their latency, and deliver in order.
  * `needs_slot(i)` decides whether instruction i's line event uses a slot.
  */
+template <typename NeedsSlot>
 std::vector<double>
-runSlotModel(const std::vector<Instruction> &region,
-             const ISideAnalysis &iside, int slots, int window_k,
-             const std::function<bool(size_t)> &needs_slot)
+runSlotModel(size_t n, const ISideAnalysis &iside, int slots, int window_k,
+             NeedsSlot needs_slot)
 {
     panic_if(slots < 1, "need at least one slot");
 
     MinHeap slot_free;  // completion cycles of busy slots
     uint64_t prev_resp = 0;
+    int until_boundary = window_k;   // avoids a per-instruction modulo
 
     std::vector<uint64_t> boundaries;
-    boundaries.reserve(numWindows(region.size(), window_k));
+    boundaries.reserve(numWindows(n, window_k));
 
-    for (size_t i = 0; i < region.size(); ++i) {
+    for (size_t i = 0; i < n; ++i) {
         if (iside.newLine[i] && needs_slot(i)) {
             // Backlogged fetch: a line event starts the moment a slot is
             // available (cycle 0 while the pool is not yet full).
@@ -48,8 +48,10 @@ runSlotModel(const std::vector<Instruction> &region,
             slot_free.push(line_resp);
             prev_resp = std::max(prev_resp, line_resp);
         }
-        if ((i + 1) % static_cast<size_t>(window_k) == 0)
+        if (--until_boundary == 0) {
             boundaries.push_back(prev_resp);
+            until_boundary = window_k;
+        }
     }
     return throughputFromBoundaries(boundaries, window_k);
 }
@@ -61,7 +63,17 @@ runIcacheFillsModel(const std::vector<Instruction> &region,
                     const ISideAnalysis &iside, int max_fills, int window_k)
 {
     // Only misses (latency above an L1i hit) occupy a fill slot.
-    return runSlotModel(region, iside, max_fills, window_k,
+    return runSlotModel(region.size(), iside, max_fills, window_k,
+                        [&](size_t i) {
+                            return iside.lineLat[i] > kL1iHitLat;
+                        });
+}
+
+std::vector<double>
+runIcacheFillsModel(const TraceColumns &region, const ISideAnalysis &iside,
+                    int max_fills, int window_k)
+{
+    return runSlotModel(region.size(), iside, max_fills, window_k,
                         [&](size_t i) {
                             return iside.lineLat[i] > kL1iHitLat;
                         });
@@ -73,7 +85,15 @@ runFetchBufferModel(const std::vector<Instruction> &region,
                     int window_k)
 {
     // Every line access occupies a buffer, hits included.
-    return runSlotModel(region, iside, num_buffers, window_k,
+    return runSlotModel(region.size(), iside, num_buffers, window_k,
+                        [](size_t) { return true; });
+}
+
+std::vector<double>
+runFetchBufferModel(const TraceColumns &region, const ISideAnalysis &iside,
+                    int num_buffers, int window_k)
+{
+    return runSlotModel(region.size(), iside, num_buffers, window_k,
                         [](size_t) { return true; });
 }
 

@@ -25,6 +25,9 @@ namespace concorde
 std::vector<double> runIcacheFillsModel(
     const std::vector<Instruction> &region, const ISideAnalysis &iside,
     int max_fills, int window_k);
+std::vector<double> runIcacheFillsModel(
+    const TraceColumns &region, const ISideAnalysis &iside, int max_fills,
+    int window_k);
 
 /**
  * Fetch-buffer throughput bound: every line access (hit or miss) occupies
@@ -32,6 +35,9 @@ std::vector<double> runIcacheFillsModel(
  */
 std::vector<double> runFetchBufferModel(
     const std::vector<Instruction> &region, const ISideAnalysis &iside,
+    int num_buffers, int window_k);
+std::vector<double> runFetchBufferModel(
+    const TraceColumns &region, const ISideAnalysis &iside,
     int num_buffers, int window_k);
 
 } // namespace concorde

@@ -18,30 +18,36 @@ namespace
  */
 template <typename CompletionFn, typename MemberFn>
 std::vector<double>
-runQueueModel(const std::vector<Instruction> &region, int queue_size,
-              int window_k, MemberFn is_member, CompletionFn completion)
+runQueueModel(size_t n, int queue_size, int window_k, MemberFn is_member,
+              CompletionFn completion)
 {
     panic_if(queue_size < 1, "queue size must be >= 1");
 
     std::vector<uint64_t> commit_ring(queue_size, 0);
     uint64_t c_prev = 0;
-    size_t member_count = 0;
+    // Member-count % queue_size and window modulo as rotating counters
+    // (runtime-divisor modulos dominate the recurrence otherwise).
+    size_t slot = 0;
+    int until_boundary = window_k;
 
     std::vector<uint64_t> boundaries;
-    boundaries.reserve(numWindows(region.size(), window_k));
+    boundaries.reserve(numWindows(n, window_k));
 
-    for (size_t i = 0; i < region.size(); ++i) {
-        if (is_member(region[i])) {
-            const uint64_t a = commit_ring[member_count % queue_size];
+    for (size_t i = 0; i < n; ++i) {
+        if (is_member(i)) {
+            const uint64_t a = commit_ring[slot];
             const uint64_t s = a;   // no dependency constraints
             const uint64_t f = completion(s, i);
             const uint64_t c = std::max(f, c_prev);
-            commit_ring[member_count % queue_size] = c;
+            commit_ring[slot] = c;
+            if (++slot == static_cast<size_t>(queue_size))
+                slot = 0;
             c_prev = c;
-            ++member_count;
         }
-        if ((i + 1) % static_cast<size_t>(window_k) == 0)
+        if (--until_boundary == 0) {
             boundaries.push_back(c_prev);
+            until_boundary = window_k;
+        }
     }
     return throughputFromBoundaries(boundaries, window_k);
 }
@@ -56,10 +62,24 @@ runLoadQueueModel(const std::vector<Instruction> &region,
 {
     MemoryStateMachine memory(index, exec_lat);
     return runQueueModel(
-        region, lq_size, window_k,
-        [](const Instruction &instr) { return instr.isLoad(); },
+        region.size(), lq_size, window_k,
+        [&](size_t i) { return region[i].isLoad(); },
         [&](uint64_t s, size_t i) {
-            return memory.respCycle(s, i, region[i]);
+            return memory.respCycleInOrder(s, i, true);
+        });
+}
+
+std::vector<double>
+runLoadQueueModel(const TraceColumns &region, const LoadLineIndex &index,
+                  const std::vector<int32_t> &exec_lat, int lq_size,
+                  int window_k)
+{
+    MemoryStateMachine memory(index, exec_lat);
+    return runQueueModel(
+        region.size(), lq_size, window_k,
+        [&](size_t i) { return region.isLoad(i); },
+        [&](uint64_t s, size_t i) {
+            return memory.respCycleInOrder(s, i, true);
         });
 }
 
@@ -69,8 +89,18 @@ runStoreQueueModel(const std::vector<Instruction> &region, int sq_size,
 {
     const uint64_t store_lat = fixedLatency(InstrType::Store);
     return runQueueModel(
-        region, sq_size, window_k,
-        [](const Instruction &instr) { return instr.isStore(); },
+        region.size(), sq_size, window_k,
+        [&](size_t i) { return region[i].isStore(); },
+        [&](uint64_t s, size_t) { return s + store_lat; });
+}
+
+std::vector<double>
+runStoreQueueModel(const TraceColumns &region, int sq_size, int window_k)
+{
+    const uint64_t store_lat = fixedLatency(InstrType::Store);
+    return runQueueModel(
+        region.size(), sq_size, window_k,
+        [&](size_t i) { return region.isStore(i); },
         [&](uint64_t s, size_t) { return s + store_lat; });
 }
 

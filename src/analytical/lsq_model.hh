@@ -15,6 +15,7 @@
 
 #include "analysis/memory_state_machine.hh"
 #include "trace/instruction.hh"
+#include "trace/trace_columns.hh"
 
 namespace concorde
 {
@@ -28,10 +29,16 @@ std::vector<double> runLoadQueueModel(const std::vector<Instruction> &region,
                                       const LoadLineIndex &index,
                                       const std::vector<int32_t> &exec_lat,
                                       int lq_size, int window_k);
+std::vector<double> runLoadQueueModel(const TraceColumns &region,
+                                      const LoadLineIndex &index,
+                                      const std::vector<int32_t> &exec_lat,
+                                      int lq_size, int window_k);
 
 /** Store-queue analogue (store latency is fixed; no memory state machine). */
 std::vector<double> runStoreQueueModel(
     const std::vector<Instruction> &region, int sq_size, int window_k);
+std::vector<double> runStoreQueueModel(const TraceColumns &region,
+                                       int sq_size, int window_k);
 
 } // namespace concorde
 

@@ -8,14 +8,44 @@
 namespace concorde
 {
 
+namespace
+{
+
+/** Field accessors over an AoS trace. */
+struct AosTraceView
+{
+    const std::vector<Instruction> &v;
+    size_t size() const { return v.size(); }
+    int32_t srcDep(size_t i, int d) const { return v[i].srcDeps[d]; }
+    int32_t memDep(size_t i) const { return v[i].memDep; }
+    bool isIsb(size_t i) const { return v[i].isIsb(); }
+    bool isLoad(size_t i) const { return v[i].isLoad(); }
+};
+
+/** Field accessors over a columnar trace. */
+struct ColTraceView
+{
+    const TraceColumns &c;
+    size_t size() const { return c.size(); }
+    int32_t
+    srcDep(size_t i, int d) const
+    {
+        return d == 0 ? c.srcDep0[i] : c.srcDep1[i];
+    }
+    int32_t memDep(size_t i) const { return c.memDep[i]; }
+    bool isIsb(size_t i) const { return c.isIsb(i); }
+    bool isLoad(size_t i) const { return c.isLoad(i); }
+};
+
+template <typename TraceView>
 RobModelResult
-runRobModel(const std::vector<Instruction> &region,
-            const LoadLineIndex &index,
-            const std::vector<int32_t> &exec_lat,
-            int rob_size, int window_k, bool collect_latencies)
+runRobModelImpl(const TraceView &trace, const LoadLineIndex &index,
+                const std::vector<int32_t> &exec_lat, int rob_size,
+                int window_k, bool collect_latencies,
+                RobModelScratch *scratch)
 {
     panic_if(rob_size < 1, "ROB size must be >= 1");
-    const size_t n = region.size();
+    const size_t n = trace.size();
 
     RobModelResult result;
     if (n == 0)
@@ -23,9 +53,14 @@ runRobModel(const std::vector<Instruction> &region,
 
     MemoryStateMachine memory(index, exec_lat);
 
+    RobModelScratch local;
+    RobModelScratch &buf = scratch ? *scratch : local;
+
     // Commit-cycle ring buffer: c_{i-ROB} with c_i = 0 for i <= 0.
-    std::vector<uint64_t> commit_ring(rob_size, 0);
-    std::vector<uint64_t> finish(n, 0);
+    buf.commitRing.assign(rob_size, 0);
+    buf.finish.assign(n, 0);
+    std::vector<uint64_t> &commit_ring = buf.commitRing;
+    std::vector<uint64_t> &finish = buf.finish;
     uint64_t c_prev = 0;
     uint64_t max_finish = 0;        // for ISB pipeline drains
     uint64_t barrier_finish = 0;    // ISBs gate later instructions
@@ -36,39 +71,47 @@ runRobModel(const std::vector<Instruction> &region,
         result.commitLat.resize(n);
     }
 
-    std::vector<uint64_t> boundaries;
+    std::vector<uint64_t> &boundaries = buf.boundaries;
+    boundaries.clear();
     boundaries.reserve(numWindows(n, window_k));
 
-    for (size_t i = 0; i < n; ++i) {
-        const Instruction &instr = region[i];
+    // i % rob_size and (i + 1) % window_k as rotating counters: the two
+    // runtime-divisor modulos per instruction cost more than the rest of
+    // the recurrence for small ROB sizes.
+    size_t slot = 0;
+    int until_boundary = window_k;
 
+    for (size_t i = 0; i < n; ++i) {
         // Eq. (1): arrival waits for the instruction ROB slots earlier to
         // commit.
-        const uint64_t a = commit_ring[i % rob_size];
+        const uint64_t a = commit_ring[slot];
 
         // Eq. (2): dependencies.
         uint64_t s = std::max(a, barrier_finish);
         for (int d = 0; d < kMaxSrcDeps; ++d) {
-            const int32_t dep = instr.srcDeps[d];
+            const int32_t dep = trace.srcDep(i, d);
             if (dep >= 0)
                 s = std::max(s, finish[dep]);
         }
-        if (instr.memDep >= 0)
-            s = std::max(s, finish[instr.memDep]);
-        if (instr.isIsb())
+        if (trace.memDep(i) >= 0)
+            s = std::max(s, finish[trace.memDep(i)]);
+        const bool isb = trace.isIsb(i);
+        if (isb)
             s = std::max(s, max_finish);
 
         // Eq. (3): memory state machine.
-        const uint64_t f = memory.respCycle(s, i, instr);
+        const uint64_t f = memory.respCycleInOrder(s, i, trace.isLoad(i));
 
         // Eq. (4): in-order commit.
         const uint64_t c = std::max(f, c_prev);
 
         finish[i] = f;
         max_finish = std::max(max_finish, f);
-        if (instr.isIsb())
+        if (isb)
             barrier_finish = std::max(barrier_finish, f);
-        commit_ring[i % rob_size] = c;
+        commit_ring[slot] = c;
+        if (++slot == static_cast<size_t>(rob_size))
+            slot = 0;
         c_prev = c;
 
         if (collect_latencies) {
@@ -77,8 +120,10 @@ runRobModel(const std::vector<Instruction> &region,
             result.commitLat[i] = static_cast<double>(c - f);
         }
 
-        if ((i + 1) % static_cast<size_t>(window_k) == 0)
+        if (--until_boundary == 0) {
             boundaries.push_back(c);
+            until_boundary = window_k;
+        }
     }
 
     result.windowThroughput = throughputFromBoundaries(boundaries, window_k);
@@ -86,6 +131,52 @@ runRobModel(const std::vector<Instruction> &region,
         ? static_cast<double>(n) / static_cast<double>(c_prev)
         : kMaxThroughput;
     return result;
+}
+
+} // anonymous namespace
+
+std::vector<RobModelResult>
+runRobModelSweep(const TraceColumns &region, const LoadLineIndex &index,
+                 const std::vector<int32_t> &exec_lat,
+                 const std::vector<RobSweepRequest> &requests, int window_k)
+{
+    // One size at a time over shared scratch. Interleaving the per-size
+    // recurrences in a single trace pass was tried and measured SLOWER
+    // here than back-to-back single-size runs (both with separate and
+    // with transposed per-size finish arrays): the simple single-size
+    // loop optimizes better than a variable-width group loop, and a
+    // 4096-instruction region's working set already sits in cache across
+    // runs, so the sweep's win is scratch reuse plus the caller batching
+    // every size behind one memo check.
+    std::vector<RobModelResult> results;
+    results.reserve(requests.size());
+    RobModelScratch scratch;
+    for (const RobSweepRequest &req : requests) {
+        results.push_back(runRobModelImpl(ColTraceView{region}, index,
+                                          exec_lat, req.robSize, window_k,
+                                          req.collectLatencies, &scratch));
+    }
+    return results;
+}
+
+RobModelResult
+runRobModel(const std::vector<Instruction> &region,
+            const LoadLineIndex &index,
+            const std::vector<int32_t> &exec_lat,
+            int rob_size, int window_k, bool collect_latencies,
+            RobModelScratch *scratch)
+{
+    return runRobModelImpl(AosTraceView{region}, index, exec_lat, rob_size,
+                           window_k, collect_latencies, scratch);
+}
+
+RobModelResult
+runRobModel(const TraceColumns &region, const LoadLineIndex &index,
+            const std::vector<int32_t> &exec_lat, int rob_size,
+            int window_k, bool collect_latencies, RobModelScratch *scratch)
+{
+    return runRobModelImpl(ColTraceView{region}, index, exec_lat, rob_size,
+                           window_k, collect_latencies, scratch);
 }
 
 } // namespace concorde

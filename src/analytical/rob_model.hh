@@ -22,6 +22,7 @@
 
 #include "analysis/memory_state_machine.hh"
 #include "trace/instruction.hh"
+#include "trace/trace_columns.hh"
 
 namespace concorde
 {
@@ -41,6 +42,18 @@ struct RobModelResult
 };
 
 /**
+ * Reusable per-run working buffers (commit ring, finish cycles, window
+ * boundaries). One instance threaded through many runs over the same
+ * region keeps the model free of per-run allocation once warm.
+ */
+struct RobModelScratch
+{
+    std::vector<uint64_t> commitRing;
+    std::vector<uint64_t> finish;
+    std::vector<uint64_t> boundaries;
+};
+
+/**
  * Run the ROB model.
  *
  * @param region instruction trace
@@ -49,12 +62,43 @@ struct RobModelResult
  * @param rob_size ROB entries (>= 1)
  * @param window_k window length for Eq. (5)
  * @param collect_latencies also fill the three latency vectors
+ * @param scratch optional reusable working buffers
  */
 RobModelResult runRobModel(const std::vector<Instruction> &region,
                            const LoadLineIndex &index,
                            const std::vector<int32_t> &exec_lat,
                            int rob_size, int window_k,
-                           bool collect_latencies);
+                           bool collect_latencies,
+                           RobModelScratch *scratch = nullptr);
+
+/** Columnar variant (bitwise-identical results). */
+RobModelResult runRobModel(const TraceColumns &region,
+                           const LoadLineIndex &index,
+                           const std::vector<int32_t> &exec_lat,
+                           int rob_size, int window_k,
+                           bool collect_latencies,
+                           RobModelScratch *scratch = nullptr);
+
+/** One ROB size of a fused multi-size sweep. */
+struct RobSweepRequest
+{
+    int robSize = 1;
+    bool collectLatencies = false;
+};
+
+/**
+ * Run the ROB model for a whole list of sizes over one region, sharing
+ * the working buffers across runs (each size's arithmetic is exactly
+ * runRobModel's, so results are bitwise identical to per-size calls).
+ * This is the cold-path entry point: FeatureProvider batches every size
+ * an assemble() will touch into one call instead of interleaving model
+ * runs with cache lookups and encodes.
+ */
+std::vector<RobModelResult>
+runRobModelSweep(const TraceColumns &region, const LoadLineIndex &index,
+                 const std::vector<int32_t> &exec_lat,
+                 const std::vector<RobSweepRequest> &requests,
+                 int window_k);
 
 } // namespace concorde
 

@@ -22,12 +22,17 @@ throughputFromBoundaries(const std::vector<uint64_t> &boundary_cycles, int k)
     return thr;
 }
 
+namespace
+{
+
+/** Shared counting loop; type_of / kind_of abstract the trace layout. */
+template <typename TypeOf, typename KindOf>
 WindowCounts
-WindowCounts::build(const std::vector<Instruction> &region, int k)
+buildCounts(size_t n, int k, TypeOf type_of, KindOf kind_of)
 {
     WindowCounts counts;
     counts.k = k;
-    const size_t windows = numWindows(region.size(), k);
+    const size_t windows = numWindows(n, k);
     counts.nAlu.assign(windows, 0);
     counts.nFp.assign(windows, 0);
     counts.nLs.assign(windows, 0);
@@ -42,19 +47,19 @@ WindowCounts::build(const std::vector<Instruction> &region, int k)
         const size_t begin = j * static_cast<size_t>(k);
         const size_t end = begin + static_cast<size_t>(k);
         for (size_t i = begin; i < end; ++i) {
-            const Instruction &instr = region[i];
-            switch (issueClassOf(instr.type)) {
+            const InstrType type = type_of(i);
+            switch (issueClassOf(type)) {
               case IssueClass::Alu: ++counts.nAlu[j]; break;
               case IssueClass::Fp: ++counts.nFp[j]; break;
               case IssueClass::LoadStore: ++counts.nLs[j]; break;
             }
-            if (instr.isLoad())
+            if (type == InstrType::Load)
                 ++counts.nLoad[j];
-            if (instr.isStore())
+            if (type == InstrType::Store)
                 ++counts.nStore[j];
-            if (instr.isIsb())
+            if (type == InstrType::Isb)
                 ++counts.nIsb[j];
-            switch (instr.branchKind) {
+            switch (kind_of(i)) {
               case BranchKind::DirectCond: ++counts.nCondBr[j]; break;
               case BranchKind::DirectUncond: ++counts.nUncondBr[j]; break;
               case BranchKind::Indirect: ++counts.nIndirectBr[j]; break;
@@ -63,6 +68,24 @@ WindowCounts::build(const std::vector<Instruction> &region, int k)
         }
     }
     return counts;
+}
+
+} // anonymous namespace
+
+WindowCounts
+WindowCounts::build(const std::vector<Instruction> &region, int k)
+{
+    return buildCounts(
+        region.size(), k, [&](size_t i) { return region[i].type; },
+        [&](size_t i) { return region[i].branchKind; });
+}
+
+WindowCounts
+WindowCounts::build(const TraceColumns &region, int k)
+{
+    return buildCounts(
+        region.size(), k, [&](size_t i) { return region.type[i]; },
+        [&](size_t i) { return region.branchKind[i]; });
 }
 
 } // namespace concorde

@@ -57,6 +57,7 @@ struct WindowCounts
     size_t windows() const { return nAlu.size(); }
 
     static WindowCounts build(const std::vector<Instruction> &region, int k);
+    static WindowCounts build(const TraceColumns &region, int k);
 };
 
 } // namespace concorde

@@ -38,25 +38,29 @@ runPredictor(BranchPredictor &predictor,
         const Instruction &instr = instrs[i];
         if (!instr.isBranch())
             continue;
-        uint8_t miss = 0;
-        switch (instr.branchKind) {
-          case BranchKind::DirectUncond:
-            break;
-          case BranchKind::DirectCond: {
-            const bool pred =
-                predictor.predictAndUpdate(instr.pc, instr.taken);
-            miss = pred != instr.taken ? 1 : 0;
-            break;
-          }
-          case BranchKind::Indirect: {
-            const bool ok =
-                predictor.predictIndirect(instr.pc, instr.targetId);
-            miss = ok ? 0 : 1;
-            break;
-          }
-          default:
-            break;
-        }
+        const uint8_t miss = predictorStep(predictor, instr.pc,
+                                           instr.branchKind, instr.taken,
+                                           instr.targetId);
+        if (record)
+            (*flags)[i] = miss;
+    }
+}
+
+void
+runPredictor(BranchPredictor &predictor, const TraceColumns &instrs,
+             std::vector<uint8_t> *flags)
+{
+    const bool record = flags != nullptr;
+    if (record)
+        flags->assign(instrs.size(), 0);
+
+    for (size_t i = 0; i < instrs.size(); ++i) {
+        if (!instrs.isBranch(i))
+            continue;
+        const uint8_t miss = predictorStep(predictor, instrs.pc[i],
+                                           instrs.branchKind[i],
+                                           instrs.taken[i] != 0,
+                                           instrs.targetId[i]);
         if (record)
             (*flags)[i] = miss;
     }

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "trace/instruction.hh"
+#include "trace/trace_columns.hh"
 
 namespace concorde
 {
@@ -75,6 +76,28 @@ std::unique_ptr<BranchPredictor> makePredictor(const BranchConfig &config,
                                                uint64_t seed);
 
 /**
+ * Predict-and-train one branch; @return 1 on mispredict. Direct
+ * unconditional branches never mispredict. The single per-branch step
+ * shared by runPredictor and the fused analysis sweeps, so every caller
+ * trains the predictor in exactly the same way.
+ */
+inline uint8_t
+predictorStep(BranchPredictor &predictor, uint64_t pc, BranchKind kind,
+              bool taken, uint16_t target)
+{
+    switch (kind) {
+      case BranchKind::DirectCond: {
+        const bool pred = predictor.predictAndUpdate(pc, taken);
+        return pred != taken ? 1 : 0;
+      }
+      case BranchKind::Indirect:
+        return predictor.predictIndirect(pc, target) ? 0 : 1;
+      default:
+        return 0;
+    }
+}
+
+/**
  * Run a live predictor over `instrs` in trace order. When `flags` is
  * non-null it receives one entry per instruction (1 = mispredicted
  * branch); a null `flags` trains without recording (warmup). Predictor
@@ -83,6 +106,10 @@ std::unique_ptr<BranchPredictor> makePredictor(const BranchConfig &config,
  */
 void runPredictor(BranchPredictor &predictor,
                   const std::vector<Instruction> &instrs,
+                  std::vector<uint8_t> *flags);
+
+/** Columnar variant (identical outcomes and training). */
+void runPredictor(BranchPredictor &predictor, const TraceColumns &instrs,
                   std::vector<uint8_t> *flags);
 
 /**

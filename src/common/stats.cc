@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 
 #include "common/logging.hh"
 
@@ -33,49 +34,98 @@ percentile(const std::vector<double> &sorted_xs, double q)
     return sorted_xs[lo] * (1.0 - frac) + sorted_xs[hi] * frac;
 }
 
-void
-sortSamples(std::vector<double> &xs)
+namespace
+{
+
+/**
+ * Build the counting-sort histogram when every sample is a small
+ * non-negative integer. @return false (histogram untouched) otherwise.
+ */
+bool
+integralHistogram(const std::vector<double> &xs,
+                  std::vector<uint32_t> &counts, uint32_t &max_value)
 {
     // Counting is only worth the two extra passes for decently sized
     // inputs, and the histogram must stay cache-friendly.
     constexpr size_t kMinCountingSize = 256;
     constexpr uint32_t kMaxCountingValue = 1u << 16;
 
-    if (xs.size() >= kMinCountingSize) {
-        uint32_t max_value = 0;
-        bool integral = true;
-        for (double x : xs) {
-            // signbit rejects negatives and -0.0 (whose bit pattern a
-            // rebuild from the histogram would not preserve).
-            if (std::signbit(x) || x > kMaxCountingValue) {
-                integral = false;
-                break;
-            }
-            const uint32_t v = static_cast<uint32_t>(x);
-            if (static_cast<double>(v) != x) {
-                integral = false;
-                break;
-            }
-            max_value = std::max(max_value, v);
+    if (xs.size() < kMinCountingSize)
+        return false;
+    // Validate and count in ONE pass, growing the histogram on demand;
+    // a late validation failure just leaves scratch garbage behind.
+    counts.assign(256, 0);
+    max_value = 0;
+    for (double x : xs) {
+        // signbit rejects negatives and -0.0 (whose bit pattern a
+        // rebuild from the histogram would not preserve).
+        if (std::signbit(x) || x > kMaxCountingValue)
+            return false;
+        const uint32_t v = static_cast<uint32_t>(x);
+        if (static_cast<double>(v) != x)
+            return false;
+        if (v >= counts.size())
+            counts.resize(std::max<size_t>(v + 1, counts.size() * 2), 0);
+        ++counts[v];
+        max_value = std::max(max_value, v);
+    }
+    return true;
+}
+
+thread_local std::vector<uint32_t> histogramScratch;
+
+} // anonymous namespace
+
+void
+sortSamples(std::vector<double> &xs)
+{
+    uint32_t max_value = 0;
+    if (integralHistogram(xs, histogramScratch, max_value)) {
+        // Rebuilding count[v] copies of double(v) in ascending value
+        // order yields exactly std::sort's output: the same multiset,
+        // and equal values are bitwise-identical doubles.
+        size_t at = 0;
+        for (uint32_t v = 0; v <= max_value; ++v) {
+            const double value = static_cast<double>(v);
+            for (uint32_t c = histogramScratch[v]; c > 0; --c)
+                xs[at++] = value;
         }
-        if (integral) {
-            // Rebuilding count[v] copies of double(v) in ascending value
-            // order yields exactly std::sort's output: the same multiset,
-            // and equal values are bitwise-identical doubles.
-            static thread_local std::vector<uint32_t> counts;
-            counts.assign(static_cast<size_t>(max_value) + 1, 0);
-            for (double x : xs)
-                ++counts[static_cast<uint32_t>(x)];
-            size_t at = 0;
-            for (uint32_t v = 0; v <= max_value; ++v) {
-                const double value = static_cast<double>(v);
-                for (uint32_t c = counts[v]; c > 0; --c)
-                    xs[at++] = value;
-            }
-            return;
-        }
+        return;
     }
     std::sort(xs.begin(), xs.end());
+}
+
+void
+sortAndTransformSamples(std::vector<double> &xs,
+                        double (*transform)(double))
+{
+    uint32_t max_value = 0;
+    if (integralHistogram(xs, histogramScratch, max_value)) {
+        // One rebuild pass writes the transformed values directly:
+        // identical to sorting first and then mapping each element, with
+        // the (weakly monotone) transform computed once per distinct
+        // value -- equal inputs give bitwise-equal outputs.
+        size_t at = 0;
+        for (uint32_t v = 0; v <= max_value; ++v) {
+            const uint32_t count = histogramScratch[v];
+            if (count == 0)
+                continue;
+            const double value = transform(static_cast<double>(v));
+            for (uint32_t c = count; c > 0; --c)
+                xs[at++] = value;
+        }
+        return;
+    }
+    std::sort(xs.begin(), xs.end());
+    double prev_in = std::numeric_limits<double>::quiet_NaN();
+    double prev_out = 0.0;
+    for (double &x : xs) {
+        if (x != prev_in) {
+            prev_in = x;
+            prev_out = transform(x);
+        }
+        x = prev_out;
+    }
 }
 
 DistributionEncoder::DistributionEncoder(size_t num_percentiles)

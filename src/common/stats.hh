@@ -10,6 +10,7 @@
 #define CONCORDE_COMMON_STATS_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace concorde
@@ -32,6 +33,16 @@ double percentile(const std::vector<double> &sorted_xs, double q);
  * sorting severalfold; everything else falls back to std::sort.
  */
 void sortSamples(std::vector<double> &xs);
+
+/**
+ * Sort ascending and map every sample through a weakly monotone
+ * `transform`, computed once per distinct value. Bitwise-identical to
+ * sortSamples() followed by an equal-input-deduplicated element-wise
+ * transform, but the counting fast path writes the transformed values in
+ * a single rebuild pass.
+ */
+void sortAndTransformSamples(std::vector<double> &xs,
+                             double (*transform)(double));
 
 /**
  * Fixed-size encoding of an empirical distribution.

@@ -190,7 +190,35 @@ gemmCorner(const float *X, const float *w, const float *b, float *Y,
     for (size_t r = r0; r < r0 + rows; ++r) {
         const float *x = X + r * in;
         float *y = Y + r * od;
-        for (size_t o = o0; o < o0 + outs; ++o) {
+        size_t o = o0;
+        // Four output units per sweep: four independent accumulator
+        // chains instead of one latency-bound one. Each (row, output)
+        // chain still walks i in order, exactly as Mlp::forward, so
+        // results match the scalar path. This matters beyond the block
+        // remainder: batches smaller than kRowBlock (e.g. one span's
+        // regions) are evaluated entirely here.
+        for (; o + 4 <= o0 + outs; o += 4) {
+            const float *w0 = w + (o + 0) * in;
+            const float *w1 = w + (o + 1) * in;
+            const float *w2 = w + (o + 2) * in;
+            const float *w3 = w + (o + 3) * in;
+            float a0 = b[o + 0];
+            float a1 = b[o + 1];
+            float a2 = b[o + 2];
+            float a3 = b[o + 3];
+            for (size_t i = 0; i < in; ++i) {
+                const float x_i = x[i];
+                a0 += w0[i] * x_i;
+                a1 += w1[i] * x_i;
+                a2 += w2[i] * x_i;
+                a3 += w3[i] * x_i;
+            }
+            y[o + 0] = relu && a0 < 0.0f ? 0.0f : a0;
+            y[o + 1] = relu && a1 < 0.0f ? 0.0f : a1;
+            y[o + 2] = relu && a2 < 0.0f ? 0.0f : a2;
+            y[o + 3] = relu && a3 < 0.0f ? 0.0f : a3;
+        }
+        for (; o < o0 + outs; ++o) {
             const float *row = w + o * in;
             float acc = b[o];
             for (size_t i = 0; i < in; ++i)

@@ -67,6 +67,8 @@ AnalysisPipeline::buildProviders(const TraceSpan &span,
     AnalyzerCarryState carry(
         params.memory, params.branch,
         branchSeedFor(span.programId, span.traceId, span.startChunk));
+    GenScratch gen_scratch;
+    TraceColumns cols;
     if (cfg.warmupChunks > 0) {
         // Same warmup rule as RegionAnalysis, applied to the whole span:
         // the chunks immediately preceding it (falling back to replaying
@@ -77,19 +79,19 @@ AnalysisPipeline::buildProviders(const TraceSpan &span,
         warm.numChunks = cfg.warmupChunks;
         warm.startChunk = span.startChunk >= cfg.warmupChunks
             ? span.startChunk - cfg.warmupChunks : span.startChunk;
-        carry.warm(model.generateRegion(warm));
+        model.generateRegionColumns(warm, cols, gen_scratch);
+        carry.warm(cols);
     }
 
     for (size_t i = 0; i < regions.size(); ++i) {
-        std::vector<Instruction> instrs = model.generateRegion(regions[i]);
-        DSideAnalysis dside = carry.analyzeDside(instrs);
-        ISideAnalysis iside = carry.analyzeIside(instrs);
-        BranchAnalysis branches = carry.analyzeBranches(instrs);
+        model.generateRegionColumns(regions[i], cols, gen_scratch);
+        ShardAnalyses shard = carry.analyzeShard(cols);
 
-        RegionAnalysis analysis(regions[i], std::move(instrs));
-        analysis.adoptDside(params.memory, std::move(dside));
-        analysis.adoptIside(params.memory, std::move(iside));
-        analysis.adoptBranches(params.branch, std::move(branches));
+        RegionAnalysis analysis(regions[i], std::move(cols));
+        cols = TraceColumns{};
+        analysis.adoptDside(params.memory, std::move(shard.dside));
+        analysis.adoptIside(params.memory, std::move(shard.iside));
+        analysis.adoptBranches(params.branch, std::move(shard.branches));
         providers[i] = std::make_unique<FeatureProvider>(
             std::move(analysis), pred.featureConfig());
     }

@@ -1,7 +1,6 @@
 #include "trace/program_model.hh"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/logging.hh"
 #include "common/rng.hh"
@@ -27,23 +26,6 @@ constexpr uint64_t kStreamLines = (16ULL << 20) / 64;
 constexpr size_t kProducerRing = 512;
 constexpr size_t kStoreRing = 16;
 
-/**
- * Static per-block personality: everything TAGE / the I-cache / the
- * prefetcher could learn about a block is a pure function of
- * (program seed, block id).
- */
-struct BlockPersona
-{
-    enum class Kind : uint8_t { Cond, Uncond, Indirect, LoopTail };
-
-    uint32_t bodyLen;
-    Kind kind;
-    double bias;            ///< taken-probability of the Cond branch
-    bool randomBranch;      ///< 50/50 conditional
-    uint32_t loopLen;       ///< LoopTail: blocks in the loop body (0=self)
-    int64_t baseTrips;      ///< LoopTail: nominal trip count
-};
-
 /** Mutable generation state, reset at every chunk boundary. */
 struct ChunkState
 {
@@ -64,11 +46,6 @@ struct ChunkState
     uint64_t storeAddr[kStoreRing];
     size_t numStores = 0;
 
-    // Per-static-slot stream cursors and per-block dynamic history.
-    std::unordered_map<uint64_t, uint64_t> streamCursor;
-    std::unordered_map<uint32_t, uint16_t> lastIndirect;
-    std::unordered_map<uint32_t, uint32_t> loopVisits;
-
     // Pointer-chase state.
     uint64_t chaseState = 0;
 };
@@ -82,6 +59,94 @@ ProgramModel::ProgramModel(WorkloadProfile profile, uint64_t seed_in)
              prof.name.c_str());
     fatal_if(prof.numBlocks < 4, "workload '%s': need >= 4 blocks",
              prof.name.c_str());
+    buildStaticTables();
+}
+
+void
+ProgramModel::buildStaticTables()
+{
+    // Everything TAGE / the I-cache / the prefetcher could learn about a
+    // block is a pure function of (program seed, block id): the legacy
+    // generator re-drew this whole sequence from a fresh block_rng at
+    // every visit. Replaying the same draws here, once per block, yields
+    // bitwise-identical tables (the per-visit draw order below is exactly
+    // the per-visit order of the old inner loop, and unemitted tail slots
+    // of a chunk-truncated visit never fed any later draw).
+    blocks.resize(prof.numBlocks);
+    slots.clear();
+    slots.reserve(static_cast<size_t>(prof.numBlocks)
+                  * prof.blockCapacity / 2);
+
+    for (uint32_t b = 0; b < prof.numBlocks; ++b) {
+        Rng block_rng(hashMix(seed, 0xB10CULL, b));
+        StaticBlock &sb = blocks[b];
+        sb.bodyLen = static_cast<uint32_t>(std::clamp<uint64_t>(
+            block_rng.nextGeometric(prof.branchEvery), 1,
+            prof.blockCapacity - 1));
+        // Branch bias skews heavily toward predictable: most real
+        // conditionals are 95%+ one-sided. condBias controls the skew.
+        const double bias_u = block_rng.nextDouble();
+        const double one_sided =
+            1.0 - (1.0 - prof.condBias) * bias_u * bias_u;
+        sb.bias = block_rng.nextBool(0.7) ? one_sided : 1.0 - one_sided;
+        sb.randomBranch = block_rng.nextBool(prof.condRandomFrac);
+        sb.loopLen = static_cast<uint32_t>(block_rng.nextBounded(3));
+        // Cap static trip counts: unbounded geometric draws create blocks
+        // that trap control flow for thousands of instructions.
+        sb.baseTrips = 2 + static_cast<int64_t>(std::min(
+            block_rng.nextGeometric(prof.meanTrip),
+            static_cast<uint64_t>(3.0 * prof.meanTrip)));
+        {
+            const double ku = block_rng.nextDouble();
+            const double p_loop = prof.loopFrac / 3.0;
+            if (ku < prof.indirectFrac) {
+                sb.kind = BranchKindStatic::Indirect;
+            } else if (ku < prof.indirectFrac + prof.uncondFrac) {
+                sb.kind = BranchKindStatic::Uncond;
+            } else if (ku < prof.indirectFrac + prof.uncondFrac + p_loop) {
+                sb.kind = BranchKindStatic::LoopTail;
+            } else {
+                sb.kind = BranchKindStatic::Cond;
+            }
+        }
+
+        sb.slotBegin = static_cast<uint32_t>(slots.size());
+        for (uint32_t slot = 0; slot < sb.bodyLen; ++slot) {
+            StaticSlot ss;
+            ss.pc = kCodeBase
+                + (static_cast<uint64_t>(b) * prof.blockCapacity + slot)
+                  * 4;
+
+            // Opcode class is a static property of the slot.
+            const double u = block_rng.nextDouble();
+            if (u < prof.fracLoad) {
+                ss.type = InstrType::Load;
+            } else if (u < prof.fracLoad + prof.fracStore) {
+                ss.type = InstrType::Store;
+            } else if (block_rng.nextBool(prof.fracFp)) {
+                ss.type = block_rng.nextBool(prof.fracDivOfFp)
+                    ? InstrType::FpDiv : InstrType::FpAlu;
+            } else if (block_rng.nextBool(prof.fracMulDiv)) {
+                ss.type = block_rng.nextBool(0.15)
+                    ? InstrType::IntDiv : InstrType::IntMul;
+            } else {
+                ss.type = InstrType::IntAlu;
+            }
+            // Memory role and stream binding are also static: a given
+            // static load walks one stream with one stride.
+            ss.roleU = block_rng.nextDouble();
+            ss.streamId = hashMix(seed, ss.pc, 0x57F3A8ULL);
+            ss.streamBase = (ss.streamId % 1024) * kStreamSpacing;
+            slots.push_back(ss);
+        }
+
+        sb.indirectTarget = static_cast<uint16_t>(
+            hashMix(seed, b, 0x7A26E7ULL)
+            % std::max(1, prof.indirectTargets));
+        sb.branchPc = kCodeBase
+            + (static_cast<uint64_t>(b) * prof.blockCapacity + sb.bodyLen)
+              * 4;
+    }
 }
 
 size_t
@@ -96,11 +161,37 @@ ProgramModel::generateRegion(const RegionSpec &spec) const
 {
     std::vector<Instruction> out;
     out.reserve(spec.numInstructions());
+    GenScratch scratch;
     for (uint32_t c = 0; c < spec.numChunks; ++c) {
-        generateChunk(spec.traceId, spec.startChunk + c, out,
-                      static_cast<int64_t>(out.size()));
+        const int64_t base = static_cast<int64_t>(out.size());
+        generateChunkImpl(spec.traceId, spec.startChunk + c, base, scratch,
+                          [&out](const Instruction &instr) {
+                              out.push_back(instr);
+                          });
     }
     return out;
+}
+
+TraceColumns
+ProgramModel::generateRegionColumns(const RegionSpec &spec) const
+{
+    TraceColumns out;
+    GenScratch scratch;
+    generateRegionColumns(spec, out, scratch);
+    return out;
+}
+
+void
+ProgramModel::generateRegionColumns(const RegionSpec &spec,
+                                    TraceColumns &out,
+                                    GenScratch &scratch) const
+{
+    out.clear();
+    out.reserve(spec.numInstructions());
+    for (uint32_t c = 0; c < spec.numChunks; ++c) {
+        generateChunk(spec.traceId, spec.startChunk + c, out,
+                      static_cast<int64_t>(out.size()), scratch);
+    }
 }
 
 std::vector<RegionSpec>
@@ -126,9 +217,59 @@ ProgramModel::generateChunk(int trace_id, uint64_t chunk_index,
                             std::vector<Instruction> &out,
                             int64_t base) const
 {
+    GenScratch scratch;
+    generateChunkImpl(trace_id, chunk_index, base, scratch,
+                      [&out](const Instruction &instr) {
+                          out.push_back(instr);
+                      });
+}
+
+void
+ProgramModel::generateChunk(int trace_id, uint64_t chunk_index,
+                            TraceColumns &out, int64_t base,
+                            GenScratch &scratch) const
+{
+    out.reserve(out.size() + kChunkLen);
+    generateChunkImpl(trace_id, chunk_index, base, scratch,
+                      [&out](const Instruction &instr) {
+                          out.append(instr);
+                      });
+}
+
+template <typename Emit>
+void
+ProgramModel::generateChunkImpl(int trace_id, uint64_t chunk_index,
+                                int64_t base, GenScratch &scratch,
+                                Emit &&emit) const
+{
     const PhaseProfile &phase = prof.phases[phaseOf(chunk_index)];
     Rng rng(hashMix(seed, static_cast<uint64_t>(trace_id) + 1,
                     chunk_index + 0x5eedULL));
+
+    // Size the flat scratch to this model and open a fresh epoch: every
+    // per-slot / per-block history below starts the chunk invalid without
+    // touching (or reallocating) the backing arrays.
+    if (scratch.streamPos.size() < slots.size()) {
+        scratch.streamPos.resize(slots.size());
+        scratch.streamEpoch.assign(slots.size(), 0);
+    }
+    if (scratch.lastIndirect.size() < blocks.size()) {
+        scratch.lastIndirect.resize(blocks.size());
+        scratch.indirectEpoch.assign(blocks.size(), 0);
+        scratch.loopVisits.resize(blocks.size());
+        scratch.loopEpoch.assign(blocks.size(), 0);
+    }
+    ++scratch.epoch;
+    if (scratch.epoch == 0) {
+        // Epoch wrap: invalidate explicitly (once per 4G chunks).
+        std::fill(scratch.streamEpoch.begin(), scratch.streamEpoch.end(),
+                  ~0u);
+        std::fill(scratch.indirectEpoch.begin(),
+                  scratch.indirectEpoch.end(), ~0u);
+        std::fill(scratch.loopEpoch.begin(), scratch.loopEpoch.end(), ~0u);
+        ++scratch.epoch;
+    }
+    const uint32_t epoch = scratch.epoch;
 
     ChunkState st;
     st.curBlock = static_cast<uint32_t>(rng.nextBounded(prof.numBlocks));
@@ -162,15 +303,20 @@ ProgramModel::generateChunk(int trace_id, uint64_t chunk_index,
 
     // A static slot's private stream cursor; starts at a chunk-dependent
     // offset and advances per execution, giving the slot a constant stride.
-    auto stream_addr = [&](uint64_t stream_base, uint64_t slot_key,
+    auto stream_addr = [&](uint64_t stream_base, uint32_t slot_ix,
                            uint64_t stride) -> uint64_t {
-        const uint64_t stream_id = hashMix(seed, slot_key, 0x57F3A8ULL);
-        auto [it, inserted] = st.streamCursor.try_emplace(
-            stream_id, hashMix(stream_id, chunk_index) % kStreamLines);
-        const uint64_t pos = it->second++;
+        const StaticSlot &ss = slots[slot_ix];
+        uint64_t pos;
+        if (scratch.streamEpoch[slot_ix] != epoch) {
+            scratch.streamEpoch[slot_ix] = epoch;
+            pos = hashMix(ss.streamId, chunk_index) % kStreamLines;
+        } else {
+            pos = scratch.streamPos[slot_ix];
+        }
+        scratch.streamPos[slot_ix] = pos + 1;
         const uint64_t span = kStreamLines * 64 / std::max<uint64_t>(
             1, stride);
-        return stream_base + (stream_id % 1024) * kStreamSpacing
+        return stream_base + ss.streamBase
             + (pos % std::max<uint64_t>(1, span)) * stride;
     };
 
@@ -178,69 +324,19 @@ ProgramModel::generateChunk(int trace_id, uint64_t chunk_index,
     uint64_t emitted = 0;
 
     while (emitted < target_count) {
-        // ---- static block personality ----
-        Rng block_rng(hashMix(seed, 0xB10CULL, st.curBlock));
-        BlockPersona persona;
-        persona.bodyLen = static_cast<uint32_t>(std::clamp<uint64_t>(
-            block_rng.nextGeometric(prof.branchEvery), 1,
-            prof.blockCapacity - 1));
-        // Branch bias skews heavily toward predictable: most real
-        // conditionals are 95%+ one-sided. condBias controls the skew.
-        const double bias_u = block_rng.nextDouble();
-        const double one_sided =
-            1.0 - (1.0 - prof.condBias) * bias_u * bias_u;
-        persona.bias = block_rng.nextBool(0.7) ? one_sided
-                                               : 1.0 - one_sided;
-        persona.randomBranch = block_rng.nextBool(prof.condRandomFrac);
-        persona.loopLen = static_cast<uint32_t>(block_rng.nextBounded(3));
-        // Cap static trip counts: unbounded geometric draws create blocks
-        // that trap control flow for thousands of instructions.
-        persona.baseTrips = 2 + static_cast<int64_t>(std::min(
-            block_rng.nextGeometric(prof.meanTrip),
-            static_cast<uint64_t>(3.0 * prof.meanTrip)));
-        {
-            const double ku = block_rng.nextDouble();
-            const double p_loop = prof.loopFrac / 3.0;
-            if (ku < prof.indirectFrac) {
-                persona.kind = BlockPersona::Kind::Indirect;
-            } else if (ku < prof.indirectFrac + prof.uncondFrac) {
-                persona.kind = BlockPersona::Kind::Uncond;
-            } else if (ku < prof.indirectFrac + prof.uncondFrac + p_loop) {
-                persona.kind = BlockPersona::Kind::LoopTail;
-            } else {
-                persona.kind = BlockPersona::Kind::Cond;
-            }
-        }
+        const StaticBlock &persona = blocks[st.curBlock];
 
-        // ---- block body ----
+        // ---- block body (static per-slot opcode/role tables) ----
         for (uint32_t slot = 0;
              slot < persona.bodyLen && emitted < target_count;
              ++slot, ++emitted) {
+            const uint32_t slot_ix = persona.slotBegin + slot;
+            const StaticSlot &ss = slots[slot_ix];
             Instruction instr;
-            instr.pc = kCodeBase
-                + (static_cast<uint64_t>(st.curBlock) * prof.blockCapacity
-                   + slot) * 4;
+            instr.pc = ss.pc;
 
-            // Opcode class is a static property of the slot.
-            InstrType type;
-            const double u = block_rng.nextDouble();
-            if (u < prof.fracLoad) {
-                type = InstrType::Load;
-            } else if (u < prof.fracLoad + prof.fracStore) {
-                type = InstrType::Store;
-            } else if (block_rng.nextBool(prof.fracFp)) {
-                type = block_rng.nextBool(prof.fracDivOfFp)
-                    ? InstrType::FpDiv : InstrType::FpAlu;
-            } else if (block_rng.nextBool(prof.fracMulDiv)) {
-                type = block_rng.nextBool(0.15)
-                    ? InstrType::IntDiv : InstrType::IntMul;
-            } else {
-                type = InstrType::IntAlu;
-            }
-            // Memory role and stream binding are also static: a given
-            // static load walks one stream with one stride.
-            const double role_u = block_rng.nextDouble();
-            const uint64_t slot_key = instr.pc;
+            InstrType type = ss.type;
+            const double role_u = ss.roleU;
 
             // Barriers are rare dynamic events, not static slots.
             if (isb_prob > 0 && rng.nextBool(isb_prob))
@@ -256,11 +352,11 @@ ProgramModel::generateChunk(int trace_id, uint64_t chunk_index,
                 if (m < ph.seqFrac) {
                     // Sequential element streams: 8-byte elements, so most
                     // accesses hit the line fetched by the previous ones.
-                    instr.memAddr = stream_addr(kSeqBase, slot_key, 8);
+                    instr.memAddr = stream_addr(kSeqBase, slot_ix, 8);
                     instr.srcDeps[0] = pick_producer(prof.depMeanDist);
                 } else if (m < ph.seqFrac + ph.strideFrac) {
                     instr.memAddr = stream_addr(
-                        kStrideBase, slot_key,
+                        kStrideBase, slot_ix,
                         std::max<uint64_t>(64, ph.strideBytes));
                     instr.srcDeps[0] = pick_producer(prof.depMeanDist);
                 } else if (m < ph.seqFrac + ph.strideFrac + ph.chaseFrac) {
@@ -280,11 +376,11 @@ ProgramModel::generateChunk(int trace_id, uint64_t chunk_index,
                            && st.numStores > 0) {
                     const size_t pick = rng.nextBounded(
                         std::min(st.numStores, kStoreRing));
-                    const size_t slot_ix =
+                    const size_t slot_pos =
                         (st.numStores - 1 - pick) % kStoreRing;
-                    instr.memAddr = st.storeAddr[slot_ix];
+                    instr.memAddr = st.storeAddr[slot_pos];
                     instr.memDep =
-                        static_cast<int32_t>(st.storeIdx[slot_ix]);
+                        static_cast<int32_t>(st.storeIdx[slot_pos]);
                     instr.srcDeps[0] = pick_producer(prof.depMeanDist);
                 } else {
                     instr.memAddr = kWsBase + random_ws_line(2) * 64;
@@ -295,7 +391,7 @@ ProgramModel::generateChunk(int trace_id, uint64_t chunk_index,
               }
               case InstrType::Store: {
                 if (role_u < phase.storeSeqFrac) {
-                    instr.memAddr = stream_addr(kWriteBase, slot_key, 8);
+                    instr.memAddr = stream_addr(kWriteBase, slot_ix, 8);
                 } else {
                     instr.memAddr = kWsBase + random_ws_line(3) * 64;
                 }
@@ -317,7 +413,7 @@ ProgramModel::generateChunk(int trace_id, uint64_t chunk_index,
                 break;
               }
             }
-            out.push_back(instr);
+            emit(instr);
         }
         if (emitted >= target_count)
             break;
@@ -325,9 +421,7 @@ ProgramModel::generateChunk(int trace_id, uint64_t chunk_index,
         // ---- terminating branch ----
         Instruction br;
         br.type = InstrType::Branch;
-        br.pc = kCodeBase
-            + (static_cast<uint64_t>(st.curBlock) * prof.blockCapacity
-               + persona.bodyLen) * 4;
+        br.pc = persona.branchPc;
         // Branch resolution waits on a recent producer.
         br.srcDeps[0] = pick_producer(3.0);
 
@@ -353,24 +447,27 @@ ProgramModel::generateChunk(int trace_id, uint64_t chunk_index,
             }
         } else {
             switch (persona.kind) {
-              case BlockPersona::Kind::Indirect: {
+              case BranchKindStatic::Indirect: {
                 br.branchKind = BranchKind::Indirect;
                 br.taken = true;
                 // Indirect targets repeat with temporal locality, like
                 // interpreter dispatch: hard but not hopeless to predict.
                 // Each site's default target is a static property, so a
                 // site revisited across chunks stays predictable.
-                const auto static_target = static_cast<uint16_t>(
-                    hashMix(seed, st.curBlock, 0x7A26E7ULL)
-                    % std::max(1, prof.indirectTargets));
-                auto [it, inserted] = st.lastIndirect.try_emplace(
-                    st.curBlock, static_target);
+                uint16_t last;
+                if (scratch.indirectEpoch[st.curBlock] != epoch) {
+                    scratch.indirectEpoch[st.curBlock] = epoch;
+                    last = persona.indirectTarget;
+                } else {
+                    last = scratch.lastIndirect[st.curBlock];
+                }
                 if (!rng.nextBool(prof.indirectRepeat)) {
-                    it->second = static_cast<uint16_t>(rng.nextZipf(
+                    last = static_cast<uint16_t>(rng.nextZipf(
                         std::max(1, prof.indirectTargets),
                         prof.indirectZipf));
                 }
-                br.targetId = it->second;
+                scratch.lastIndirect[st.curBlock] = last;
+                br.targetId = last;
                 // Dispatch within the neighborhood (handler locality).
                 next_block = static_cast<uint32_t>(
                     (st.curBlock
@@ -380,7 +477,7 @@ ProgramModel::generateChunk(int trace_id, uint64_t chunk_index,
                 st.loopActive = false;
                 break;
               }
-              case BlockPersona::Kind::Uncond: {
+              case BranchKindStatic::Uncond: {
                 br.branchKind = BranchKind::DirectUncond;
                 br.taken = true;
                 if (rng.nextBool(prof.coldJumpProb)) {
@@ -396,14 +493,21 @@ ProgramModel::generateChunk(int trace_id, uint64_t chunk_index,
                 st.loopActive = false;
                 break;
               }
-              case BlockPersona::Kind::LoopTail: {
+              case BranchKindStatic::LoopTail: {
                 br.branchKind = BranchKind::DirectCond;
                 // Deterministic periodic loop entry (2 of 3 visits): a
                 // tail reached right after exiting often falls through,
                 // which keeps loop families from trapping control flow --
                 // and the period is history-predictable, like real
                 // enclosing iteration patterns.
-                const uint32_t visit = st.loopVisits[st.curBlock]++;
+                uint32_t visit;
+                if (scratch.loopEpoch[st.curBlock] != epoch) {
+                    scratch.loopEpoch[st.curBlock] = epoch;
+                    visit = 0;
+                } else {
+                    visit = scratch.loopVisits[st.curBlock];
+                }
+                scratch.loopVisits[st.curBlock] = visit + 1;
                 if (visit % 3 == 2) {
                     br.taken = false;
                     next_block = linear_next;
@@ -427,7 +531,7 @@ ProgramModel::generateChunk(int trace_id, uint64_t chunk_index,
                     st.loopActive = false;
                 break;
               }
-              case BlockPersona::Kind::Cond:
+              case BranchKindStatic::Cond:
               default: {
                 br.branchKind = BranchKind::DirectCond;
                 br.taken = persona.randomBranch
@@ -443,7 +547,7 @@ ProgramModel::generateChunk(int trace_id, uint64_t chunk_index,
             }
         }
 
-        out.push_back(br);
+        emit(br);
         ++emitted;
         st.curBlock = next_block;
     }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "trace/instruction.hh"
+#include "trace/trace_columns.hh"
 
 namespace concorde
 {
@@ -134,8 +135,31 @@ std::vector<RegionSpec> shardSpan(const TraceSpan &span,
                                   uint32_t region_chunks);
 
 /**
+ * Reusable per-chunk generation scratch: flat per-static-slot stream
+ * cursors and per-block dynamic histories, invalidated wholesale at each
+ * chunk boundary by an epoch counter instead of being reallocated. One
+ * instance may be threaded through many generateChunk calls (it carries
+ * no cross-chunk state), which keeps region generation free of
+ * per-instruction and per-chunk allocation.
+ */
+struct GenScratch
+{
+    std::vector<uint64_t> streamPos;        ///< per static slot
+    std::vector<uint32_t> streamEpoch;
+    std::vector<uint16_t> lastIndirect;     ///< per block
+    std::vector<uint32_t> indirectEpoch;
+    std::vector<uint32_t> loopVisits;       ///< per block
+    std::vector<uint32_t> loopEpoch;
+    uint32_t epoch = 0;
+};
+
+/**
  * Generator for a single program. Stateless between calls: chunk content is
- * fully determined by (seed, traceId, chunkIndex).
+ * fully determined by (seed, traceId, chunkIndex). The static half of the
+ * generator -- per-block personas and per-slot opcode/role/stream draws,
+ * which are pure functions of (seed, block id) -- is tabulated once at
+ * construction, so the per-chunk loop replays tables instead of re-drawing
+ * the static RNG sequence at every block visit.
  */
 class ProgramModel
 {
@@ -155,12 +179,59 @@ class ProgramModel
     void generateChunk(int trace_id, uint64_t chunk_index,
                        std::vector<Instruction> &out, int64_t base) const;
 
+    /** Columnar variant with caller-owned scratch (the cold hot path). */
+    void generateChunk(int trace_id, uint64_t chunk_index,
+                       TraceColumns &out, int64_t base,
+                       GenScratch &scratch) const;
+
     /** Materialize a contiguous region (numChunks chunks from startChunk). */
     std::vector<Instruction> generateRegion(const RegionSpec &spec) const;
 
+    /** Columnar region materialization (bitwise-equal to generateRegion). */
+    TraceColumns generateRegionColumns(const RegionSpec &spec) const;
+    void generateRegionColumns(const RegionSpec &spec, TraceColumns &out,
+                               GenScratch &scratch) const;
+
   private:
+    /** Static branch personality of one basic block. */
+    enum class BranchKindStatic : uint8_t { Cond, Uncond, Indirect,
+                                            LoopTail };
+
+    /** Static (seed, block)-determined state of one body slot. */
+    struct StaticSlot
+    {
+        uint64_t pc;
+        uint64_t streamId;      ///< hashMix(seed, pc, salt)
+        uint64_t streamBase;    ///< (streamId % 1024) * kStreamSpacing
+        double roleU;           ///< memory-role draw
+        InstrType type;
+    };
+
+    /** Static personality of one basic block (tabulated in the ctor). */
+    struct StaticBlock
+    {
+        uint32_t bodyLen;
+        BranchKindStatic kind;
+        double bias;            ///< taken-probability of the Cond branch
+        bool randomBranch;      ///< 50/50 conditional
+        uint32_t loopLen;       ///< LoopTail: blocks in the loop body
+        int64_t baseTrips;      ///< LoopTail: nominal trip count
+        uint16_t indirectTarget;///< Indirect: static default target
+        uint64_t branchPc;
+        uint32_t slotBegin;     ///< first entry in `slots`
+    };
+
+    template <typename Emit>
+    void generateChunkImpl(int trace_id, uint64_t chunk_index,
+                           int64_t base, GenScratch &scratch,
+                           Emit &&emit) const;
+
+    void buildStaticTables();
+
     WorkloadProfile prof;
     uint64_t seed;
+    std::vector<StaticBlock> blocks;
+    std::vector<StaticSlot> slots;
 };
 
 } // namespace concorde

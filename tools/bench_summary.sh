@@ -27,5 +27,14 @@ for f in "$@"; do
         esac
         echo "| $bench | $key | $value |"
     done
+    # Derived: how much a primed AnalysisStore buys over the cold
+    # stitched path (both keys written by bench_pipeline_e2e).
+    cold=$(sed -n 's/^ *"stitched_cold_minstr_s": *\([0-9.]*\).*/\1/p' "$f")
+    warmv=$(sed -n 's/^ *"stitched_warm_minstr_s": *\([0-9.]*\).*/\1/p' "$f")
+    if [ -n "$cold" ] && [ -n "$warmv" ]; then
+        ratio=$(awk -v c="$cold" -v w="$warmv" \
+            'BEGIN { if (c > 0) printf "%.2fx", w / c }')
+        [ -n "$ratio" ] && echo "| $bench | warm_over_cold | $ratio |"
+    fi
 done
 echo ""

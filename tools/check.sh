@@ -45,6 +45,11 @@ if [ "${SKIP_BENCH:-0}" != "1" ]; then
     CONCORDE_SMOKE=1 CONCORDE_BENCH_JSON=BENCH_pipeline.json \
         ./build/bench/bench_pipeline_e2e
 
+    # Cold-analysis gate: the fused columnar sweep must match the legacy
+    # per-side row passes bitwise and never lose to them.
+    CONCORDE_BENCH_JSON=BENCH_analysis.json \
+        ./build/bench/bench_analysis_cold
+
     # Design-space-sweep gate: predictSweep (shared analysis, one
     # provider, one GEMM) must beat the naive per-config predictCpi
     # loop >= 3x with bitwise-identical CPIs.
