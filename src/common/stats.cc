@@ -201,6 +201,56 @@ DistributionEncoder::encodeSorted(const std::vector<double> &samples,
         static_cast<float>(total / static_cast<double>(n));
 }
 
+LatencyRecorder::LatencyRecorder(size_t window_size)
+    : window(window_size ? window_size : 1)
+{
+}
+
+void
+LatencyRecorder::push(double micros)
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    if (ring.size() < window) {
+        ring.push_back(micros);
+    } else {
+        ring[next] = micros;
+        next = (next + 1) % window;
+    }
+    ++total;
+}
+
+LatencySummary
+LatencyRecorder::summary() const
+{
+    std::vector<double> samples;
+    uint64_t count;
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        samples = ring;
+        count = total;
+    }
+    LatencySummary s;
+    s.count = count;
+    if (samples.empty())
+        return s;
+    sortSamples(samples);
+    s.meanUs = mean(samples);
+    s.p50Us = percentile(samples, 0.50);
+    s.p90Us = percentile(samples, 0.90);
+    s.p99Us = percentile(samples, 0.99);
+    s.maxUs = samples.back();
+    return s;
+}
+
+void
+LatencyRecorder::reset()
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    ring.clear();
+    next = 0;
+    total = 0;
+}
+
 void
 RunningStats::push(double x)
 {

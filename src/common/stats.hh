@@ -11,6 +11,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace concorde
@@ -82,6 +83,41 @@ class DistributionEncoder
 
   private:
     size_t numPercentiles;
+};
+
+/** Percentile snapshot of a LatencyRecorder window. */
+struct LatencySummary
+{
+    uint64_t count = 0;     ///< samples pushed over the recorder's life
+    double meanUs = 0.0;    ///< mean over the retained window
+    double p50Us = 0.0;
+    double p90Us = 0.0;
+    double p99Us = 0.0;
+    double maxUs = 0.0;
+};
+
+/**
+ * Thread-safe bounded reservoir of latency samples (microseconds).
+ * Retains the most recent `window` samples in a ring; summary() sorts a
+ * snapshot of the window (sortSamples) and reads the percentiles with
+ * the same interpolating percentile() the feature encoders use. The
+ * serve layer keeps one per service for end-to-end request latencies.
+ */
+class LatencyRecorder
+{
+  public:
+    explicit LatencyRecorder(size_t window = 1 << 14);
+
+    void push(double micros);
+    LatencySummary summary() const;
+    void reset();
+
+  private:
+    mutable std::mutex mtx;
+    const size_t window;
+    std::vector<double> ring;   ///< grows to `window`, then wraps
+    size_t next = 0;            ///< ring write position
+    uint64_t total = 0;
 };
 
 /** Simple streaming mean/variance accumulator (Welford). */

@@ -1,6 +1,7 @@
 #include "serve/batching_queue.hh"
 
 #include <algorithm>
+#include <exception>
 #include <memory>
 #include <stdexcept>
 #include <utility>
@@ -14,8 +15,10 @@ BatchingQueue::BatchingQueue(BatchingConfig config, BatchFn batch_handler,
                              ThreadPool *dispatch_pool)
     : cfg(config), handler(std::move(batch_handler)), pool(dispatch_pool)
 {
-    if (cfg.maxBatch == 0)
-        throw std::invalid_argument("BatchingQueue: maxBatch must be > 0");
+    for (const ClassPolicy &policy : cfg.classes) {
+        if (policy.maxBatch == 0)
+            throw std::invalid_argument("BatchingQueue: maxBatch must be > 0");
+    }
     if (!handler)
         throw std::invalid_argument("BatchingQueue: null batch handler");
     dispatcher = std::thread([this]() { dispatcherLoop(); });
@@ -26,33 +29,131 @@ BatchingQueue::~BatchingQueue()
     shutdown();
 }
 
-std::future<double>
-BatchingQueue::submit(PredictionRequest request)
+void
+BatchingQueue::submit(PredictionRequest request, Completion done)
 {
     Pending p;
+    p.admissionKey = request.model.id;
+    p.enqueued = Clock::now();
+    if (request.timeout.count() > 0) {
+        p.deadline = p.enqueued + request.timeout;
+        p.hasDeadline = true;
+    }
+    const size_t cls = static_cast<size_t>(request.cls);
     p.request = std::move(request);
-    p.enqueued = std::chrono::steady_clock::now();
-    std::future<double> future = p.promise.get_future();
+    p.done = std::move(done);
+
+    PredictResponse reject;
+    bool rejected = false;
     {
         std::lock_guard<std::mutex> lock(mtx);
-        if (stopping)
-            throw std::runtime_error("BatchingQueue::submit after shutdown");
-        pending.push_back(std::move(p));
-        ++counters.submitted;
+        if (stopping) {
+            ++counters.rejectedShutdown;
+            reject.status = ServeStatus::SHUTDOWN;
+            rejected = true;
+        } else if (cfg.maxInFlightPerKey > 0) {
+            auto it = inFlightByKey.find(p.admissionKey);
+            if (it != inFlightByKey.end() &&
+                it->second >= cfg.maxInFlightPerKey) {
+                ++counters.rejectedOverload;
+                reject.status = ServeStatus::OVERLOADED;
+                rejected = true;
+            }
+        }
+        if (!rejected) {
+            ++counters.submitted;
+            ++counters.submittedByClass[cls];
+            ++outstanding;
+            ++inFlightByKey[p.admissionKey];
+            pending[cls].push_back(std::move(p));
+        }
+    }
+    if (rejected) {
+        // Rejections never entered the accounting, so complete directly
+        // on the caller's thread instead of through finish().
+        p.done(std::move(reject));
+        return;
     }
     cv.notify_one();
+}
+
+std::future<PredictResponse>
+BatchingQueue::submit(PredictionRequest request)
+{
+    auto promise = std::make_shared<std::promise<PredictResponse>>();
+    std::future<PredictResponse> future = promise->get_future();
+    submit(std::move(request), [promise](PredictResponse response) {
+        promise->set_value(std::move(response));
+    });
     return future;
 }
 
-std::vector<BatchingQueue::Pending>
-BatchingQueue::popBatchLocked()
+size_t
+BatchingQueue::totalPendingLocked() const
 {
-    const size_t n = std::min(cfg.maxBatch, pending.size());
+    size_t n = 0;
+    for (const auto &q : pending)
+        n += q.size();
+    return n;
+}
+
+bool
+BatchingQueue::anyClassFullLocked() const
+{
+    for (size_t c = 0; c < kNumRequestClasses; ++c) {
+        if (pending[c].size() >= cfg.classes[c].maxBatch)
+            return true;
+    }
+    return false;
+}
+
+BatchingQueue::Clock::time_point
+BatchingQueue::nextDeadlineLocked(Clock::time_point now) const
+{
+    // Default far enough out that an empty queue never spuriously wakes;
+    // the caller only reaches this with at least one pending request.
+    Clock::time_point earliest = now + std::chrono::seconds(1);
+    for (size_t c = 0; c < kNumRequestClasses; ++c) {
+        if (pending[c].empty())
+            continue;
+        earliest = std::min(
+            earliest, pending[c].front().enqueued + cfg.classes[c].maxAge);
+        for (const Pending &p : pending[c]) {
+            if (p.hasDeadline)
+                earliest = std::min(earliest, p.deadline);
+        }
+    }
+    return earliest;
+}
+
+std::vector<BatchingQueue::Pending>
+BatchingQueue::takeExpiredLocked(Clock::time_point now)
+{
+    std::vector<Pending> expired;
+    for (auto &q : pending) {
+        for (size_t i = 0; i < q.size();) {
+            if (q[i].hasDeadline && q[i].deadline <= now) {
+                ++counters.timeouts;
+                expired.push_back(std::move(q[i]));
+                q.erase(q.begin() + static_cast<ptrdiff_t>(i));
+            } else {
+                ++i;
+            }
+        }
+    }
+    return expired;
+}
+
+std::vector<BatchingQueue::Pending>
+BatchingQueue::popBatchLocked(size_t cls)
+{
+    auto &q = pending[cls];
+    const size_t n = std::min(cfg.classes[cls].maxBatch, q.size());
     std::vector<Pending> batch;
     batch.reserve(n);
     for (size_t i = 0; i < n; ++i) {
-        batch.push_back(std::move(pending.front()));
-        pending.pop_front();
+        batch.push_back(std::move(q.front()));
+        q.pop_front();
     }
     ++counters.batches;
     if (counters.batchSizeCounts.size() <= n)
@@ -66,43 +167,69 @@ BatchingQueue::dispatcherLoop()
 {
     std::unique_lock<std::mutex> lock(mtx);
     while (true) {
-        cv.wait(lock, [this]() { return stopping || !pending.empty(); });
-        if (pending.empty()) {
+        cv.wait(lock,
+                [this]() { return stopping || totalPendingLocked() > 0; });
+        if (totalPendingLocked() == 0) {
             if (stopping)
                 return;
             continue;
         }
-        // The oldest waiting request sets the flush deadline; fill up
-        // to maxBatch until then.
-        const auto deadline = pending.front().enqueued + cfg.maxDelay;
-        cv.wait_until(lock, deadline, [this]() {
-            return stopping || pending.size() >= cfg.maxBatch;
-        });
-        if (pending.size() >= cfg.maxBatch)
-            ++counters.flushOnSize;
-        else if (stopping)
-            ++counters.flushOnShutdown;
-        else
-            ++counters.flushOnDeadline;
-        auto batch = popBatchLocked();
-        ++inFlight;
+        // Sleep until the earliest age/timeout deadline, unless a class
+        // already holds a full batch (or we're draining for shutdown).
+        if (!stopping && !anyClassFullLocked()) {
+            const auto deadline = nextDeadlineLocked(Clock::now());
+            cv.wait_until(lock, deadline, [this]() {
+                return stopping || anyClassFullLocked();
+            });
+        }
+
+        const auto now = Clock::now();
+        std::vector<Pending> expired = takeExpiredLocked(now);
+
+        std::vector<std::vector<Pending>> batches;
+        for (size_t c = 0; c < kNumRequestClasses; ++c) {
+            const ClassPolicy &policy = cfg.classes[c];
+            while (pending[c].size() >= policy.maxBatch) {
+                ++counters.flushOnSize;
+                batches.push_back(popBatchLocked(c));
+            }
+            if (pending[c].empty())
+                continue;
+            const bool aged =
+                pending[c].front().enqueued + policy.maxAge <= now;
+            if (aged || stopping) {
+                if (aged)
+                    ++counters.flushOnDeadline;
+                else
+                    ++counters.flushOnShutdown;
+                batches.push_back(popBatchLocked(c));
+            }
+        }
         lock.unlock();
 
-        // Pending holds promises (move-only), and std::function needs a
-        // copyable callable, so the batch rides in a shared_ptr.
-        auto shared =
-            std::make_shared<std::vector<Pending>>(std::move(batch));
-        if (pool) {
-            try {
-                pool->submit(
-                    [this, shared]() { runBatch(std::move(*shared)); });
-            } catch (const std::runtime_error &) {
-                // Pool already shut down: degrade to inline dispatch
-                // rather than dropping the batch.
+        PredictResponse timedOut;
+        timedOut.status = ServeStatus::TIMEOUT;
+        for (Pending &p : expired)
+            finish(std::move(p), timedOut);
+
+        for (auto &batch : batches) {
+            // Pending holds move-only completions in practice, and
+            // std::function needs a copyable callable, so the batch
+            // rides in a shared_ptr.
+            auto shared =
+                std::make_shared<std::vector<Pending>>(std::move(batch));
+            if (pool) {
+                try {
+                    pool->submit(
+                        [this, shared]() { runBatch(std::move(*shared)); });
+                } catch (const std::runtime_error &) {
+                    // Pool already shut down: degrade to inline dispatch
+                    // rather than dropping the batch.
+                    runBatch(std::move(*shared));
+                }
+            } else {
                 runBatch(std::move(*shared));
             }
-        } else {
-            runBatch(std::move(*shared));
         }
         lock.lock();
     }
@@ -117,6 +244,7 @@ BatchingQueue::runBatch(std::vector<Pending> batch)
         requests.push_back(std::move(p.request));
 
     std::vector<double> results;
+    std::string error;
     bool ok = false;
     try {
         results = handler(requests);
@@ -125,21 +253,50 @@ BatchingQueue::runBatch(std::vector<Pending> batch)
                 "batch handler returned wrong result count");
         }
         ok = true;
+    } catch (const std::exception &e) {
+        error = e.what();
     } catch (...) {
-        const std::exception_ptr error = std::current_exception();
-        for (Pending &p : batch)
-            p.promise.set_exception(error);
+        error = "unknown batch handler error";
     }
+
     if (ok) {
-        for (size_t i = 0; i < batch.size(); ++i)
-            batch[i].promise.set_value(results[i]);
+        PredictResponse response;
+        for (size_t i = 0; i < batch.size(); ++i) {
+            response.status = ServeStatus::OK;
+            response.cpi = results[i];
+            finish(std::move(batch[i]), response);
+        }
+    } else {
+        PredictResponse response;
+        response.status = ServeStatus::INTERNAL_ERROR;
+        response.message = error;
+        for (Pending &p : batch)
+            finish(std::move(p), response);
     }
+}
+
+void
+BatchingQueue::finish(Pending &&p, PredictResponse response)
+{
+    // The admission slot frees BEFORE the completion runs: a caller
+    // that waits for its response and immediately resubmits must never
+    // bounce off its own not-yet-released slot.
+    {
+        std::lock_guard<std::mutex> lock(mtx);
+        auto it = inFlightByKey.find(p.admissionKey);
+        if (it != inFlightByKey.end() && --it->second == 0)
+            inFlightByKey.erase(it);
+    }
+    // The completion runs before outstanding drops: outstanding is
+    // still > 0 for this request, so shutdown() cannot return (and the
+    // queue cannot be destroyed) while a callback is mid-flight.
+    p.done(std::move(response));
     {
         // Notify while holding the lock: once it drops, shutdown() may
-        // observe inFlight == 0 and the queue may be destroyed, so this
-        // thread must not touch members afterwards.
+        // observe outstanding == 0 and the queue may be destroyed, so
+        // this thread must not touch members afterwards.
         std::lock_guard<std::mutex> lock(mtx);
-        --inFlight;
+        --outstanding;
         cvDrained.notify_all();
     }
 }
@@ -155,7 +312,14 @@ BatchingQueue::shutdown()
     if (dispatcher.joinable())
         dispatcher.join();
     std::unique_lock<std::mutex> lock(mtx);
-    cvDrained.wait(lock, [this]() { return inFlight == 0; });
+    cvDrained.wait(lock, [this]() { return outstanding == 0; });
+}
+
+bool
+BatchingQueue::idle() const
+{
+    std::lock_guard<std::mutex> lock(mtx);
+    return outstanding == 0;
 }
 
 QueueStats

@@ -1,21 +1,33 @@
 /**
  * @file
  * BatchingQueue: turns independent single-prediction requests into the
- * dynamic batches the inference engine wants. Clients submit one
- * (model, region, design point) request at a time and get a future; a
- * dispatcher thread coalesces pending requests and flushes a batch when
- * it reaches `maxBatch` or when the oldest request has waited
- * `maxDelay` (whichever comes first), dispatching the batch handler
- * through a ThreadPool so multiple batches can be in flight.
+ * dynamic batches the inference engine wants -- without giving up the
+ * tail. Clients submit one (model, region, design point) request at a
+ * time with a completion callback; a dispatcher thread coalesces
+ * pending requests *per request class* and flushes a class when it
+ * reaches its maxBatch OR its oldest request has aged maxAge
+ * (size-or-age, one policy per class). Interactive requests ride in
+ * small, young batches; bulk requests fill wide GEMM batches.
  *
- * This is the serving analogue of ConcordePredictor::predictCpiBatch:
- * that API needs the caller to already hold a vector of design points,
- * while a service sees requests arriving one by one from many clients.
+ * The queue is also where a service's load-shedding lives:
+ *  - per-model admission control: at most maxInFlightPerKey accepted
+ *    requests per admission key (the model registration id); beyond
+ *    that, submissions complete immediately with OVERLOADED;
+ *  - per-request timeouts: a request that waits in the queue past its
+ *    deadline completes with TIMEOUT instead of occupying a batch;
+ *  - shutdown: pending requests are flushed, later submissions
+ *    complete with SHUTDOWN.
+ *
+ * Routine failures are ServeStatus values (serve_api.hh), never
+ * exceptions -- the network front end serializes them directly. A batch
+ * handler that throws completes every request in the batch with
+ * INTERNAL_ERROR carrying the exception message.
  */
 
 #ifndef CONCORDE_SERVE_BATCHING_QUEUE_HH
 #define CONCORDE_SERVE_BATCHING_QUEUE_HH
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -24,12 +36,12 @@
 #include <future>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.hh"
 #include "serve/model_registry.hh"
-#include "trace/program_model.hh"
-#include "uarch/params.hh"
+#include "serve/serve_api.hh"
 
 namespace concorde
 {
@@ -43,33 +55,72 @@ struct PredictionRequest
     RegionSpec region;
     UarchParams params;
     uint64_t key = 0;   ///< cache key (model id, region, design point)
+    RequestClass cls = RequestClass::Interactive;
+    /** Max queue wait before the request times out (0 = no limit). */
+    std::chrono::microseconds timeout{0};
+};
+
+/** Size-or-age flush policy of one request class. */
+struct ClassPolicy
+{
+    size_t maxBatch = 64;                   ///< flush at this size...
+    std::chrono::microseconds maxAge{200};  ///< ...or at this age
 };
 
 /** Dynamic-batching knobs. */
 struct BatchingConfig
 {
-    size_t maxBatch = 64;                       ///< flush at this size
-    std::chrono::microseconds maxDelay{200};    ///< flush deadline
+    /**
+     * Per-class flush policies, indexed by RequestClass. Interactive:
+     * small batches, short age -- the p99 knob. Bulk: wide batches,
+     * longer age -- the throughput knob.
+     */
+    std::array<ClassPolicy, kNumRequestClasses> classes{{
+        {16, std::chrono::microseconds(50)},    // Interactive
+        {128, std::chrono::microseconds(400)},  // Bulk
+    }};
+
+    /**
+     * Admission bound: max accepted-but-unfinished requests per
+     * admission key (model registration id). 0 = unbounded.
+     */
+    size_t maxInFlightPerKey = 0;
+
+    ClassPolicy &policy(RequestClass c)
+    {
+        return classes[static_cast<size_t>(c)];
+    }
+    const ClassPolicy &policy(RequestClass c) const
+    {
+        return classes[static_cast<size_t>(c)];
+    }
 };
 
-/** Why a batch was flushed. */
+/** Queue traffic counters. */
 struct QueueStats
 {
-    uint64_t submitted = 0;
+    uint64_t submitted = 0;         ///< accepted into the queue
     uint64_t batches = 0;
     uint64_t flushOnSize = 0;
-    uint64_t flushOnDeadline = 0;
+    uint64_t flushOnDeadline = 0;   ///< age-triggered flushes
     uint64_t flushOnShutdown = 0;
+    uint64_t timeouts = 0;          ///< completed with TIMEOUT
+    uint64_t rejectedOverload = 0;  ///< completed with OVERLOADED
+    uint64_t rejectedShutdown = 0;  ///< completed with SHUTDOWN
     /** batchSizeCounts[s] = number of dispatched batches of size s. */
     std::vector<uint64_t> batchSizeCounts;
+    /** Accepted requests per class (same indexing as BatchingConfig). */
+    std::array<uint64_t, kNumRequestClasses> submittedByClass{};
 };
 
 /**
  * The coalescing queue. The handler receives a flushed batch and
- * returns one prediction per request (same order); if it throws, the
- * exception is propagated to every future in the batch. Destruction
- * stops new submissions, flushes everything still pending, and waits
- * for in-flight batches, so every accepted future becomes ready.
+ * returns one CPI per request (same order). Every submitted request's
+ * completion callback is invoked exactly once -- with OK and a CPI, or
+ * with a non-OK status; destruction flushes everything still pending
+ * and waits for in-flight batches. Completions run on the dispatcher /
+ * pool / caller thread and must not block for long; re-submitting from
+ * a completion is allowed.
  */
 class BatchingQueue
 {
@@ -77,6 +128,7 @@ class BatchingQueue
     using BatchFn =
         std::function<std::vector<double>(
             const std::vector<PredictionRequest> &)>;
+    using Completion = std::function<void(PredictResponse)>;
 
     /**
      * @param pool executor for batch dispatch (nullptr = run batches on
@@ -90,29 +142,49 @@ class BatchingQueue
     BatchingQueue &operator=(const BatchingQueue &) = delete;
 
     /**
-     * Enqueue a request. Throws std::runtime_error after shutdown().
-     * The future yields the prediction or rethrows the handler's
-     * exception.
+     * Enqueue a request; `done` is invoked exactly once with the
+     * response. Rejections (OVERLOADED under admission pressure,
+     * SHUTDOWN after shutdown()) complete synchronously on the calling
+     * thread. Never throws.
      */
-    std::future<double> submit(PredictionRequest request);
+    void submit(PredictionRequest request, Completion done);
 
-    /** Flush pending work, wait for in-flight batches, stop. */
+    /** Future-returning convenience over the callback form. */
+    std::future<PredictResponse> submit(PredictionRequest request);
+
+    /** Flush pending work, wait for every completion, stop. */
     void shutdown();
+
+    /** True when no accepted request is pending or executing. */
+    bool idle() const;
 
     QueueStats stats() const;
 
   private:
+    using Clock = std::chrono::steady_clock;
+
     struct Pending
     {
         PredictionRequest request;
-        std::promise<double> promise;
-        std::chrono::steady_clock::time_point enqueued;
+        Completion done;
+        Clock::time_point enqueued;
+        Clock::time_point deadline;     ///< valid iff hasDeadline
+        bool hasDeadline = false;
+        uint32_t admissionKey = 0;
     };
 
     void dispatcherLoop();
-    /** Pops up to maxBatch requests; call with `mtx` held. */
-    std::vector<Pending> popBatchLocked();
+    /** Earliest age/timeout deadline across pending work; mtx held. */
+    Clock::time_point nextDeadlineLocked(Clock::time_point now) const;
+    bool anyClassFullLocked() const;
+    size_t totalPendingLocked() const;
+    /** Remove & return pending requests past their deadline; mtx held. */
+    std::vector<Pending> takeExpiredLocked(Clock::time_point now);
+    /** Pops up to the class's maxBatch requests; mtx held. */
+    std::vector<Pending> popBatchLocked(size_t cls);
     void runBatch(std::vector<Pending> batch);
+    /** Invoke the completion, then release admission accounting. */
+    void finish(Pending &&p, PredictResponse response);
 
     const BatchingConfig cfg;
     const BatchFn handler;
@@ -120,9 +192,12 @@ class BatchingQueue
 
     mutable std::mutex mtx;
     std::condition_variable cv;         ///< dispatcher wakeups
-    std::condition_variable cvDrained;  ///< shutdown waits on in-flight
-    std::deque<Pending> pending;
-    size_t inFlight = 0;
+    std::condition_variable cvDrained;  ///< shutdown waits on outstanding
+    std::array<std::deque<Pending>, kNumRequestClasses> pending;
+    /** Accepted-but-unfinished requests (pending + executing). */
+    size_t outstanding = 0;
+    /** Per-admission-key share of `outstanding` (admission control). */
+    std::unordered_map<uint32_t, size_t> inFlightByKey;
     bool stopping = false;
     QueueStats counters;
     std::thread dispatcher;

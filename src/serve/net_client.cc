@@ -1,0 +1,177 @@
+#include "serve/net_client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace concorde
+{
+namespace serve
+{
+
+namespace
+{
+
+uint32_t
+readLe32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+}
+
+} // anonymous namespace
+
+NetClient::NetClient(const std::string &host, uint16_t port)
+{
+    fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0)
+        throw std::runtime_error("NetClient: socket() failed");
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        fd = -1;
+        throw std::runtime_error("NetClient: bad host " + host);
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        fd = -1;
+        throw std::runtime_error("NetClient: connect failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+NetClient::~NetClient()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+void
+NetClient::sendRaw(const void *data, size_t bytes)
+{
+    const uint8_t *at = static_cast<const uint8_t *>(data);
+    size_t left = bytes;
+    while (left > 0) {
+        const ssize_t n = ::write(fd, at, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            throw std::runtime_error("NetClient: write failed: " +
+                                     std::string(std::strerror(errno)));
+        }
+        at += n;
+        left -= static_cast<size_t>(n);
+    }
+}
+
+bool
+NetClient::recvResponse(wire::ResponseFrame &out)
+{
+    for (;;) {
+        // A complete frame already buffered?
+        if (readBuf.size() >= wire::kLengthPrefixBytes) {
+            const uint32_t payload = readLe32(readBuf.data());
+            if (payload > wire::kMaxPayloadBytes)
+                throw std::runtime_error("NetClient: oversized frame");
+            if (readBuf.size() >= wire::kLengthPrefixBytes + payload) {
+                if (!wire::decodeResponse(
+                        readBuf.data() + wire::kLengthPrefixBytes,
+                        payload, out)) {
+                    throw std::runtime_error(
+                        "NetClient: malformed response frame");
+                }
+                readBuf.erase(readBuf.begin(),
+                              readBuf.begin() +
+                                  static_cast<ptrdiff_t>(
+                                      wire::kLengthPrefixBytes + payload));
+                return true;
+            }
+        }
+        const size_t old = readBuf.size();
+        readBuf.resize(old + 16384);
+        const ssize_t n = ::read(fd, readBuf.data() + old, 16384);
+        if (n < 0) {
+            readBuf.resize(old);
+            if (errno == EINTR)
+                continue;
+            throw std::runtime_error("NetClient: read failed: " +
+                                     std::string(std::strerror(errno)));
+        }
+        if (n == 0) {
+            readBuf.resize(old);
+            return false;   // server closed (protocol error, or stop())
+        }
+        readBuf.resize(old + static_cast<size_t>(n));
+    }
+}
+
+PredictResponse
+NetClient::predict(const PredictRequest &request)
+{
+    wire::RequestFrame frame;
+    frame.requestId = nextId++;
+    frame.request = request;
+    std::vector<uint8_t> bytes;
+    wire::encodeRequest(frame, bytes);
+    sendRaw(bytes.data(), bytes.size());
+
+    wire::ResponseFrame reply;
+    while (recvResponse(reply)) {
+        if (reply.requestId == frame.requestId)
+            return std::move(reply.response);
+        // A stray id would be a response to a request this connection
+        // never sent; the protocol has no such message.
+        throw std::runtime_error("NetClient: response id mismatch");
+    }
+    throw std::runtime_error("NetClient: connection closed by server");
+}
+
+std::vector<PredictResponse>
+NetClient::predictBurst(const std::vector<PredictRequest> &requests)
+{
+    std::vector<uint8_t> bytes;
+    std::unordered_map<uint64_t, size_t> slotOf;
+    slotOf.reserve(requests.size());
+    for (size_t i = 0; i < requests.size(); ++i) {
+        wire::RequestFrame frame;
+        frame.requestId = nextId++;
+        frame.request = requests[i];
+        slotOf[frame.requestId] = i;
+        wire::encodeRequest(frame, bytes);
+    }
+    sendRaw(bytes.data(), bytes.size());
+
+    std::vector<PredictResponse> out(requests.size());
+    size_t received = 0;
+    wire::ResponseFrame reply;
+    while (received < requests.size()) {
+        if (!recvResponse(reply)) {
+            throw std::runtime_error(
+                "NetClient: connection closed mid-burst");
+        }
+        auto it = slotOf.find(reply.requestId);
+        if (it == slotOf.end())
+            throw std::runtime_error("NetClient: response id mismatch");
+        out[it->second] = std::move(reply.response);
+        slotOf.erase(it);
+        ++received;
+    }
+    return out;
+}
+
+} // namespace serve
+} // namespace concorde

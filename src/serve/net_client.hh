@@ -1,0 +1,66 @@
+/**
+ * @file
+ * NetClient: a small blocking client for the serve wire protocol
+ * (net_server.hh). One TCP connection, synchronous use; for load, run
+ * one client per thread and pipeline with predictBurst -- a burst goes
+ * out as a single write(2) and responses are matched back to request
+ * order by id, which is what makes a multi-request round trip cheap
+ * enough to measure tail latency rather than syscall overhead.
+ */
+
+#ifndef CONCORDE_SERVE_NET_CLIENT_HH
+#define CONCORDE_SERVE_NET_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/serve_api.hh"
+#include "serve/wire.hh"
+
+namespace concorde
+{
+namespace serve
+{
+
+class NetClient
+{
+  public:
+    /** Connects immediately; throws std::runtime_error on failure. */
+    NetClient(const std::string &host, uint16_t port);
+    ~NetClient();
+
+    NetClient(const NetClient &) = delete;
+    NetClient &operator=(const NetClient &) = delete;
+
+    /** One blocking round trip. */
+    PredictResponse predict(const PredictRequest &request);
+
+    /**
+     * Pipelined round trip: send every request in one write, then
+     * collect until each has its response. Results are returned in
+     * request order even though the server may answer out of order.
+     */
+    std::vector<PredictResponse>
+    predictBurst(const std::vector<PredictRequest> &requests);
+
+    /** Raw bytes out, for protocol tests (malformed frames etc.). */
+    void sendRaw(const void *data, size_t bytes);
+
+    /**
+     * Read one response frame. @return false on clean server close
+     * (how a client observes "the server killed this connection");
+     * throws on a malformed server frame.
+     */
+    bool recvResponse(wire::ResponseFrame &out);
+
+  private:
+    int fd = -1;
+    uint64_t nextId = 1;
+    std::vector<uint8_t> readBuf;
+};
+
+} // namespace serve
+} // namespace concorde
+
+#endif // CONCORDE_SERVE_NET_CLIENT_HH

@@ -1,0 +1,453 @@
+#include "serve/net_server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/wire.hh"
+
+namespace concorde
+{
+namespace serve
+{
+
+namespace
+{
+
+/** Read buffer growth quantum. */
+constexpr size_t kReadChunk = 16 * 1024;
+
+uint32_t
+readLe32(const uint8_t *p)
+{
+    return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+}
+
+} // anonymous namespace
+
+/**
+ * All event-loop state. Lives in a shared_ptr because prediction
+ * completions -- which may run on dispatcher/pool threads after stop()
+ * -- post into the outbox and kick the eventfd; both must stay valid
+ * until the last completion drops its reference.
+ */
+struct NetServer::Loop : std::enable_shared_from_this<NetServer::Loop>
+{
+    struct Conn
+    {
+        int fd = -1;
+        std::vector<uint8_t> readBuf;
+        std::vector<uint8_t> writeBuf;  ///< encoded, not yet fully sent
+        size_t written = 0;             ///< sent prefix of writeBuf
+        bool wantWrite = false;         ///< EPOLLOUT armed
+    };
+
+    int epollFd = -1;
+    int wakeFd = -1;        ///< eventfd: completions -> loop
+    int listenFd = -1;
+    std::atomic<bool> stopping{false};
+
+    /** Touched only by the loop thread. */
+    std::unordered_map<int, std::shared_ptr<Conn>> conns;
+
+    /** Completed responses waiting for the loop to write them out. */
+    std::mutex outboxMtx;
+    std::vector<std::pair<std::weak_ptr<Conn>, std::vector<uint8_t>>> outbox;
+
+    std::atomic<uint64_t> connectionsAccepted{0};
+    std::atomic<uint64_t> connectionsClosed{0};
+    std::atomic<uint64_t> framesIn{0};
+    std::atomic<uint64_t> framesOut{0};
+    std::atomic<uint64_t> protocolErrors{0};
+    std::atomic<uint64_t> bytesIn{0};
+    std::atomic<uint64_t> bytesOut{0};
+
+    ~Loop()
+    {
+        if (epollFd >= 0)
+            ::close(epollFd);
+        if (wakeFd >= 0)
+            ::close(wakeFd);
+        if (listenFd >= 0)
+            ::close(listenFd);
+    }
+
+    /** Queue an encoded response and wake the loop (any thread). */
+    void
+    post(std::weak_ptr<Conn> conn, std::vector<uint8_t> frame)
+    {
+        {
+            std::lock_guard<std::mutex> lock(outboxMtx);
+            outbox.emplace_back(std::move(conn), std::move(frame));
+        }
+        const uint64_t one = 1;
+        // The eventfd stays open for the Loop's whole life; a wake
+        // after the loop thread exited is simply never read.
+        [[maybe_unused]] ssize_t n =
+            ::write(wakeFd, &one, sizeof(one));
+    }
+
+    void
+    wake()
+    {
+        const uint64_t one = 1;
+        [[maybe_unused]] ssize_t n =
+            ::write(wakeFd, &one, sizeof(one));
+    }
+
+    void run(PredictionService &service);
+    void acceptAll();
+    void readable(const std::shared_ptr<Conn> &conn,
+                  PredictionService &service);
+    bool parseFrames(const std::shared_ptr<Conn> &conn,
+                     PredictionService &service);
+    void drainOutbox();
+    /** @return false if the connection died on a write error. */
+    bool flushWrites(const std::shared_ptr<Conn> &conn);
+    void updateWriteInterest(const std::shared_ptr<Conn> &conn);
+    void killConn(int fd);
+};
+
+void
+NetServer::Loop::acceptAll()
+{
+    for (;;) {
+        const int fd = ::accept4(listenFd, nullptr, nullptr,
+                                 SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (fd < 0)
+            return;     // EAGAIN or transient accept error: try later
+        // Frames are small and latency is the product; never Nagle.
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+        auto conn = std::make_shared<Conn>();
+        conn->fd = fd;
+        epoll_event ev{};
+        ev.events = EPOLLIN;
+        ev.data.fd = fd;
+        if (::epoll_ctl(epollFd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+            ::close(fd);
+            continue;
+        }
+        conns.emplace(fd, std::move(conn));
+        ++connectionsAccepted;
+    }
+}
+
+void
+NetServer::Loop::killConn(int fd)
+{
+    auto it = conns.find(fd);
+    if (it == conns.end())
+        return;
+    ::epoll_ctl(epollFd, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    // Dropping the map's shared_ptr invalidates the weak_ptrs held by
+    // in-flight completions: their responses are discarded in
+    // drainOutbox instead of being written to a dead socket.
+    conns.erase(it);
+    ++connectionsClosed;
+}
+
+bool
+NetServer::Loop::parseFrames(const std::shared_ptr<Conn> &conn,
+                             PredictionService &service)
+{
+    auto &buf = conn->readBuf;
+    size_t at = 0;
+    while (buf.size() - at >= wire::kLengthPrefixBytes) {
+        const uint32_t payload = readLe32(buf.data() + at);
+        if (payload > wire::kMaxPayloadBytes) {
+            ++protocolErrors;
+            return false;
+        }
+        if (buf.size() - at - wire::kLengthPrefixBytes < payload)
+            break;      // incomplete frame: wait for more bytes
+
+        wire::RequestFrame frame;
+        if (!wire::decodeRequest(
+                buf.data() + at + wire::kLengthPrefixBytes, payload,
+                frame)) {
+            ++protocolErrors;
+            return false;
+        }
+        at += wire::kLengthPrefixBytes + payload;
+        ++framesIn;
+
+        // The completion holds the Loop via shared_ptr: it may fire on
+        // a dispatcher/pool thread after stop(), and the outbox plus
+        // its eventfd must still exist then.
+        std::weak_ptr<Conn> weak = conn;
+        const uint64_t id = frame.requestId;
+        service.submit(
+            std::move(frame.request),
+            [self = shared_from_this(), weak = std::move(weak),
+             id](PredictResponse response) {
+                wire::ResponseFrame out;
+                out.requestId = id;
+                out.response = std::move(response);
+                std::vector<uint8_t> bytes;
+                wire::encodeResponse(out, bytes);
+                self->post(weak, std::move(bytes));
+            });
+    }
+    buf.erase(buf.begin(), buf.begin() + static_cast<ptrdiff_t>(at));
+    return true;
+}
+
+void
+NetServer::Loop::readable(const std::shared_ptr<Conn> &conn,
+                          PredictionService &service)
+{
+    auto &buf = conn->readBuf;
+    for (;;) {
+        const size_t old = buf.size();
+        buf.resize(old + kReadChunk);
+        const ssize_t n = ::read(conn->fd, buf.data() + old, kReadChunk);
+        if (n < 0) {
+            buf.resize(old);
+            if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+                break;
+            killConn(conn->fd);
+            return;
+        }
+        if (n == 0) {   // orderly client close
+            buf.resize(old);
+            killConn(conn->fd);
+            return;
+        }
+        buf.resize(old + static_cast<size_t>(n));
+        bytesIn += static_cast<uint64_t>(n);
+        if (static_cast<size_t>(n) < kReadChunk)
+            break;
+    }
+    if (!parseFrames(conn, service))
+        killConn(conn->fd);    // malformed frame: connection-fatal
+}
+
+void
+NetServer::Loop::updateWriteInterest(const std::shared_ptr<Conn> &conn)
+{
+    const bool want = conn->written < conn->writeBuf.size();
+    if (want == conn->wantWrite)
+        return;
+    epoll_event ev{};
+    ev.events = want ? (EPOLLIN | EPOLLOUT) : EPOLLIN;
+    ev.data.fd = conn->fd;
+    if (::epoll_ctl(epollFd, EPOLL_CTL_MOD, conn->fd, &ev) == 0)
+        conn->wantWrite = want;
+}
+
+bool
+NetServer::Loop::flushWrites(const std::shared_ptr<Conn> &conn)
+{
+    auto &buf = conn->writeBuf;
+    while (conn->written < buf.size()) {
+        const ssize_t n = ::write(conn->fd, buf.data() + conn->written,
+                                  buf.size() - conn->written);
+        if (n < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                errno == EINTR) {
+                updateWriteInterest(conn);
+                return true;
+            }
+            killConn(conn->fd);
+            return false;
+        }
+        conn->written += static_cast<size_t>(n);
+        bytesOut += static_cast<uint64_t>(n);
+    }
+    buf.clear();
+    conn->written = 0;
+    updateWriteInterest(conn);
+    return true;
+}
+
+void
+NetServer::Loop::drainOutbox()
+{
+    std::vector<std::pair<std::weak_ptr<Conn>, std::vector<uint8_t>>> ready;
+    {
+        std::lock_guard<std::mutex> lock(outboxMtx);
+        ready.swap(outbox);
+    }
+    // Coalesce: append every ready frame to its connection's write
+    // buffer first, then flush each touched connection once -- under a
+    // pipelined burst this turns N response frames into one write(2).
+    std::vector<std::shared_ptr<Conn>> touched;
+    for (auto &[weak, bytes] : ready) {
+        std::shared_ptr<Conn> conn = weak.lock();
+        if (!conn)
+            continue;   // connection died while the prediction ran
+        // A connection with leftover bytes already has EPOLLOUT armed
+        // and will flush from the event loop; only newly-idle ones need
+        // an explicit flush here.
+        if (conn->writeBuf.empty())
+            touched.push_back(conn);
+        conn->writeBuf.insert(conn->writeBuf.end(), bytes.begin(),
+                              bytes.end());
+        ++framesOut;
+    }
+    for (auto &conn : touched) {
+        auto it = conns.find(conn->fd);
+        if (it != conns.end() && it->second == conn)
+            flushWrites(conn);
+    }
+}
+
+void
+NetServer::Loop::run(PredictionService &service)
+{
+    epoll_event events[64];
+    while (!stopping.load(std::memory_order_acquire)) {
+        const int n = ::epoll_wait(epollFd, events, 64, -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        bool woken = false;
+        for (int i = 0; i < n; ++i) {
+            const int fd = events[i].data.fd;
+            if (fd == listenFd) {
+                acceptAll();
+                continue;
+            }
+            if (fd == wakeFd) {
+                uint64_t drain;
+                while (::read(wakeFd, &drain, sizeof(drain)) > 0) {
+                }
+                woken = true;
+                continue;
+            }
+            auto it = conns.find(fd);
+            if (it == conns.end())
+                continue;   // killed earlier in this batch
+            std::shared_ptr<Conn> conn = it->second;
+            if (events[i].events & (EPOLLERR | EPOLLHUP)) {
+                killConn(fd);
+                continue;
+            }
+            if (events[i].events & EPOLLIN)
+                readable(conn, service);
+            if ((events[i].events & EPOLLOUT) && conns.count(fd))
+                flushWrites(conn);
+        }
+        if (woken)
+            drainOutbox();
+    }
+    // Drain any responses that completed before the stop and close
+    // every connection.
+    drainOutbox();
+    std::vector<int> open;
+    open.reserve(conns.size());
+    for (const auto &[fd, conn] : conns)
+        open.push_back(fd);
+    for (int fd : open)
+        killConn(fd);
+}
+
+NetServer::NetServer(PredictionService &svc, NetServerConfig config)
+    : service(svc), cfg(std::move(config))
+{
+}
+
+NetServer::~NetServer()
+{
+    stop();
+}
+
+void
+NetServer::start()
+{
+    if (loop)
+        throw std::runtime_error("NetServer already started");
+    auto state = std::make_shared<Loop>();
+
+    state->listenFd = ::socket(AF_INET,
+                               SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                               0);
+    if (state->listenFd < 0)
+        throw std::runtime_error("NetServer: socket() failed");
+    const int one = 1;
+    ::setsockopt(state->listenFd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg.port);
+    if (::inet_pton(AF_INET, cfg.host.c_str(), &addr.sin_addr) != 1)
+        throw std::runtime_error("NetServer: bad host " + cfg.host);
+    if (::bind(state->listenFd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        throw std::runtime_error("NetServer: bind failed: " +
+                                 std::string(std::strerror(errno)));
+    }
+    if (::listen(state->listenFd, cfg.backlog) != 0)
+        throw std::runtime_error("NetServer: listen failed");
+
+    sockaddr_in bound{};
+    socklen_t boundLen = sizeof(bound);
+    ::getsockname(state->listenFd, reinterpret_cast<sockaddr *>(&bound),
+                  &boundLen);
+    boundPort = ntohs(bound.sin_port);
+
+    state->epollFd = ::epoll_create1(EPOLL_CLOEXEC);
+    state->wakeFd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (state->epollFd < 0 || state->wakeFd < 0)
+        throw std::runtime_error("NetServer: epoll/eventfd setup failed");
+
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = state->listenFd;
+    ::epoll_ctl(state->epollFd, EPOLL_CTL_ADD, state->listenFd, &ev);
+    ev.data.fd = state->wakeFd;
+    ::epoll_ctl(state->epollFd, EPOLL_CTL_ADD, state->wakeFd, &ev);
+
+    loop = state;
+    loopThread = std::thread([this, state]() { state->run(service); });
+}
+
+void
+NetServer::stop()
+{
+    if (!loop)
+        return;
+    loop->stopping.store(true, std::memory_order_release);
+    loop->wake();
+    if (loopThread.joinable())
+        loopThread.join();
+}
+
+NetServerStats
+NetServer::stats() const
+{
+    NetServerStats s;
+    if (!loop)
+        return s;
+    s.connectionsAccepted = loop->connectionsAccepted.load();
+    s.connectionsClosed = loop->connectionsClosed.load();
+    s.framesIn = loop->framesIn.load();
+    s.framesOut = loop->framesOut.load();
+    s.protocolErrors = loop->protocolErrors.load();
+    s.bytesIn = loop->bytesIn.load();
+    s.bytesOut = loop->bytesOut.load();
+    return s;
+}
+
+} // namespace serve
+} // namespace concorde

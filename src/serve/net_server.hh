@@ -1,0 +1,143 @@
+/**
+ * @file
+ * NetServer: the network front end of PredictionService. One epoll
+ * event-loop thread multiplexes every client connection; requests are
+ * decoded and handed to PredictionService::submit (the callback form --
+ * the loop never blocks on a prediction), and completions post their
+ * encoded responses back to the loop through an eventfd outbox, so
+ * responses from the dispatcher / pool threads are written by the loop
+ * thread only.
+ *
+ * PROTOCOL SPECIFICATION (version 1)
+ * ==================================
+ *
+ * Transport: TCP. All integers little-endian. Every message is a
+ * length-prefixed frame:
+ *
+ *     u32 payloadLen          bytes that follow (max 65536)
+ *     -- payload ------------------------------------------------
+ *     u32 magic               0x434E4344 ("CNCD")
+ *     u8  version             1
+ *     u8  type                1 = request, 2 = response
+ *     u16 reserved            must be 0
+ *     u64 requestId           client-chosen; echoed in the response
+ *     ... type-specific body ...
+ *
+ * Request body (type 1):
+ *
+ *     u8  class               0 = interactive, 1 = bulk
+ *     u8  pad[3]
+ *     u32 timeoutUs           max queue wait (0 = no limit)
+ *     u16 modelLen            registry name, raw bytes follow
+ *     u8  model[modelLen]
+ *     i32 programId           region spec
+ *     i32 traceId
+ *     u64 startChunk
+ *     u32 numChunks
+ *     u16 numParams           design point as (axis, value) pairs
+ *     { u16 paramId, i64 value } x numParams
+ *
+ * Response body (type 2):
+ *
+ *     u8  status              ServeStatus (serve_api.hh)
+ *     f64 cpi                 IEEE-754 bits; meaningful iff status == 0
+ *     u16 msgLen              diagnostic, raw bytes follow
+ *     u8  message[msgLen]
+ *
+ * Rules:
+ *  - Clients MAY pipeline: many request frames per write, many
+ *    in flight per connection.
+ *  - Responses carry the request's id but MAY arrive in any order
+ *    (a cache hit overtakes a cold region analysis).
+ *  - Any malformed frame -- bad magic, unknown version, wrong type,
+ *    truncated or oversized payload, trailing bytes, out-of-range
+ *    enum -- is connection-fatal: the server closes the connection
+ *    without a response. There is no in-band error recovery; a
+ *    framing bug leaves the stream unparseable anyway.
+ *  - Routine per-request failures are NOT connection errors: they
+ *    come back as a response with a non-OK status.
+ *  - Version bumps change `version`; v1 servers close on anything
+ *    else. Enum values (status, class, paramId) are append-only.
+ */
+
+#ifndef CONCORDE_SERVE_NET_SERVER_HH
+#define CONCORDE_SERVE_NET_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "serve/prediction_service.hh"
+
+namespace concorde
+{
+namespace serve
+{
+
+struct NetServerConfig
+{
+    /** Listen address; tests and the local bench use the loopback. */
+    std::string host = "127.0.0.1";
+    /** 0 = ephemeral; read the bound port back with port(). */
+    uint16_t port = 0;
+    /** accept(2) backlog. */
+    int backlog = 64;
+};
+
+/** Network-layer counters (service-level counters live in ServeStats). */
+struct NetServerStats
+{
+    uint64_t connectionsAccepted = 0;
+    uint64_t connectionsClosed = 0;
+    uint64_t framesIn = 0;
+    uint64_t framesOut = 0;
+    uint64_t protocolErrors = 0;    ///< connections killed by bad frames
+    uint64_t bytesIn = 0;
+    uint64_t bytesOut = 0;
+};
+
+class NetServer
+{
+  public:
+    /** The service must outlive the server. */
+    NetServer(PredictionService &service, NetServerConfig config = {});
+    ~NetServer();
+
+    NetServer(const NetServer &) = delete;
+    NetServer &operator=(const NetServer &) = delete;
+
+    /**
+     * Bind, listen, and spawn the event loop; throws std::runtime_error
+     * if the socket cannot be bound.
+     */
+    void start();
+
+    /** Close the listener and every connection, join the loop. */
+    void stop();
+
+    /** The bound port (valid after start()). */
+    uint16_t port() const { return boundPort; }
+
+    NetServerStats stats() const;
+
+  private:
+    struct Loop;
+
+    PredictionService &service;
+    const NetServerConfig cfg;
+    uint16_t boundPort = 0;
+    /**
+     * Loop state rides in a shared_ptr: prediction completions hold a
+     * reference, so the outbox and its eventfd stay valid even if a
+     * completion outlives stop().
+     */
+    std::shared_ptr<Loop> loop;
+    std::thread loopThread;
+};
+
+} // namespace serve
+} // namespace concorde
+
+#endif // CONCORDE_SERVE_NET_SERVER_HH

@@ -1,15 +1,27 @@
 #include "serve/prediction_service.hh"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "analysis/analysis_store.hh"
 #include "common/rng.hh"
+#include "common/serialize.hh"
 #include "common/stopwatch.hh"
 
 namespace concorde
 {
 namespace serve
 {
+
+namespace
+{
+
+/** Warm-set file magic ("CWRM") and version. */
+constexpr uint32_t kWarmSetMagic = 0x4357524D;
+constexpr uint16_t kWarmSetVersion = 1;
+
+} // anonymous namespace
 
 uint64_t
 predictionKey(uint32_t model_id, const RegionSpec &region,
@@ -22,7 +34,8 @@ predictionKey(uint32_t model_id, const RegionSpec &region,
 }
 
 PredictionService::PredictionService(ServeConfig config)
-    : cfg(config), cache(config.cacheCapacity), pool(config.poolThreads)
+    : cfg(config), cache(config.cacheCapacity), pool(config.poolThreads),
+      latency(config.latencyWindow)
 {
     queue = std::make_unique<BatchingQueue>(
         cfg.batching,
@@ -44,20 +57,96 @@ PredictionService::loadModel(const std::string &name,
     return models.addFromArtifactFile(name, artifact_path);
 }
 
+void
+PredictionService::recordOutcome(std::chrono::steady_clock::time_point start,
+                                 ServeStatus status)
+{
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    latency.push(
+        std::chrono::duration<double, std::micro>(elapsed).count());
+    ++statusCounts[static_cast<size_t>(status)];
+}
+
+void
+PredictionService::submit(PredictRequest request, Completion done)
+{
+    const auto start = std::chrono::steady_clock::now();
+    ModelHandle handle = models.get(request.model);
+    if (!handle.valid()) {
+        PredictResponse response;
+        response.status = ServeStatus::UNKNOWN_MODEL;
+        response.message = "unknown model '" + request.model + "'";
+        recordOutcome(start, response.status);
+        done(std::move(response));
+        return;
+    }
+
+    PredictionRequest queued;
+    queued.key = predictionKey(handle.id, request.region, request.params);
+    queued.model = std::move(handle);
+    queued.region = request.region;
+    queued.params = std::move(request.params);
+    queued.cls = request.cls;
+    queued.timeout = request.timeout;
+
+    // The wrapped completion runs before the queue's drain accounting
+    // drops, so `this` outlives it even across shutdown.
+    queue->submit(std::move(queued),
+                  [this, start, done = std::move(done)](
+                      PredictResponse response) {
+                      recordOutcome(start, response.status);
+                      done(std::move(response));
+                  });
+}
+
+std::future<PredictResponse>
+PredictionService::submit(PredictRequest request)
+{
+    auto promise = std::make_shared<std::promise<PredictResponse>>();
+    std::future<PredictResponse> future = promise->get_future();
+    submit(std::move(request), [promise](PredictResponse response) {
+        promise->set_value(std::move(response));
+    });
+    return future;
+}
+
+PredictResponse
+PredictionService::predict(const PredictRequest &request)
+{
+    return submit(request).get();
+}
+
 std::future<double>
 PredictionService::predictAsync(const std::string &model,
                                 const RegionSpec &region,
                                 const UarchParams &params)
 {
-    ModelHandle handle = models.get(model);
-    if (!handle.valid())
+    // The historical contract: an unknown model throws here, at call
+    // time, not from the future.
+    if (!models.get(model).valid())
         throw std::invalid_argument("unknown model '" + model + "'");
-    PredictionRequest request;
-    request.model = std::move(handle);
+
+    PredictRequest request;
+    request.model = model;
     request.region = region;
     request.params = params;
-    request.key = predictionKey(request.model.id, region, params);
-    return queue->submit(std::move(request));
+
+    auto typed = submit(std::move(request));
+    // Deferred unwrap: get() yields the CPI or rethrows any non-OK
+    // outcome as the runtime_error legacy callers expect.
+    return std::async(
+        std::launch::deferred,
+        [future = std::move(typed)]() mutable -> double {
+            PredictResponse response = future.get();
+            if (!response.ok()) {
+                throw std::runtime_error(
+                    response.message.empty()
+                        ? std::string("prediction failed: ")
+                              + serveStatusName(response.status)
+                        : response.message);
+            }
+            return response.cpi;
+        });
 }
 
 double
@@ -78,15 +167,33 @@ PredictionService::predictSpan(const std::string &model,
     pipeline::PipelineResult res;
     res.regions = shardSpan(span, region_chunks);
 
-    // All regions in flight at once: the batching queue coalesces them
-    // into shared feature-assembly + GEMM batches.
-    std::vector<std::future<double>> futures;
+    // All regions in flight at once, riding the Bulk class: the queue
+    // coalesces them into shared feature-assembly + GEMM batches.
+    std::vector<std::future<PredictResponse>> futures;
     futures.reserve(res.regions.size());
-    for (const auto &region : res.regions)
-        futures.push_back(predictAsync(model, region, params));
+    for (const auto &region : res.regions) {
+        PredictRequest request;
+        request.model = model;
+        request.region = region;
+        request.params = params;
+        request.cls = RequestClass::Bulk;
+        futures.push_back(submit(std::move(request)));
+    }
     res.regionCpi.reserve(res.regions.size());
-    for (auto &future : futures)
-        res.regionCpi.push_back(future.get());
+    for (auto &future : futures) {
+        PredictResponse response = future.get();
+        if (!response.ok()) {
+            // Preserve the historical throwing contract of this shim.
+            if (response.status == ServeStatus::UNKNOWN_MODEL)
+                throw std::invalid_argument(response.message);
+            throw std::runtime_error(
+                response.message.empty()
+                    ? std::string("prediction failed: ")
+                          + serveStatusName(response.status)
+                    : response.message);
+        }
+        res.regionCpi.push_back(response.cpi);
+    }
 
     res.programCpi = pipeline::aggregateCpi(res.regions, res.regionCpi,
                                             &res.instructions);
@@ -97,6 +204,124 @@ PredictionService::predictSpan(const std::string &model,
     return res;
 }
 
+ServeStatus
+PredictionService::warmRegions(const std::string &model,
+                               const std::vector<RegionSpec> &regions,
+                               const std::vector<UarchParams> &points)
+{
+    ModelHandle handle = models.get(model);
+    if (!handle.valid())
+        return ServeStatus::UNKNOWN_MODEL;
+
+    // Build the providers (and thereby the shared AnalysisStore
+    // entries) up front -- this is the expensive cold part, and doing
+    // it here keeps it off the first client's critical path.
+    for (const RegionSpec &region : regions) {
+        PredictionRequest probe;
+        probe.model = handle;
+        probe.region = region;
+        providerFor(probe);
+    }
+    if (points.empty())
+        return ServeStatus::OK;
+
+    // Pre-answer the hot design points through the Bulk path so the
+    // prediction cache and the providers' memo caches are populated.
+    std::vector<std::future<PredictResponse>> futures;
+    futures.reserve(regions.size() * points.size());
+    for (const RegionSpec &region : regions) {
+        for (const UarchParams &params : points) {
+            PredictRequest request;
+            request.model = model;
+            request.region = region;
+            request.params = params;
+            request.cls = RequestClass::Bulk;
+            futures.push_back(submit(std::move(request)));
+        }
+    }
+    ServeStatus status = ServeStatus::OK;
+    for (auto &future : futures) {
+        const PredictResponse response = future.get();
+        if (!response.ok() && status == ServeStatus::OK)
+            status = response.status;
+    }
+    return status;
+}
+
+size_t
+PredictionService::saveWarmSet(const std::string &path) const
+{
+    // Distinct regions across all models: the analyses (the expensive
+    // part) are model-independent.
+    std::vector<RegionSpec> regions;
+    {
+        std::lock_guard<std::mutex> lock(providersMtx);
+        regions.reserve(providers.size());
+        for (const auto &[key, entry] : providers) {
+            regions.push_back(RegionSpec{std::get<1>(key),
+                                         std::get<2>(key),
+                                         std::get<3>(key),
+                                         std::get<4>(key)});
+        }
+    }
+    std::sort(regions.begin(), regions.end(),
+              [](const RegionSpec &a, const RegionSpec &b) {
+                  return std::tie(a.programId, a.traceId, a.startChunk,
+                                  a.numChunks)
+                      < std::tie(b.programId, b.traceId, b.startChunk,
+                                 b.numChunks);
+              });
+    regions.erase(
+        std::unique(regions.begin(), regions.end(),
+                    [](const RegionSpec &a, const RegionSpec &b) {
+                        return std::tie(a.programId, a.traceId,
+                                        a.startChunk, a.numChunks)
+                            == std::tie(b.programId, b.traceId,
+                                        b.startChunk, b.numChunks);
+                    }),
+        regions.end());
+
+    const std::string tmp = path + ".tmp";
+    {
+        BinaryWriter writer(tmp);
+        writer.put<uint32_t>(kWarmSetMagic);
+        writer.put<uint16_t>(kWarmSetVersion);
+        writer.put<uint64_t>(regions.size());
+        for (const RegionSpec &region : regions) {
+            writer.put<int32_t>(region.programId);
+            writer.put<int32_t>(region.traceId);
+            writer.put<uint64_t>(region.startChunk);
+            writer.put<uint32_t>(region.numChunks);
+        }
+    }
+    publishFile(tmp, path);
+    return regions.size();
+}
+
+ServeStatus
+PredictionService::warmFromFile(const std::string &model,
+                                const std::string &path,
+                                const std::vector<UarchParams> &points)
+{
+    BinaryReader reader(path);
+    if (!reader.ok() || reader.get<uint32_t>() != kWarmSetMagic ||
+        reader.get<uint16_t>() != kWarmSetVersion) {
+        throw std::runtime_error("not a warm-set file: " + path);
+    }
+    const uint64_t n = reader.get<uint64_t>();
+    std::vector<RegionSpec> regions;
+    regions.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+        RegionSpec region;
+        region.programId = reader.get<int32_t>();
+        region.traceId = reader.get<int32_t>();
+        region.startChunk = reader.get<uint64_t>();
+        region.numChunks = reader.get<uint32_t>();
+        regions.push_back(region);
+    }
+    return warmRegions(model, regions, points);
+}
+
 PredictionService::ProviderKey
 PredictionService::providerKey(const PredictionRequest &request)
 {
@@ -105,13 +330,13 @@ PredictionService::providerKey(const PredictionRequest &request)
             request.region.numChunks};
 }
 
-PredictionService::ProviderEntry &
+std::shared_ptr<PredictionService::ProviderEntry>
 PredictionService::providerFor(const PredictionRequest &request)
 {
     std::lock_guard<std::mutex> lock(providersMtx);
     auto &slot = providers[providerKey(request)];
     if (!slot) {
-        slot = std::make_unique<ProviderEntry>();
+        slot = std::make_shared<ProviderEntry>();
         // The region analysis comes from the shared AnalysisStore, so
         // every model serving the same region -- and every other layer
         // touching it -- reuses one trace analysis. The provider itself
@@ -121,7 +346,7 @@ PredictionService::providerFor(const PredictionRequest &request)
             AnalysisStore::global().acquire(request.region),
             request.model.predictor->featureConfig());
     }
-    return *slot;
+    return slot;
 }
 
 std::vector<double>
@@ -154,11 +379,13 @@ PredictionService::handleBatch(const std::vector<PredictionRequest> &batch)
         features.reserve(rows.size() * dim);
         {
             // Providers memoize analytical-model runs and are not
-            // thread-safe; serialize assembly per (model, region).
-            ProviderEntry &entry = providerFor(first);
-            std::lock_guard<std::mutex> lock(entry.mtx);
+            // thread-safe; serialize assembly per (model, region). The
+            // shared_ptr keeps the entry alive even if clearProviders
+            // races past the idle check.
+            std::shared_ptr<ProviderEntry> entry = providerFor(first);
+            std::lock_guard<std::mutex> lock(entry->mtx);
             for (size_t i : rows)
-                entry.provider->assemble(batch[i].params, features);
+                entry->provider->assemble(batch[i].params, features);
         }
 
         const auto preds = predictor.predictCpiFromFeatures(
@@ -171,11 +398,14 @@ PredictionService::handleBatch(const std::vector<PredictionRequest> &batch)
     return out;
 }
 
-void
+ServeStatus
 PredictionService::clearProviders()
 {
     std::lock_guard<std::mutex> lock(providersMtx);
+    if (queue && !queue->idle())
+        return ServeStatus::OVERLOADED;
     providers.clear();
+    return ServeStatus::OK;
 }
 
 void
@@ -193,6 +423,9 @@ PredictionService::stats() const
     if (queue)
         s.queue = queue->stats();
     s.cache = cache.stats();
+    s.latency = latency.summary();
+    for (size_t i = 0; i < kNumServeStatuses; ++i)
+        s.byStatus[i] = statusCounts[i].load(std::memory_order_relaxed);
     return s;
 }
 

@@ -3,10 +3,10 @@
  * PredictionService: the full serving stack on top of the batched
  * inference engine.
  *
- *     clients ── predictAsync(model, region, params) ──> futures
- *        │
+ *     clients ── submit(PredictRequest) ──> PredictResponse completions
+ *        │        (in-process callers, legacy shims, net_server.hh)
  *        ▼
- *     BatchingQueue (coalesce: maxBatch / maxDelay)
+ *     BatchingQueue (per-class size-or-age flush, admission, timeouts)
  *        │  flushed batches, dispatched through the ThreadPool
  *        ▼
  *     batch handler: PredictionCache lookup ── hit ──> result
@@ -18,21 +18,31 @@
  *
  * Results are identical to calling predictCpi request-by-request; the
  * service only changes how the work is scheduled.
+ *
+ * The typed submit/predict entry points (serve_api.hh) are the real
+ * API: every outcome is a ServeStatus, never an exception. The older
+ * predictAsync/predict/predictSpan signatures remain as thin shims with
+ * their historical contract (unknown model throws std::invalid_argument,
+ * a handler fault surfaces from future::get).
  */
 
 #ifndef CONCORDE_SERVE_PREDICTION_SERVICE_HH
 #define CONCORDE_SERVE_PREDICTION_SERVICE_HH
 
+#include <array>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <tuple>
 
+#include "common/stats.hh"
 #include "pipeline/analysis_pipeline.hh"
 #include "serve/batching_queue.hh"
 #include "serve/model_registry.hh"
 #include "serve/prediction_cache.hh"
+#include "serve/serve_api.hh"
 
 namespace concorde
 {
@@ -48,6 +58,8 @@ struct ServeConfig
     size_t poolThreads = 1;
     /** Threads per MLP GEMM pass (1: parallelism comes from the pool). */
     size_t mlpThreads = 1;
+    /** Window of the end-to-end latency reservoir (samples). */
+    size_t latencyWindow = 1 << 14;
 };
 
 /** Aggregated service counters. */
@@ -55,11 +67,17 @@ struct ServeStats
 {
     QueueStats queue;
     CacheStats cache;
+    /** End-to-end submit -> completion latency percentiles. */
+    LatencySummary latency;
+    /** Completed requests per ServeStatus (serveStatusName order). */
+    std::array<uint64_t, kNumServeStatuses> byStatus{};
 };
 
 class PredictionService
 {
   public:
+    using Completion = BatchingQueue::Completion;
+
     explicit PredictionService(ServeConfig config = ServeConfig{});
     ~PredictionService();
 
@@ -80,8 +98,25 @@ class PredictionService
                           const std::string &artifact_path);
 
     /**
-     * Submit one prediction request; throws std::invalid_argument if
-     * `model` is not registered. The future yields the CPI.
+     * The typed entry point: `done` is invoked exactly once with the
+     * response. Never throws and never blocks on inference; routine
+     * failures (UNKNOWN_MODEL, OVERLOADED, TIMEOUT, SHUTDOWN) complete
+     * immediately or from the dispatcher. This is the form the network
+     * front end drives -- an event loop cannot park on a future.
+     */
+    void submit(PredictRequest request, Completion done);
+
+    /** Future-returning form of the typed entry point. */
+    std::future<PredictResponse> submit(PredictRequest request);
+
+    /** Blocking typed convenience: submit + wait. */
+    PredictResponse predict(const PredictRequest &request);
+
+    /**
+     * Legacy shim over submit(): throws std::invalid_argument if
+     * `model` is not registered; any other non-OK outcome surfaces as
+     * std::runtime_error from future::get. The future is deferred --
+     * call get()/wait(), not wait_for().
      */
     std::future<double> predictAsync(const std::string &model,
                                      const RegionSpec &region,
@@ -98,6 +133,7 @@ class PredictionService
      * the service's per-region warmup convention, so results are
      * bitwise identical to AnalysisPipeline with StateMode::Independent
      * and the default warmup (the golden corpus pins this down).
+     * Regions ride the Bulk class: throughput, not tail latency.
      */
     pipeline::PipelineResult predictSpan(const std::string &model,
                                          const TraceSpan &span,
@@ -105,15 +141,45 @@ class PredictionService
                                          const UarchParams &params);
 
     /**
+     * Warm path: pre-populate the shared AnalysisStore and this
+     * service's per-(model, region) FeatureProviders for `regions`,
+     * and -- when `points` is non-empty -- pre-answer every
+     * (region, point) pair through the Bulk path so the prediction
+     * cache and provider memos are hot before traffic lands. Returns
+     * UNKNOWN_MODEL if `model` is not registered, otherwise the first
+     * non-OK prediction outcome (OK when everything warmed).
+     */
+    ServeStatus warmRegions(const std::string &model,
+                            const std::vector<RegionSpec> &regions,
+                            const std::vector<UarchParams> &points = {});
+
+    /**
+     * Persist the distinct regions this service has built providers for
+     * (its hot set) to `path`; returns the number of regions written.
+     * A later process feeds the file to warmFromFile() before opening
+     * its listening socket, so the first client never pays cold region
+     * analysis.
+     */
+    size_t saveWarmSet(const std::string &path) const;
+
+    /** Load a saveWarmSet() file and warmRegions() it for `model`. */
+    ServeStatus warmFromFile(const std::string &model,
+                             const std::string &path,
+                             const std::vector<UarchParams> &points = {});
+
+    /**
      * Drop the cached FeatureProvider state for regions served so far
      * (providers are kept per (model, region) and grow with the number
      * of distinct regions seen). The underlying region analyses live in
      * the shared AnalysisStore and survive this call (bounded by the
-     * store's LRU), so re-created providers skip trace analysis. Only
-     * safe once the service is idle -- in-flight batches hold
-     * references into the provider table.
+     * store's LRU), so re-created providers skip trace analysis.
+     * Refuses with OVERLOADED while requests are in flight -- in-flight
+     * batches hold references into the provider table; returns OK once
+     * the table is cleared. (Entries are reference-counted, so even a
+     * racing batch that slipped past the idle check keeps its provider
+     * alive; the refusal keeps the call's semantics honest.)
      */
-    void clearProviders();
+    ServeStatus clearProviders();
 
     /** Flush pending batches and stop accepting requests. */
     void shutdown();
@@ -137,15 +203,22 @@ class PredictionService
 
     std::vector<double>
     handleBatch(const std::vector<PredictionRequest> &batch);
-    ProviderEntry &providerFor(const PredictionRequest &request);
+    std::shared_ptr<ProviderEntry>
+    providerFor(const PredictionRequest &request);
+    /** Record latency + per-status counters for one completion. */
+    void recordOutcome(std::chrono::steady_clock::time_point start,
+                       ServeStatus status);
 
     const ServeConfig cfg;
     ModelRegistry models;
     PredictionCache cache;
     ThreadPool pool;
 
-    std::mutex providersMtx;
-    std::map<ProviderKey, std::unique_ptr<ProviderEntry>> providers;
+    LatencyRecorder latency;
+    std::array<std::atomic<uint64_t>, kNumServeStatuses> statusCounts{};
+
+    mutable std::mutex providersMtx;
+    std::map<ProviderKey, std::shared_ptr<ProviderEntry>> providers;
 
     /** Constructed last so its dispatcher never outlives the members. */
     std::unique_ptr<BatchingQueue> queue;

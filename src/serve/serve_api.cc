@@ -1,0 +1,33 @@
+#include "serve/serve_api.hh"
+
+namespace concorde
+{
+namespace serve
+{
+
+const char *
+serveStatusName(ServeStatus status)
+{
+    switch (status) {
+      case ServeStatus::OK: return "ok";
+      case ServeStatus::UNKNOWN_MODEL: return "unknown_model";
+      case ServeStatus::TIMEOUT: return "timeout";
+      case ServeStatus::OVERLOADED: return "overloaded";
+      case ServeStatus::SHUTDOWN: return "shutdown";
+      case ServeStatus::INTERNAL_ERROR: return "internal_error";
+    }
+    return "invalid";
+}
+
+const char *
+requestClassName(RequestClass cls)
+{
+    switch (cls) {
+      case RequestClass::Interactive: return "interactive";
+      case RequestClass::Bulk: return "bulk";
+    }
+    return "invalid";
+}
+
+} // namespace serve
+} // namespace concorde

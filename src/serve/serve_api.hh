@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The typed request/response contract of the serving stack.
+ *
+ * Every way into the service -- the in-process typed API, the legacy
+ * predictAsync/predict/predictSpan shims, and the network front end
+ * (net_server.hh) -- speaks PredictRequest -> PredictResponse. Routine
+ * failures are *statuses*, not exceptions: a wire protocol cannot
+ * serialize a std::invalid_argument, and a client under load must be
+ * able to distinguish "your model name is wrong" (UNKNOWN_MODEL) from
+ * "come back later" (OVERLOADED) from "you waited too long" (TIMEOUT)
+ * without parsing strings. Exceptions remain for programming errors
+ * only; a handler fault inside the service surfaces as INTERNAL_ERROR
+ * with a diagnostic message.
+ */
+
+#ifndef CONCORDE_SERVE_SERVE_API_HH
+#define CONCORDE_SERVE_SERVE_API_HH
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "trace/program_model.hh"
+#include "uarch/params.hh"
+
+namespace concorde
+{
+namespace serve
+{
+
+/**
+ * Disposition of one prediction request. Values are part of the wire
+ * protocol (serialized as a u8) -- append, never renumber.
+ */
+enum class ServeStatus : uint8_t
+{
+    OK = 0,             ///< cpi holds the prediction
+    UNKNOWN_MODEL = 1,  ///< no model registered under the requested name
+    TIMEOUT = 2,        ///< request expired while queued
+    OVERLOADED = 3,     ///< per-model admission control rejected it
+    SHUTDOWN = 4,       ///< service is stopping; request not accepted
+    INTERNAL_ERROR = 5, ///< handler fault; message has the diagnostic
+};
+
+constexpr size_t kNumServeStatuses = 6;
+
+/** Stable lowercase name ("ok", "timeout", ...) for logs and JSON. */
+const char *serveStatusName(ServeStatus status);
+
+/**
+ * Latency class of a request, used by the batcher's size-OR-age flush
+ * policy (BatchingConfig::classes). Interactive requests coalesce into
+ * small batches flushed after a short age -- the tail-latency path;
+ * Bulk requests fill large batches for GEMM throughput -- sweeps,
+ * dataset labeling, pipeline fan-out.
+ */
+enum class RequestClass : uint8_t
+{
+    Interactive = 0,
+    Bulk = 1,
+};
+
+constexpr size_t kNumRequestClasses = 2;
+
+/** Stable lowercase name ("interactive", "bulk"). */
+const char *requestClassName(RequestClass cls);
+
+/** One typed prediction request. */
+struct PredictRequest
+{
+    std::string model;          ///< registry name
+    RegionSpec region;
+    UarchParams params;
+    RequestClass cls = RequestClass::Interactive;
+    /** Max time the request may wait in the queue (0 = no limit). */
+    std::chrono::microseconds timeout{0};
+};
+
+/** The typed answer; cpi is meaningful only when status == OK. */
+struct PredictResponse
+{
+    ServeStatus status = ServeStatus::OK;
+    double cpi = 0.0;
+    /** Diagnostic for INTERNAL_ERROR (empty otherwise). */
+    std::string message;
+
+    bool ok() const { return status == ServeStatus::OK; }
+};
+
+} // namespace serve
+} // namespace concorde
+
+#endif // CONCORDE_SERVE_SERVE_API_HH

@@ -1,0 +1,350 @@
+#include "serve/wire.hh"
+
+#include <cstring>
+#include <string>
+
+#include "uarch/params.hh"
+
+namespace concorde
+{
+namespace serve
+{
+namespace wire
+{
+
+namespace
+{
+
+/** Little-endian primitive appender over a growing byte buffer. */
+class Writer
+{
+  public:
+    explicit Writer(std::vector<uint8_t> &buffer) : buf(buffer) {}
+
+    void
+    u8(uint8_t v)
+    {
+        buf.push_back(v);
+    }
+
+    void
+    u16(uint16_t v)
+    {
+        buf.push_back(static_cast<uint8_t>(v));
+        buf.push_back(static_cast<uint8_t>(v >> 8));
+    }
+
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    i32(int32_t v)
+    {
+        u32(static_cast<uint32_t>(v));
+    }
+
+    void
+    i64(int64_t v)
+    {
+        u64(static_cast<uint64_t>(v));
+    }
+
+    void
+    f64(double v)
+    {
+        uint64_t bits;
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    /** u16 length + raw bytes. */
+    void
+    str16(const std::string &s)
+    {
+        u16(static_cast<uint16_t>(s.size()));
+        buf.insert(buf.end(), s.begin(), s.end());
+    }
+
+  private:
+    std::vector<uint8_t> &buf;
+};
+
+/**
+ * Bounds-checked little-endian reader. Every accessor reports success;
+ * once a read fails the reader stays failed, so decode functions can
+ * read a whole struct and check once at the end.
+ */
+class Reader
+{
+  public:
+    Reader(const uint8_t *data, size_t len) : at(data), left(len) {}
+
+    bool
+    u8(uint8_t &v)
+    {
+        return fixed(&v, 1);
+    }
+
+    bool
+    u16(uint16_t &v)
+    {
+        uint8_t b[2];
+        if (!fixed(b, 2))
+            return false;
+        v = static_cast<uint16_t>(b[0] | (b[1] << 8));
+        return true;
+    }
+
+    bool
+    u32(uint32_t &v)
+    {
+        uint8_t b[4];
+        if (!fixed(b, 4))
+            return false;
+        v = 0;
+        for (int i = 3; i >= 0; --i)
+            v = (v << 8) | b[i];
+        return true;
+    }
+
+    bool
+    u64(uint64_t &v)
+    {
+        uint8_t b[8];
+        if (!fixed(b, 8))
+            return false;
+        v = 0;
+        for (int i = 7; i >= 0; --i)
+            v = (v << 8) | b[i];
+        return true;
+    }
+
+    bool
+    i32(int32_t &v)
+    {
+        uint32_t u;
+        if (!u32(u))
+            return false;
+        v = static_cast<int32_t>(u);
+        return true;
+    }
+
+    bool
+    i64(int64_t &v)
+    {
+        uint64_t u;
+        if (!u64(u))
+            return false;
+        v = static_cast<int64_t>(u);
+        return true;
+    }
+
+    bool
+    f64(double &v)
+    {
+        uint64_t bits;
+        if (!u64(bits))
+            return false;
+        std::memcpy(&v, &bits, sizeof(v));
+        return true;
+    }
+
+    bool
+    str16(std::string &s)
+    {
+        uint16_t n;
+        if (!u16(n) || n > left)
+            return failNow();
+        s.assign(reinterpret_cast<const char *>(at), n);
+        at += n;
+        left -= n;
+        return true;
+    }
+
+    bool exhausted() const { return !failed && left == 0; }
+    bool ok() const { return !failed; }
+
+  private:
+    bool
+    fixed(uint8_t *out, size_t n)
+    {
+        if (failed || n > left)
+            return failNow();
+        std::memcpy(out, at, n);
+        at += n;
+        left -= n;
+        return true;
+    }
+
+    bool
+    failNow()
+    {
+        failed = true;
+        return false;
+    }
+
+    const uint8_t *at;
+    size_t left;
+    bool failed = false;
+};
+
+/** Patch the frame's length prefix once the payload size is known. */
+void
+beginFrame(std::vector<uint8_t> &out, size_t &length_at)
+{
+    length_at = out.size();
+    Writer(out).u32(0);
+}
+
+void
+endFrame(std::vector<uint8_t> &out, size_t length_at)
+{
+    const uint32_t payload = static_cast<uint32_t>(
+        out.size() - length_at - kLengthPrefixBytes);
+    for (int i = 0; i < 4; ++i)
+        out[length_at + i] = static_cast<uint8_t>(payload >> (8 * i));
+}
+
+void
+header(Writer &w, uint8_t type, uint64_t request_id)
+{
+    w.u32(kMagic);
+    w.u8(kVersion);
+    w.u8(type);
+    w.u16(0);   // reserved
+    w.u64(request_id);
+}
+
+/** @return false on bad magic/version or unexpected frame type. */
+bool
+readHeader(Reader &r, uint8_t want_type, uint64_t &request_id)
+{
+    uint32_t magic;
+    uint8_t version, type;
+    uint16_t reserved;
+    if (!r.u32(magic) || !r.u8(version) || !r.u8(type) ||
+        !r.u16(reserved) || !r.u64(request_id)) {
+        return false;
+    }
+    return magic == kMagic && version == kVersion && type == want_type;
+}
+
+} // anonymous namespace
+
+void
+encodeRequest(const RequestFrame &frame, std::vector<uint8_t> &out)
+{
+    size_t length_at;
+    beginFrame(out, length_at);
+    Writer w(out);
+    header(w, kTypeRequest, frame.requestId);
+
+    const PredictRequest &req = frame.request;
+    w.u8(static_cast<uint8_t>(req.cls));
+    w.u8(0);
+    w.u8(0);
+    w.u8(0);
+    w.u32(static_cast<uint32_t>(req.timeout.count()));
+    w.str16(req.model);
+    w.i32(req.region.programId);
+    w.i32(req.region.traceId);
+    w.u64(req.region.startChunk);
+    w.u32(req.region.numChunks);
+
+    // The design point as explicit (id, value) pairs over all 20 axes.
+    w.u16(static_cast<uint16_t>(kNumParams));
+    for (int i = 0; i < kNumParams; ++i) {
+        const ParamId id = static_cast<ParamId>(i);
+        w.u16(static_cast<uint16_t>(i));
+        w.i64(req.params.get(id));
+    }
+    endFrame(out, length_at);
+}
+
+void
+encodeResponse(const ResponseFrame &frame, std::vector<uint8_t> &out)
+{
+    size_t length_at;
+    beginFrame(out, length_at);
+    Writer w(out);
+    header(w, kTypeResponse, frame.requestId);
+    w.u8(static_cast<uint8_t>(frame.response.status));
+    w.f64(frame.response.cpi);
+    w.str16(frame.response.message);
+    endFrame(out, length_at);
+}
+
+bool
+decodeRequest(const uint8_t *data, size_t len, RequestFrame &out)
+{
+    Reader r(data, len);
+    if (!readHeader(r, kTypeRequest, out.requestId))
+        return false;
+
+    PredictRequest &req = out.request;
+    uint8_t cls, pad0, pad1, pad2;
+    uint32_t timeout_us;
+    if (!r.u8(cls) || !r.u8(pad0) || !r.u8(pad1) || !r.u8(pad2) ||
+        !r.u32(timeout_us) || !r.str16(req.model)) {
+        return false;
+    }
+    if (cls >= kNumRequestClasses)
+        return false;
+    req.cls = static_cast<RequestClass>(cls);
+    req.timeout = std::chrono::microseconds(timeout_us);
+
+    if (!r.i32(req.region.programId) || !r.i32(req.region.traceId) ||
+        !r.u64(req.region.startChunk) || !r.u32(req.region.numChunks)) {
+        return false;
+    }
+
+    uint16_t num_params;
+    if (!r.u16(num_params))
+        return false;
+    // Starting from the default-constructed point and applying the
+    // transmitted axes reproduces the sender's UarchParams exactly:
+    // the ParamId accessors cover every field.
+    req.params = UarchParams{};
+    for (uint16_t i = 0; i < num_params; ++i) {
+        uint16_t id;
+        int64_t value;
+        if (!r.u16(id) || !r.i64(value))
+            return false;
+        if (id >= static_cast<uint16_t>(kNumParams))
+            return false;
+        req.params.set(static_cast<ParamId>(id), value);
+    }
+    return r.exhausted();
+}
+
+bool
+decodeResponse(const uint8_t *data, size_t len, ResponseFrame &out)
+{
+    Reader r(data, len);
+    if (!readHeader(r, kTypeResponse, out.requestId))
+        return false;
+    uint8_t status;
+    if (!r.u8(status) || !r.f64(out.response.cpi) ||
+        !r.str16(out.response.message)) {
+        return false;
+    }
+    if (status >= kNumServeStatuses)
+        return false;
+    out.response.status = static_cast<ServeStatus>(status);
+    return r.exhausted();
+}
+
+} // namespace wire
+} // namespace serve
+} // namespace concorde

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Wire encoding of the serve protocol (see net_server.hh for the full
+ * protocol specification). This layer is deliberately separate from the
+ * sockets: frames encode into / decode from byte buffers, so the exact
+ * same code serves the server, the client library, the load generator,
+ * and the unit tests -- no network required.
+ *
+ * Unlike BinaryReader (a trusted local-cache format that aborts on
+ * short reads), decoding here is bounds-checked and total: malformed
+ * input from the network can never crash the server, it just fails the
+ * decode. Integers are little-endian, matching the repo's artifact
+ * convention; the design point travels as explicit (ParamId, value)
+ * pairs -- the 20 Table-1 axes fully determine a UarchParams, and the
+ * field-wise encoding is independent of struct layout.
+ */
+
+#ifndef CONCORDE_SERVE_WIRE_HH
+#define CONCORDE_SERVE_WIRE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/serve_api.hh"
+
+namespace concorde
+{
+namespace serve
+{
+namespace wire
+{
+
+/** Frame header magic: "CNCD". */
+constexpr uint32_t kMagic = 0x434E4344;
+constexpr uint8_t kVersion = 1;
+
+constexpr uint8_t kTypeRequest = 1;
+constexpr uint8_t kTypeResponse = 2;
+
+/**
+ * Upper bound on a frame payload. Model names and diagnostics are
+ * short; anything bigger is a corrupt or hostile length prefix, and the
+ * connection is dropped before allocating.
+ */
+constexpr uint32_t kMaxPayloadBytes = 1 << 16;
+
+/** Bytes of the length prefix that precedes every payload. */
+constexpr size_t kLengthPrefixBytes = 4;
+
+/** One request frame: a client-chosen id plus the typed request. */
+struct RequestFrame
+{
+    uint64_t requestId = 0;
+    PredictRequest request;
+};
+
+/** One response frame, matched to its request by id. */
+struct ResponseFrame
+{
+    uint64_t requestId = 0;
+    PredictResponse response;
+};
+
+/**
+ * Append a complete request frame -- length prefix included -- to
+ * `out`. The buffer is not cleared: callers pipeline many frames into
+ * one write.
+ */
+void encodeRequest(const RequestFrame &frame, std::vector<uint8_t> &out);
+
+/** Append a complete response frame (length prefix included). */
+void encodeResponse(const ResponseFrame &frame, std::vector<uint8_t> &out);
+
+/**
+ * Decode one request payload (the bytes after the length prefix).
+ * @return false if the payload is malformed: bad magic/version/type,
+ * truncated field, trailing garbage, or an out-of-range enum. A false
+ * return is connection-fatal by protocol.
+ */
+bool decodeRequest(const uint8_t *data, size_t len, RequestFrame &out);
+
+/** Decode one response payload; same contract as decodeRequest. */
+bool decodeResponse(const uint8_t *data, size_t len, ResponseFrame &out);
+
+} // namespace wire
+} // namespace serve
+} // namespace concorde
+
+#endif // CONCORDE_SERVE_WIRE_HH

@@ -2,14 +2,16 @@
  * @file
  * Tests for the prediction-service layer: LRU PredictionCache
  * accounting and eviction, ModelRegistry identity rules, BatchingQueue
- * flush/edge-case behavior against a mock handler, and the composed
- * PredictionService matching the scalar predictCpi path.
+ * flush/admission/timeout behavior against a mock handler, and the
+ * composed PredictionService matching the scalar predictCpi path
+ * through both the typed API and the legacy shims.
  */
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -25,6 +27,16 @@ namespace
 {
 
 using namespace concorde::serve;
+
+/** One flush policy for both request classes. */
+BatchingConfig
+uniformBatching(size_t max_batch, std::chrono::microseconds max_age)
+{
+    BatchingConfig cfg;
+    for (auto &policy : cfg.classes)
+        policy = {max_batch, max_age};
+    return cfg;
+}
 
 // ---- PredictionCache ----
 
@@ -159,15 +171,14 @@ requestWithRob(int rob)
 
 TEST(BatchingQueue, FlushOnDeadlineWithSingleRequest)
 {
-    BatchingConfig cfg;
-    cfg.maxBatch = 100;     // never reached
-    cfg.maxDelay = std::chrono::microseconds(2000);
-    BatchingQueue queue(cfg, robSizeHandler());
-    Stopwatch t;
+    // maxBatch never reached: the flush must come from the age trigger.
+    BatchingQueue queue(
+        uniformBatching(100, std::chrono::microseconds(2000)),
+        robSizeHandler());
     auto future = queue.submit(requestWithRob(42));
-    EXPECT_EQ(future.get(), 42.0);
-    // The flush had to come from the deadline, well before any
-    // size-based trigger could fire.
+    const PredictResponse response = future.get();
+    EXPECT_EQ(response.status, ServeStatus::OK);
+    EXPECT_EQ(response.cpi, 42.0);
     const QueueStats stats = queue.stats();
     EXPECT_EQ(stats.submitted, 1u);
     EXPECT_EQ(stats.batches, 1u);
@@ -178,36 +189,100 @@ TEST(BatchingQueue, FlushOnDeadlineWithSingleRequest)
 
 TEST(BatchingQueue, FlushOnMaxBatchBeforeDeadline)
 {
-    BatchingConfig cfg;
-    cfg.maxBatch = 8;
-    cfg.maxDelay = std::chrono::seconds(30);    // deadline unreachable
-    BatchingQueue queue(cfg, robSizeHandler());
-    std::vector<std::future<double>> futures;
+    // 30s age: completion within the test proves the size trigger.
+    BatchingQueue queue(uniformBatching(8, std::chrono::seconds(30)),
+                        robSizeHandler());
+    std::vector<std::future<PredictResponse>> futures;
     Stopwatch t;
     for (int i = 0; i < 8; ++i)
         futures.push_back(queue.submit(requestWithRob(i + 1)));
     for (int i = 0; i < 8; ++i)
-        EXPECT_EQ(futures[i].get(), i + 1.0);
-    // Completed despite the 30s deadline => the size trigger flushed.
+        EXPECT_EQ(futures[i].get().cpi, i + 1.0);
     EXPECT_LT(t.seconds(), 10.0);
     EXPECT_GE(queue.stats().flushOnSize, 1u);
+}
+
+TEST(BatchingQueue, PerClassPoliciesFlushIndependently)
+{
+    BatchingConfig cfg;
+    cfg.policy(RequestClass::Interactive) = {
+        100, std::chrono::microseconds(500)};
+    cfg.policy(RequestClass::Bulk) = {100, std::chrono::seconds(30)};
+    BatchingQueue queue(cfg, robSizeHandler());
+
+    PredictionRequest bulk = requestWithRob(7);
+    bulk.cls = RequestClass::Bulk;
+    auto bulkFuture = queue.submit(std::move(bulk));
+
+    PredictionRequest interactive = requestWithRob(3);
+    interactive.cls = RequestClass::Interactive;
+    auto interactiveFuture = queue.submit(std::move(interactive));
+
+    // The interactive request flushes on its short age while the bulk
+    // request keeps waiting on its 30s policy.
+    EXPECT_EQ(interactiveFuture.get().cpi, 3.0);
+    EXPECT_EQ(bulkFuture.wait_for(std::chrono::milliseconds(0)),
+              std::future_status::timeout);
+    queue.shutdown();   // flushes the bulk class
+    EXPECT_EQ(bulkFuture.get().cpi, 7.0);
+    const QueueStats stats = queue.stats();
+    EXPECT_GE(stats.flushOnDeadline, 1u);
+    EXPECT_GE(stats.flushOnShutdown, 1u);
+    EXPECT_EQ(stats.submittedByClass[static_cast<size_t>(
+                  RequestClass::Interactive)], 1u);
+    EXPECT_EQ(stats.submittedByClass[static_cast<size_t>(
+                  RequestClass::Bulk)], 1u);
+}
+
+TEST(BatchingQueue, TimeoutExpiresQueuedRequest)
+{
+    // Age far beyond the per-request timeout: the request must expire,
+    // not be served.
+    BatchingQueue queue(uniformBatching(100, std::chrono::seconds(30)),
+                        robSizeHandler());
+    PredictionRequest request = requestWithRob(5);
+    request.timeout = std::chrono::milliseconds(2);
+    Stopwatch t;
+    const PredictResponse response = queue.submit(std::move(request)).get();
+    EXPECT_EQ(response.status, ServeStatus::TIMEOUT);
+    EXPECT_LT(t.seconds(), 10.0);
+    EXPECT_EQ(queue.stats().timeouts, 1u);
+    EXPECT_EQ(queue.stats().batches, 0u);
+}
+
+TEST(BatchingQueue, AdmissionControlRejectsExcessInFlight)
+{
+    BatchingConfig cfg = uniformBatching(100, std::chrono::seconds(30));
+    cfg.maxInFlightPerKey = 2;
+    BatchingQueue queue(cfg, robSizeHandler());
+    // All requests share admission key 0 (default model id). The first
+    // two park in the queue (30s age); the third must bounce.
+    auto a = queue.submit(requestWithRob(1));
+    auto b = queue.submit(requestWithRob(2));
+    const PredictResponse rejected = queue.submit(requestWithRob(3)).get();
+    EXPECT_EQ(rejected.status, ServeStatus::OVERLOADED);
+    EXPECT_EQ(queue.stats().rejectedOverload, 1u);
+    queue.shutdown();
+    // The admitted requests complete, freeing their admission slots.
+    EXPECT_EQ(a.get().cpi, 1.0);
+    EXPECT_EQ(b.get().cpi, 2.0);
+    EXPECT_TRUE(queue.idle());
 }
 
 TEST(BatchingQueue, ConcurrentSubmittersExceedPoolSize)
 {
     ThreadPool pool(1);
-    BatchingConfig cfg;
-    cfg.maxBatch = 16;
-    cfg.maxDelay = std::chrono::microseconds(200);
     std::atomic<int> batches{0};
-    BatchingQueue queue(cfg, robSizeHandler(&batches), &pool);
+    BatchingQueue queue(
+        uniformBatching(16, std::chrono::microseconds(200)),
+        robSizeHandler(&batches), &pool);
     constexpr int kSubmitters = 6;      // > pool size of 1
     constexpr int kPerThread = 80;
     std::vector<std::thread> submitters;
     std::atomic<int> failures{0};
     for (int t = 0; t < kSubmitters; ++t) {
         submitters.emplace_back([&, t]() {
-            std::vector<std::future<double>> futures;
+            std::vector<std::future<PredictResponse>> futures;
             std::vector<int> expect;
             for (int i = 0; i < kPerThread; ++i) {
                 const int rob = 1 + t * kPerThread + i;
@@ -215,7 +290,7 @@ TEST(BatchingQueue, ConcurrentSubmittersExceedPoolSize)
                 futures.push_back(queue.submit(requestWithRob(rob)));
             }
             for (int i = 0; i < kPerThread; ++i) {
-                if (futures[i].get() != expect[i])
+                if (futures[i].get().cpi != expect[i])
                     ++failures;
             }
         });
@@ -234,61 +309,76 @@ TEST(BatchingQueue, ConcurrentSubmittersExceedPoolSize)
     EXPECT_EQ(dispatched, stats.submitted);
 }
 
-TEST(BatchingQueue, HandlerExceptionReachesEveryFuture)
+TEST(BatchingQueue, CallbackCompletionForm)
 {
-    BatchingConfig cfg;
-    cfg.maxBatch = 4;
-    cfg.maxDelay = std::chrono::microseconds(100);
-    BatchingQueue queue(cfg, [](const std::vector<PredictionRequest> &)
-                        -> std::vector<double> {
-        throw std::runtime_error("model exploded");
+    BatchingQueue queue(
+        uniformBatching(4, std::chrono::microseconds(100)),
+        robSizeHandler());
+    std::promise<PredictResponse> done;
+    queue.submit(requestWithRob(11), [&done](PredictResponse response) {
+        done.set_value(std::move(response));
     });
-    std::vector<std::future<double>> futures;
+    const PredictResponse response = done.get_future().get();
+    EXPECT_EQ(response.status, ServeStatus::OK);
+    EXPECT_EQ(response.cpi, 11.0);
+}
+
+TEST(BatchingQueue, HandlerExceptionBecomesInternalError)
+{
+    BatchingQueue queue(
+        uniformBatching(4, std::chrono::microseconds(100)),
+        [](const std::vector<PredictionRequest> &)
+            -> std::vector<double> {
+            throw std::runtime_error("model exploded");
+        });
+    std::vector<std::future<PredictResponse>> futures;
     for (int i = 0; i < 4; ++i)
         futures.push_back(queue.submit(requestWithRob(i + 1)));
-    for (auto &f : futures)
-        EXPECT_THROW(f.get(), std::runtime_error);
+    for (auto &f : futures) {
+        const PredictResponse response = f.get();
+        EXPECT_EQ(response.status, ServeStatus::INTERNAL_ERROR);
+        EXPECT_EQ(response.message, "model exploded");
+    }
     // The queue survives a failing batch.
     EXPECT_EQ(queue.stats().batches, 1u);
 }
 
 TEST(BatchingQueue, WrongResultCountIsAnError)
 {
-    BatchingConfig cfg;
-    cfg.maxBatch = 2;
-    cfg.maxDelay = std::chrono::microseconds(100);
-    BatchingQueue queue(cfg, [](const std::vector<PredictionRequest> &) {
-        return std::vector<double>{1.0};    // short by one
-    });
+    BatchingQueue queue(
+        uniformBatching(2, std::chrono::microseconds(100)),
+        [](const std::vector<PredictionRequest> &) {
+            return std::vector<double>{1.0};    // short by one
+        });
     auto a = queue.submit(requestWithRob(1));
     auto b = queue.submit(requestWithRob(2));
-    EXPECT_THROW(a.get(), std::runtime_error);
-    EXPECT_THROW(b.get(), std::runtime_error);
+    EXPECT_EQ(a.get().status, ServeStatus::INTERNAL_ERROR);
+    EXPECT_EQ(b.get().status, ServeStatus::INTERNAL_ERROR);
 }
 
 TEST(BatchingQueue, ShutdownFlushesPendingAndRejectsNewWork)
 {
-    BatchingConfig cfg;
-    cfg.maxBatch = 100;
-    cfg.maxDelay = std::chrono::seconds(30);
-    BatchingQueue queue(cfg, robSizeHandler());
-    std::vector<std::future<double>> futures;
+    BatchingQueue queue(uniformBatching(100, std::chrono::seconds(30)),
+                        robSizeHandler());
+    std::vector<std::future<PredictResponse>> futures;
     for (int i = 0; i < 3; ++i)
         futures.push_back(queue.submit(requestWithRob(i + 1)));
     queue.shutdown();
     for (int i = 0; i < 3; ++i)
-        EXPECT_EQ(futures[i].get(), i + 1.0);
+        EXPECT_EQ(futures[i].get().cpi, i + 1.0);
     EXPECT_GE(queue.stats().flushOnShutdown, 1u);
-    EXPECT_THROW(queue.submit(requestWithRob(9)), std::runtime_error);
+    const PredictResponse rejected = queue.submit(requestWithRob(9)).get();
+    EXPECT_EQ(rejected.status, ServeStatus::SHUTDOWN);
+    EXPECT_EQ(queue.stats().rejectedShutdown, 1u);
 }
 
 TEST(BatchingQueue, RejectsBrokenConfig)
 {
     BatchingConfig cfg;
-    cfg.maxBatch = 0;
+    cfg.policy(RequestClass::Interactive).maxBatch = 0;
     EXPECT_THROW(BatchingQueue(cfg, robSizeHandler()),
                  std::invalid_argument);
-    cfg.maxBatch = 1;
+    cfg.policy(RequestClass::Interactive).maxBatch = 1;
     EXPECT_THROW(BatchingQueue(cfg, nullptr), std::invalid_argument);
 }
 
@@ -297,8 +387,7 @@ TEST(BatchingQueue, RejectsBrokenConfig)
 TEST(PredictionService, MatchesScalarPredictorAndCountsCacheTraffic)
 {
     ServeConfig cfg;
-    cfg.batching.maxBatch = 16;
-    cfg.batching.maxDelay = std::chrono::microseconds(200);
+    cfg.batching = uniformBatching(16, std::chrono::microseconds(200));
     cfg.cacheCapacity = 1024;
     cfg.poolThreads = 2;
     PredictionService service(cfg);
@@ -340,13 +429,20 @@ TEST(PredictionService, MatchesScalarPredictorAndCountsCacheTraffic)
     EXPECT_EQ(stats.cache.misses, misses_before);
     EXPECT_EQ(stats.queue.submitted,
               static_cast<uint64_t>(2 * points.size()));
+    // Every completion was recorded: latency reservoir and per-status
+    // counters cover both passes.
+    EXPECT_EQ(stats.latency.count,
+              static_cast<uint64_t>(2 * points.size()));
+    EXPECT_EQ(stats.byStatus[static_cast<size_t>(ServeStatus::OK)],
+              static_cast<uint64_t>(2 * points.size()));
+    EXPECT_GT(stats.latency.p99Us, 0.0);
+    EXPECT_GE(stats.latency.p99Us, stats.latency.p50Us);
 }
 
 TEST(PredictionService, CacheHitIsBitwiseIdentical)
 {
     ServeConfig cfg;
-    cfg.batching.maxBatch = 4;
-    cfg.batching.maxDelay = std::chrono::microseconds(100);
+    cfg.batching = uniformBatching(4, std::chrono::microseconds(100));
     PredictionService service(cfg);
     service.registry().add("tiny", tinyPredictor(21));
     const RegionSpec region{1, 0, 0, 1};
@@ -357,7 +453,7 @@ TEST(PredictionService, CacheHitIsBitwiseIdentical)
     EXPECT_GE(service.stats().cache.hits, 1u);
 }
 
-TEST(PredictionService, UnknownModelThrows)
+TEST(PredictionService, UnknownModelThrowsFromLegacyShim)
 {
     PredictionService service;
     const RegionSpec region{0, 0, 0, 1};
@@ -366,11 +462,96 @@ TEST(PredictionService, UnknownModelThrows)
                  std::invalid_argument);
 }
 
+TEST(PredictionService, TypedApiReturnsStatusInsteadOfThrowing)
+{
+    PredictionService service;
+    PredictRequest request;
+    request.model = "missing";
+    request.region = RegionSpec{0, 0, 0, 1};
+    request.params = UarchParams::armN1();
+    const PredictResponse response = service.predict(request);
+    EXPECT_EQ(response.status, ServeStatus::UNKNOWN_MODEL);
+    EXPECT_FALSE(response.ok());
+    EXPECT_NE(response.message.find("missing"), std::string::npos);
+    EXPECT_EQ(service.stats().byStatus[static_cast<size_t>(
+                  ServeStatus::UNKNOWN_MODEL)], 1u);
+}
+
+TEST(PredictionService, TypedTimeoutSurfacesAsStatus)
+{
+    ServeConfig cfg;
+    // Queue age far beyond the request timeout so the request expires.
+    cfg.batching = uniformBatching(100, std::chrono::seconds(30));
+    PredictionService service(cfg);
+    service.registry().add("tiny", tinyPredictor(22));
+    PredictRequest request;
+    request.model = "tiny";
+    request.region = RegionSpec{0, 0, 0, 1};
+    request.params = UarchParams::armN1();
+    request.timeout = std::chrono::milliseconds(2);
+    const PredictResponse response = service.predict(request);
+    EXPECT_EQ(response.status, ServeStatus::TIMEOUT);
+    EXPECT_EQ(service.stats().queue.timeouts, 1u);
+}
+
+TEST(PredictionService, ClearProvidersRefusesWhileBusy)
+{
+    ServeConfig cfg;
+    // Parked requests (30s age) keep the service busy deterministically.
+    cfg.batching = uniformBatching(100, std::chrono::seconds(30));
+    PredictionService service(cfg);
+    service.registry().add("tiny", tinyPredictor(23));
+    PredictRequest request;
+    request.model = "tiny";
+    request.region = RegionSpec{0, 0, 0, 1};
+    request.params = UarchParams::armN1();
+    auto pending = service.submit(request);
+    EXPECT_EQ(service.clearProviders(), ServeStatus::OVERLOADED);
+    service.shutdown();
+    EXPECT_TRUE(pending.get().ok());
+    EXPECT_EQ(service.clearProviders(), ServeStatus::OK);
+}
+
+TEST(PredictionService, WarmRegionsPrimesCacheAndSavesWarmSet)
+{
+    ServeConfig cfg;
+    cfg.batching = uniformBatching(16, std::chrono::microseconds(100));
+    PredictionService service(cfg);
+    service.registry().add("tiny", tinyPredictor(24));
+
+    const std::vector<RegionSpec> regions{{2, 0, 0, 1}, {2, 0, 8, 1}};
+    const std::vector<UarchParams> points{UarchParams::armN1()};
+    ASSERT_EQ(service.warmRegions("tiny", regions, points),
+              ServeStatus::OK);
+    EXPECT_EQ(service.warmRegions("missing", regions),
+              ServeStatus::UNKNOWN_MODEL);
+
+    // The warmed (region, point) pairs answer from the cache.
+    const uint64_t misses = service.stats().cache.misses;
+    for (const auto &region : regions)
+        (void)service.predict("tiny", region, points[0]);
+    EXPECT_EQ(service.stats().cache.misses, misses);
+
+    // Warm-set persistence round-trips into a fresh service.
+    const std::string path = "test_warm_set.bin";
+    EXPECT_EQ(service.saveWarmSet(path), regions.size());
+    {
+        PredictionService fresh(cfg);
+        fresh.registry().add("tiny", tinyPredictor(24));
+        EXPECT_EQ(fresh.warmFromFile("tiny", path, points),
+                  ServeStatus::OK);
+        const uint64_t freshMisses = fresh.stats().cache.misses;
+        for (const auto &region : regions)
+            (void)fresh.predict("tiny", region, points[0]);
+        EXPECT_EQ(fresh.stats().cache.misses, freshMisses);
+    }
+    std::remove(path.c_str());
+}
+
 TEST(PredictionService, ServesMultipleModelsAndRegions)
 {
     ServeConfig cfg;
-    cfg.batching.maxBatch = 8;
-    cfg.batching.maxDelay = std::chrono::microseconds(100);
+    cfg.batching = uniformBatching(8, std::chrono::microseconds(100));
     PredictionService service(cfg);
     service.registry().add("a", tinyPredictor(31));
     service.registry().add("b", tinyPredictor(32));

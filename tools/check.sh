@@ -36,7 +36,10 @@ fi
 if [ "${SKIP_BENCH:-0}" != "1" ]; then
     echo "== stage 3: bench smoke + perf gates =="
     # Serve-layer gate: dynamic batching must beat the scalar path with
-    # identical predictions (the bench exits nonzero otherwise).
+    # identical predictions, and the socket front end must hold the
+    # tail-latency SLO (p99/p50 <= 2.0 on a mixed hot/cold workload at
+    # >= 0.9x in-process QPS, bitwise-identical replies). The bench
+    # exits nonzero otherwise.
     CONCORDE_SMOKE=1 CONCORDE_BENCH_JSON=BENCH_serve.json \
         ./build/bench/bench_serve_throughput
 

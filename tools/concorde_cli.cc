@@ -9,6 +9,7 @@
  *   concorde_cli serve <program> [--model <artifact>] [clients=4
  *                                 requests=2000 batch=64 deadline_us=200
  *                                 cache=65536 burst=32 regions=4
+ *                                 inflight=0 listen=<port>
  *                                 param=value ...]
  *   concorde_cli pipeline <program> [chunks=64 region=8 warmup=8 start=16
  *                                    threads=0 mode=sharded|scalar|service
@@ -44,8 +45,10 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -62,6 +65,7 @@
 #include "core/model_artifact.hh"
 #include "core/shapley.hh"
 #include "pipeline/analysis_pipeline.hh"
+#include "serve/net_server.hh"
 #include "serve/prediction_service.hh"
 #include "sim/o3_core.hh"
 
@@ -105,7 +109,8 @@ usage()
         "  serve <program> [--model <artifact>] [clients= requests= "
         "batch=\n"
         "                   deadline_us= cache= burst= regions= threads= "
-        "param=value ...]\n"
+        "inflight=\n"
+        "                   listen=<port> param=value ...]\n"
         "  pipeline <program> [chunks= region= warmup= start= threads=\n"
         "                      mode=sharded|scalar|service "
         "state=carry|independent param=value ...]\n"
@@ -253,13 +258,22 @@ parseServeArgs(int argc, char **argv, int first,
     return true;
 }
 
+std::atomic<bool> g_stopServing{false};
+
+void
+onStopSignal(int)
+{
+    g_stopServing.store(true);
+}
+
 int
 runServe(int pid, const char *code, int argc, char **argv)
 {
     std::map<std::string, int64_t> opt = {
         {"clients", 4},   {"requests", 2000}, {"batch", 64},
         {"deadline_us", 200}, {"cache", 65536}, {"burst", 32},
-        {"regions", 4},   {"threads", 0},
+        {"regions", 4},   {"threads", 0},     {"listen", -1},
+        {"inflight", 0},
     };
     UarchParams base = UarchParams::armN1();
     std::string model_path;
@@ -271,9 +285,18 @@ runServe(int pid, const char *code, int argc, char **argv)
     const size_t burst = std::max<int64_t>(1, opt["burst"]);
 
     serve::ServeConfig config;
-    config.batching.maxBatch = std::max<int64_t>(1, opt["batch"]);
-    config.batching.maxDelay =
-        std::chrono::microseconds(opt["deadline_us"]);
+    const size_t maxBatch =
+        static_cast<size_t>(std::max<int64_t>(1, opt["batch"]));
+    const auto maxAge = std::chrono::microseconds(opt["deadline_us"]);
+    // The batch/deadline knobs set the bulk (throughput) class; the
+    // interactive class stays on small, young batches so the tail is
+    // never gated on filling a bulk-sized batch.
+    config.batching.policy(serve::RequestClass::Bulk) = {maxBatch, maxAge};
+    config.batching.policy(serve::RequestClass::Interactive) = {
+        std::max<size_t>(1, maxBatch / 4),
+        std::min(maxAge, std::chrono::microseconds(50))};
+    config.batching.maxInFlightPerKey =
+        static_cast<size_t>(opt["inflight"]);
     config.cacheCapacity = static_cast<size_t>(opt["cache"]);
     config.poolThreads = opt["threads"] == 0
         ? defaultThreads() : static_cast<size_t>(opt["threads"]);
@@ -307,16 +330,54 @@ runServe(int pid, const char *code, int argc, char **argv)
         spec.startChunk = 16 + 8 * r;
         regions.push_back(spec);
     }
-    std::printf("serving %s: %zu clients x %zu requests, batch<=%zu, "
-                "deadline %lldus, cache %zu\n", code, clients, requests,
-                config.batching.maxBatch,
-                static_cast<long long>(opt["deadline_us"]),
+    std::printf("serving %s: %zu clients x %zu requests, bulk<=%zu/"
+                "%lldus, interactive<=%zu/%lldus, cache %zu\n", code,
+                clients, requests,
+                config.batching.policy(serve::RequestClass::Bulk).maxBatch,
+                static_cast<long long>(
+                    config.batching.policy(serve::RequestClass::Bulk)
+                        .maxAge.count()),
+                config.batching.policy(serve::RequestClass::Interactive)
+                    .maxBatch,
+                static_cast<long long>(
+                    config.batching.policy(serve::RequestClass::Interactive)
+                        .maxAge.count()),
                 config.cacheCapacity);
 
-    // Warm each region's analytical features once so the measured phase
-    // reports steady-state serving throughput.
-    for (const auto &region : regions)
-        (void)service.predict("default", region, base);
+    // Warm path: build the region analyses and provider state, and
+    // pre-answer the base point, so the measured phase (or the first
+    // network client) sees steady-state serving.
+    (void)service.warmRegions("default", regions, {base});
+
+    if (opt["listen"] >= 0) {
+        // Network mode: expose the warmed service over the wire
+        // protocol and block until SIGINT/SIGTERM.
+        serve::NetServerConfig netCfg;
+        netCfg.port = static_cast<uint16_t>(opt["listen"]);
+        serve::NetServer server(service, netCfg);
+        server.start();
+        std::printf("listening on %s:%u (ctrl-c to stop)\n",
+                    netCfg.host.c_str(), server.port());
+        std::fflush(stdout);
+        std::signal(SIGINT, onStopSignal);
+        std::signal(SIGTERM, onStopSignal);
+        while (!g_stopServing.load())
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        server.stop();
+        const serve::NetServerStats net = server.stats();
+        const serve::ServeStats sstats = service.stats();
+        std::printf("  %llu connections, %llu frames in / %llu out, "
+                    "%llu protocol errors\n",
+                    static_cast<unsigned long long>(
+                        net.connectionsAccepted),
+                    static_cast<unsigned long long>(net.framesIn),
+                    static_cast<unsigned long long>(net.framesOut),
+                    static_cast<unsigned long long>(net.protocolErrors));
+        std::printf("  service latency p50 %.0fus  p90 %.0fus  "
+                    "p99 %.0fus\n", sstats.latency.p50Us,
+                    sstats.latency.p90Us, sstats.latency.p99Us);
+        return 0;
+    }
 
     std::vector<std::vector<double>> latencies(clients);
     Stopwatch wall;
@@ -329,23 +390,28 @@ runServe(int pid, const char *code, int argc, char **argv)
             size_t sent = 0;
             while (sent < requests) {
                 const size_t n = std::min(burst, requests - sent);
-                std::vector<std::future<double>> futures;
+                std::vector<std::future<serve::PredictResponse>> futures;
                 std::vector<Stopwatch> timers(n);
                 for (size_t i = 0; i < n; ++i) {
-                    const auto &region =
-                        regions[rng.nextBounded(regions.size())];
                     // Randomize a few axes around the base point.
                     point.set(ParamId::RobSize,
                               1 + rng.nextBounded(1024));
                     point.set(ParamId::CommitWidth,
                               1 + rng.nextBounded(12));
                     point.set(ParamId::LqSize, 1 + rng.nextBounded(256));
+                    serve::PredictRequest request;
+                    request.model = "default";
+                    request.region =
+                        regions[rng.nextBounded(regions.size())];
+                    request.params = point;
                     timers[i] = Stopwatch();
-                    futures.push_back(
-                        service.predictAsync("default", region, point));
+                    futures.push_back(service.submit(std::move(request)));
                 }
                 for (size_t i = 0; i < n; ++i) {
-                    futures[i].get();
+                    // Non-OK outcomes (e.g. OVERLOADED under a tight
+                    // inflight= cap) land in the per-status counters
+                    // printed below; the drive loop just keeps going.
+                    (void)futures[i].get();
                     lat.push_back(timers[i].seconds() * 1e6);
                 }
                 sent += n;
@@ -390,6 +456,19 @@ runServe(int pid, const char *code, int argc, char **argv)
                 static_cast<unsigned long long>(stats.cache.hits),
                 static_cast<unsigned long long>(stats.cache.misses),
                 100.0 * stats.cache.hitRate(), stats.cache.entries);
+    std::printf("  service latency p50 %.0fus  p90 %.0fus  p99 %.0fus;"
+                " status:", stats.latency.p50Us, stats.latency.p90Us,
+                stats.latency.p99Us);
+    for (size_t s = 0; s < serve::kNumServeStatuses; ++s) {
+        if (stats.byStatus[s]) {
+            std::printf(" %s=%llu",
+                        serve::serveStatusName(
+                            static_cast<serve::ServeStatus>(s)),
+                        static_cast<unsigned long long>(
+                            stats.byStatus[s]));
+        }
+    }
+    std::printf("\n");
     return 0;
 }
 
