@@ -1,0 +1,134 @@
+#include "common/process_pool.hh"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace concorde
+{
+
+std::string
+ProcessExit::describe() const
+{
+    if (exited)
+        return "exit " + std::to_string(exitCode);
+    if (signaled) {
+        const char *name = ::strsignal(termSignal);
+        return "signal " + std::to_string(termSignal) + " ("
+            + (name ? name : "?") + ")";
+    }
+    return "unknown";
+}
+
+ProcessPool::~ProcessPool()
+{
+    signalAll(SIGKILL);
+    while (!children.empty())
+        waitAny();
+}
+
+pid_t
+ProcessPool::spawn(const std::vector<std::string> &argv)
+{
+    panic_if(argv.empty(), "spawn with empty argv");
+    std::vector<char *> cargv;
+    cargv.reserve(argv.size() + 1);
+    for (const auto &arg : argv)
+        cargv.push_back(const_cast<char *>(arg.c_str()));
+    cargv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    fatal_if(pid < 0, "fork: %s", std::strerror(errno));
+    if (pid == 0) {
+        ::execv(cargv[0], cargv.data());
+        // Still the child: exec failed. _exit, not exit -- running the
+        // parent's atexit handlers from a forked image corrupts shared
+        // state.
+        std::fprintf(stderr, "exec '%s': %s\n", argv[0].c_str(),
+                     std::strerror(errno));
+        ::_exit(127);
+    }
+    children.insert(pid);
+    return pid;
+}
+
+ProcessExit
+ProcessPool::waitAny()
+{
+    panic_if(children.empty(), "waitAny with no running children");
+    for (;;) {
+        int status = 0;
+        const pid_t pid = ::waitpid(-1, &status, 0);
+        if (pid < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("waitpid: %s", std::strerror(errno));
+        }
+        if (!children.count(pid))
+            continue;   // a child someone else forked; not ours to report
+        children.erase(pid);
+        ProcessExit result;
+        result.pid = pid;
+        if (WIFEXITED(status)) {
+            result.exited = true;
+            result.exitCode = WEXITSTATUS(status);
+        } else if (WIFSIGNALED(status)) {
+            result.signaled = true;
+            result.termSignal = WTERMSIG(status);
+        }
+        return result;
+    }
+}
+
+void
+ProcessPool::signalAll(int sig)
+{
+    for (const pid_t pid : children)
+        ::kill(pid, sig);
+}
+
+bool
+ProcessPool::superviseAll(const std::vector<std::vector<std::string>> &argvs,
+                          size_t max_respawns)
+{
+    std::unordered_map<pid_t, size_t> partition_of;
+    std::vector<size_t> spawns(argvs.size(), 0);
+    for (size_t i = 0; i < argvs.size(); ++i) {
+        partition_of[spawn(argvs[i])] = i;
+        spawns[i] = 1;
+    }
+
+    bool all_ok = true;
+    while (!partition_of.empty()) {
+        const ProcessExit child = waitAny();
+        const auto it = partition_of.find(child.pid);
+        if (it == partition_of.end())
+            continue;   // an untracked child reaped by waitAny
+        const size_t part = it->second;
+        partition_of.erase(it);
+        if (child.success())
+            continue;
+        if (spawns[part] > max_respawns) {
+            warn("worker %d (partition %zu) failed with %s; respawn "
+                 "budget (%zu) exhausted, abandoning the partition",
+                 static_cast<int>(child.pid), part,
+                 child.describe().c_str(), max_respawns);
+            all_ok = false;
+            continue;
+        }
+        warn("worker %d (partition %zu) failed with %s; respawning "
+             "(attempt %zu of %zu)", static_cast<int>(child.pid), part,
+             child.describe().c_str(), spawns[part] + 1, max_respawns + 1);
+        partition_of[spawn(argvs[part])] = part;
+        ++spawns[part];
+    }
+    return all_ok;
+}
+
+} // namespace concorde

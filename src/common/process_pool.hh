@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Process-level parallelism primitives: fork/exec a pool of worker
+ * processes, monitor them via waitpid, and supervise a fixed set of
+ * work partitions to completion with bounded respawns of crashed
+ * workers. This is the scale-out analog of ThreadPool for workloads
+ * whose units are independent and deterministic (sharded dataset
+ * generation, partitioned design-space sweeps): workers publish their
+ * output by atomic rename, so a respawned worker resumes from whatever
+ * its dead predecessor already published and the merged result stays
+ * bitwise-identical to a serial run.
+ */
+
+#ifndef CONCORDE_COMMON_PROCESS_POOL_HH
+#define CONCORDE_COMMON_PROCESS_POOL_HH
+
+#include <sys/types.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace concorde
+{
+
+/** Outcome of one child process, as reported by waitpid(2). */
+struct ProcessExit
+{
+    pid_t pid = -1;
+    bool exited = false;    ///< normal termination
+    int exitCode = -1;      ///< valid when exited
+    bool signaled = false;  ///< killed by a signal
+    int termSignal = 0;     ///< valid when signaled
+
+    bool success() const { return exited && exitCode == 0; }
+
+    /** Human-readable outcome ("exit 3", "signal 9 (Killed)"). */
+    std::string describe() const;
+};
+
+/**
+ * A set of fork/exec'd child processes with exit-status capture.
+ *
+ * Not thread-safe; waitAny() reaps with waitpid(-1), so a pool must be
+ * the only source of child processes in the calling thread's window of
+ * use (no concurrent system()/popen()).
+ */
+class ProcessPool
+{
+  public:
+    ProcessPool() = default;
+    /** Kills (SIGKILL) and reaps any children still running. */
+    ~ProcessPool();
+
+    ProcessPool(const ProcessPool &) = delete;
+    ProcessPool &operator=(const ProcessPool &) = delete;
+
+    /**
+     * fork/exec `argv` (argv[0] is the executable path; the child
+     * inherits stdio and environment). Returns the child pid; an exec
+     * failure surfaces as the child exiting 127.
+     */
+    pid_t spawn(const std::vector<std::string> &argv);
+
+    /**
+     * Block until one tracked child exits and return its status. The
+     * child is removed from the pool. panic()s if nothing is running.
+     */
+    ProcessExit waitAny();
+
+    /** Send `sig` to every running child (best effort). */
+    void signalAll(int sig);
+
+    size_t running() const { return children.size(); }
+
+    /**
+     * Run every partition's command to completion: spawn them all,
+     * monitor via waitAny(), and respawn any worker that exits nonzero
+     * or dies on a signal -- up to `max_respawns` extra attempts per
+     * partition, after which that partition is abandoned. Workers must
+     * be resumable (idempotent re-runs), which is what makes a respawn
+     * after SIGKILL safe. Returns true iff every partition eventually
+     * succeeded.
+     */
+    bool superviseAll(const std::vector<std::vector<std::string>> &argvs,
+                      size_t max_respawns = 3);
+
+  private:
+    std::set<pid_t> children;
+};
+
+} // namespace concorde
+
+#endif // CONCORDE_COMMON_PROCESS_POOL_HH

@@ -1,8 +1,11 @@
 #include "common/serialize.hh"
 
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
+#include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstring>
 
@@ -113,12 +116,47 @@ fileHash(const std::string &path)
     return h;
 }
 
+std::string
+uniqueTmpName(const std::string &final_path)
+{
+    static std::atomic<uint64_t> counter{0};
+    return final_path + ".tmp." + std::to_string(::getpid()) + "."
+        + std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+}
+
 void
 publishFile(const std::string &tmp_path, const std::string &final_path)
 {
+    // Flush the staged bytes to stable storage before the rename can
+    // make them visible under the final name: rename(2) alone orders
+    // nothing, and a crash right after it would otherwise let a resume
+    // trust an empty or truncated "published" file.
+    const int fd = ::open(tmp_path.c_str(), O_RDONLY | O_CLOEXEC);
+    fatal_if(fd < 0, "cannot open '%s' to sync it: %s", tmp_path.c_str(),
+             std::strerror(errno));
+    const int sync_err = ::fsync(fd) != 0 ? errno : 0;
+    ::close(fd);
+    fatal_if(sync_err, "cannot sync '%s': %s", tmp_path.c_str(),
+             std::strerror(sync_err));
+
     fatal_if(std::rename(tmp_path.c_str(), final_path.c_str()) != 0,
              "cannot publish '%s' as '%s': %s", tmp_path.c_str(),
              final_path.c_str(), std::strerror(errno));
+
+    // Make the rename itself durable. Skipped silently if the directory
+    // cannot be opened (exotic filesystems); an fsync failure on an
+    // opened directory is still fatal.
+    const auto slash = final_path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : final_path.substr(0, slash);
+    const int dfd = ::open(dir.empty() ? "/" : dir.c_str(),
+                           O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+    if (dfd >= 0) {
+        const int dir_err = ::fsync(dfd) != 0 ? errno : 0;
+        ::close(dfd);
+        fatal_if(dir_err, "cannot sync directory of '%s': %s",
+                 final_path.c_str(), std::strerror(dir_err));
+    }
 }
 
 void

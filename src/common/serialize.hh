@@ -116,10 +116,23 @@ uint64_t hashBytes(const void *data, size_t bytes,
                    uint64_t seed = 0xcbf29ce484222325ULL);
 
 /**
- * Atomically publish `tmp_path` as `final_path` (rename(2)). Writers of
+ * A temporary name for staging `final_path`: `<final_path>.tmp.<pid>.<n>`.
+ * The pid + per-process counter make the name unique across concurrent
+ * worker processes (and across retries within one process), so two
+ * writers racing on the same output never clobber each other's
+ * half-written staging file. Stale staging files from dead writers are
+ * identifiable by their embedded pid.
+ */
+std::string uniqueTmpName(const std::string &final_path);
+
+/**
+ * Atomically and durably publish `tmp_path` as `final_path`. Writers of
  * resumable outputs (dataset shards, training checkpoints) write to a
  * temporary name first so a killed run never leaves a truncated file
- * under the final name.
+ * under the final name. The temporary file is fsync'd before the
+ * rename(2) and the parent directory after it, so a crash immediately
+ * after publishFile returns cannot leave an empty or truncated file
+ * under the final name for a resume to trust.
  */
 void publishFile(const std::string &tmp_path, const std::string &final_path);
 

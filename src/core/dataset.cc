@@ -1,7 +1,14 @@
 #include "core/dataset.hh"
 
+#include <dirent.h>
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <tuple>
 
@@ -338,7 +345,7 @@ constexpr uint64_t kManifestMagic = 0x31304e414d434e43ULL;
 void
 DatasetManifest::save(const std::string &path) const
 {
-    const std::string tmp = path + ".tmp";
+    const std::string tmp = uniqueTmpName(path);
     {
         BinaryWriter out(tmp);
         out.put<uint64_t>(kManifestMagic);
@@ -379,9 +386,9 @@ datasetConfigFingerprint(const DatasetConfig &config, size_t shard_samples)
     return h;
 }
 
-ShardedBuildResult
-buildDatasetShards(const DatasetConfig &config, const std::string &dir,
-                   size_t shard_samples, size_t max_shards_this_run)
+DatasetManifest
+ensureDatasetManifest(const DatasetConfig &config, const std::string &dir,
+                      size_t shard_samples)
 {
     fatal_if(shard_samples == 0, "shard size must be positive");
     fatal_if(config.numSamples == 0, "empty dataset");
@@ -405,6 +412,113 @@ buildDatasetShards(const DatasetConfig &config, const std::string &dir,
         manifest.regionChunks = config.regionChunks;
         manifest.save(manifest_path);
     }
+    return manifest;
+}
+
+bool
+datasetShardValid(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return false;
+    uint64_t magic = 0;
+    const bool got = std::fread(&magic, sizeof(magic), 1, f) == 1;
+    std::fclose(f);
+    return got
+        && (magic == kDatasetMagicV2 || magic == kDatasetMagicLegacy);
+}
+
+namespace
+{
+
+/**
+ * Writer pid embedded in a `<name>.tmp.<pid>.<n>` staging-file name
+ * (see uniqueTmpName), or -1 if the name is not of that shape.
+ */
+pid_t
+stagingFilePid(const std::string &name)
+{
+    const auto pos = name.rfind(".tmp.");
+    if (pos == std::string::npos)
+        return -1;
+    const char *pid_str = name.c_str() + pos + 5;
+    char *end = nullptr;
+    const long pid = std::strtol(pid_str, &end, 10);
+    if (end == pid_str || pid <= 0 || *end != '.')
+        return -1;
+    const char *counter_str = end + 1;
+    char *counter_end = nullptr;
+    (void)std::strtol(counter_str, &counter_end, 10);
+    if (counter_end == counter_str || *counter_end != '\0')
+        return -1;
+    return static_cast<pid_t>(pid);
+}
+
+} // anonymous namespace
+
+size_t
+repairDatasetDir(const std::string &dir, const DatasetManifest &manifest)
+{
+    DIR *d = ::opendir(dir.c_str());
+    fatal_if(!d, "cannot scan '%s': %s", dir.c_str(), std::strerror(errno));
+    std::vector<std::string> stale;
+    while (struct dirent *entry = ::readdir(d)) {
+        const std::string name = entry->d_name;
+        if (name.size() > 4
+            && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+            // Legacy fixed-name staging file: its writer is by
+            // definition not running (current writers embed a pid).
+            stale.push_back(name);
+            continue;
+        }
+        const pid_t writer = stagingFilePid(name);
+        if (writer < 0)
+            continue;
+        // Only ESRCH proves the writer is gone: EPERM would mean a live
+        // process owned by another user, whose staging file must stay.
+        if (::kill(writer, 0) != 0 && errno == ESRCH)
+            stale.push_back(name);
+    }
+    ::closedir(d);
+
+    size_t removed = 0;
+    for (const auto &name : stale) {
+        const std::string path = dir + "/" + name;
+        warn("removing stale staging file '%s'", path.c_str());
+        if (::unlink(path.c_str()) == 0)
+            ++removed;
+    }
+    for (size_t shard = 0; shard < manifest.numShards(); ++shard) {
+        const std::string path = DatasetManifest::shardFile(dir, shard);
+        if (!fileExists(path) || datasetShardValid(path))
+            continue;
+        warn("removing corrupt shard '%s' (zero-length or bad magic); "
+             "it will be regenerated", path.c_str());
+        if (::unlink(path.c_str()) == 0)
+            ++removed;
+    }
+    return removed;
+}
+
+std::vector<size_t>
+missingDatasetShards(const std::string &dir, const DatasetManifest &manifest)
+{
+    std::vector<size_t> missing;
+    for (size_t shard = 0; shard < manifest.numShards(); ++shard) {
+        const std::string path = DatasetManifest::shardFile(dir, shard);
+        if (!fileExists(path) || !datasetShardValid(path))
+            missing.push_back(shard);
+    }
+    return missing;
+}
+
+ShardedBuildResult
+buildDatasetShardSet(const DatasetConfig &config, const std::string &dir,
+                     size_t shard_samples, const std::vector<size_t> &shards,
+                     size_t max_shards_this_run)
+{
+    const DatasetManifest manifest =
+        ensureDatasetManifest(config, dir, shard_samples);
 
     // The serial spec pass is cheap relative to labeling; redrawing it
     // on every (resumed) run keeps shard content a pure function of the
@@ -416,9 +530,12 @@ buildDatasetShards(const DatasetConfig &config, const std::string &dir,
     // region repeated across shard boundaries is analyzed once.
     AnalysisStore store(kDatasetStoreResidentInstructions);
     ShardedBuildResult result;
-    for (size_t shard = 0; shard < manifest.numShards(); ++shard) {
+    for (size_t shard : shards) {
+        fatal_if(shard >= manifest.numShards(),
+                 "shard %zu out of range (dataset has %zu shards)", shard,
+                 manifest.numShards());
         const std::string path = DatasetManifest::shardFile(dir, shard);
-        if (fileExists(path)) {
+        if (fileExists(path) && datasetShardValid(path)) {
             ++result.shardsSkipped;
             continue;
         }
@@ -430,12 +547,26 @@ buildDatasetShards(const DatasetConfig &config, const std::string &dir,
         const Dataset data = labelRange(config, layout, specs,
                                         manifest.shardBegin(shard),
                                         manifest.shardEnd(shard), store);
-        const std::string tmp = path + ".tmp";
+        const std::string tmp = uniqueTmpName(path);
         data.save(tmp);
         publishFile(tmp, path);
         ++result.shardsBuilt;
     }
     return result;
+}
+
+ShardedBuildResult
+buildDatasetShards(const DatasetConfig &config, const std::string &dir,
+                   size_t shard_samples, size_t max_shards_this_run)
+{
+    const DatasetManifest manifest =
+        ensureDatasetManifest(config, dir, shard_samples);
+    repairDatasetDir(dir, manifest);
+    std::vector<size_t> all(manifest.numShards());
+    for (size_t i = 0; i < all.size(); ++i)
+        all[i] = i;
+    return buildDatasetShardSet(config, dir, shard_samples, all,
+                                max_shards_this_run);
 }
 
 Dataset
@@ -449,6 +580,10 @@ loadDatasetShards(const std::string &dir)
         fatal_if(!fileExists(path),
                  "dataset '%s' is incomplete (missing %s); rerun the "
                  "sharded build to resume", dir.c_str(), path.c_str());
+        fatal_if(!datasetShardValid(path),
+                 "shard '%s' is corrupt (zero-length or bad magic); "
+                 "delete it and rerun the sharded build to regenerate it",
+                 path.c_str());
         const Dataset shard_data = Dataset::load(path);
         const size_t expected =
             manifest.shardEnd(shard) - manifest.shardBegin(shard);

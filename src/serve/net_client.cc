@@ -66,7 +66,10 @@ NetClient::sendRaw(const void *data, size_t bytes)
     const uint8_t *at = static_cast<const uint8_t *>(data);
     size_t left = bytes;
     while (left > 0) {
-        const ssize_t n = ::write(fd, at, left);
+        // MSG_NOSIGNAL: a server that closed the connection turns the
+        // write into a throwable EPIPE instead of killing the caller's
+        // process with SIGPIPE.
+        const ssize_t n = ::send(fd, at, left, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EINTR)
                 continue;

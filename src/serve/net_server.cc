@@ -257,8 +257,11 @@ NetServer::Loop::flushWrites(const std::shared_ptr<Conn> &conn)
 {
     auto &buf = conn->writeBuf;
     while (conn->written < buf.size()) {
-        const ssize_t n = ::write(conn->fd, buf.data() + conn->written,
-                                  buf.size() - conn->written);
+        // MSG_NOSIGNAL: a peer that disconnected mid-burst turns the
+        // write into EPIPE instead of a process-killing SIGPIPE (the
+        // server never blocks or ignores the signal globally).
+        const ssize_t n = ::send(conn->fd, buf.data() + conn->written,
+                                 buf.size() - conn->written, MSG_NOSIGNAL);
         if (n < 0) {
             if (errno == EAGAIN || errno == EWOULDBLOCK ||
                 errno == EINTR) {

@@ -385,5 +385,61 @@ TEST(NetServe, InterleavedClassesOverOneConnection)
                   RequestClass::Bulk)], 8u);
 }
 
+// ---- peer disconnects must never raise SIGPIPE ----
+
+TEST(NetServe, ClientDisconnectMidBurstDoesNotKillServer)
+{
+    ServerFixture fx(fastServeConfig());
+    {
+        NetClient client("127.0.0.1", fx.server.port());
+        // Pipeline a burst of valid requests and vanish without reading
+        // a single response: the server's response flush then writes
+        // into a closed socket, which without MSG_NOSIGNAL raises
+        // SIGPIPE and kills the whole process (this one, in this test).
+        std::vector<uint8_t> bytes;
+        for (int i = 0; i < 64; ++i) {
+            wire::RequestFrame frame;
+            frame.requestId = static_cast<uint64_t>(i);
+            frame.request = makeRequest("tiny", RegionSpec{0, 0, 0, 1},
+                                        UarchParams::armN1());
+            bytes.clear();
+            wire::encodeRequest(frame, bytes);
+            client.sendRaw(bytes.data(), bytes.size());
+        }
+    }   // ~NetClient closes the socket with responses still in flight
+    // Let the loop thread drain the burst into the dead socket, then
+    // prove the server survived and still serves fresh connections.
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    NetClient second("127.0.0.1", fx.server.port());
+    EXPECT_EQ(second
+                  .predict(makeRequest("tiny", RegionSpec{0, 0, 0, 1},
+                                       UarchParams::armN1()))
+                  .status,
+              ServeStatus::OK);
+}
+
+TEST(NetServe, ClientWriteAfterServerCloseThrowsInsteadOfSigpipe)
+{
+    ServerFixture fx(fastServeConfig());
+    NetClient client("127.0.0.1", fx.server.port());
+    // Provoke a server-side close (malformed frame is connection-fatal).
+    const uint8_t junk[] = {8, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef,
+                            0,  0, 0, 0};
+    client.sendRaw(junk, sizeof(junk));
+    wire::ResponseFrame reply;
+    EXPECT_FALSE(client.recvResponse(reply));   // server closed on us
+    // Keep writing into the closed connection: once the RST lands this
+    // must surface as a throwable error (EPIPE), never process death.
+    bool threw = false;
+    for (int i = 0; i < 1000 && !threw; ++i) {
+        try {
+            client.sendRaw(junk, sizeof(junk));
+        } catch (const std::runtime_error &) {
+            threw = true;
+        }
+    }
+    EXPECT_TRUE(threw);
+}
+
 } // anonymous namespace
 } // namespace concorde

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Multi-process scale-out tests: ProcessPool lifecycle (exit capture,
+ * signals, bounded respawn), unique staging names and crash-debris
+ * repair in dataset directories, corrupt-shard rejection, and the CLI
+ * supervisor/worker protocol -- N-worker dataset generation and sweep
+ * merges must be bitwise-identical to a serial run, including after a
+ * worker is SIGKILLed mid-shard or crash-injected and respawned.
+ */
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/process_pool.hh"
+#include "common/serialize.hh"
+#include "core/artifacts.hh"
+#include "core/dataset.hh"
+#include "core/model_artifact.hh"
+
+namespace concorde
+{
+namespace
+{
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+std::string
+freshDir(const std::string &name)
+{
+    const std::string dir = "/tmp/concorde_scaleout_" + name;
+    const std::string cmd = "rm -rf '" + dir + "' && mkdir -p '" + dir + "'";
+    EXPECT_EQ(std::system(cmd.c_str()), 0);
+    return dir;
+}
+
+/** Entries of `dir` whose names contain `needle`. */
+std::vector<std::string>
+entriesContaining(const std::string &dir, const std::string &needle)
+{
+    const std::string listing = dir + "/.listing";
+    const std::string cmd = "ls -1 '" + dir + "' > '" + listing + "'";
+    EXPECT_EQ(std::system(cmd.c_str()), 0);
+    std::ifstream in(listing);
+    std::vector<std::string> hits;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.find(needle) != std::string::npos)
+            hits.push_back(line);
+    }
+    std::remove(listing.c_str());
+    return hits;
+}
+
+/** A pid guaranteed dead: a forked child that exits and is reaped. */
+pid_t
+deadChildPid()
+{
+    const pid_t pid = ::fork();
+    if (pid == 0)
+        ::_exit(0);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return pid;
+}
+
+void
+touch(const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << "x";
+}
+
+// ---- ProcessPool ----
+
+TEST(ProcessPool, CapturesExitCodes)
+{
+    ProcessPool pool;
+    pool.spawn({"/bin/sh", "-c", "exit 0"});
+    const ProcessExit ok = pool.waitAny();
+    EXPECT_TRUE(ok.success());
+    EXPECT_TRUE(ok.exited);
+    EXPECT_EQ(ok.exitCode, 0);
+
+    pool.spawn({"/bin/sh", "-c", "exit 3"});
+    const ProcessExit bad = pool.waitAny();
+    EXPECT_FALSE(bad.success());
+    EXPECT_TRUE(bad.exited);
+    EXPECT_EQ(bad.exitCode, 3);
+    EXPECT_EQ(bad.describe(), "exit 3");
+    EXPECT_EQ(pool.running(), 0u);
+}
+
+TEST(ProcessPool, ReportsSignaledChildren)
+{
+    ProcessPool pool;
+    const pid_t pid = pool.spawn({"/bin/sleep", "30"});
+    EXPECT_EQ(pool.running(), 1u);
+    ::kill(pid, SIGKILL);
+    const ProcessExit child = pool.waitAny();
+    EXPECT_EQ(child.pid, pid);
+    EXPECT_TRUE(child.signaled);
+    EXPECT_EQ(child.termSignal, SIGKILL);
+    EXPECT_FALSE(child.success());
+}
+
+TEST(ProcessPool, ExecFailureSurfacesAsExit127)
+{
+    ProcessPool pool;
+    pool.spawn({"/nonexistent/binary/for/sure"});
+    const ProcessExit child = pool.waitAny();
+    EXPECT_TRUE(child.exited);
+    EXPECT_EQ(child.exitCode, 127);
+}
+
+TEST(ProcessPool, SuperviseRespawnsCrashedPartitionsUntilSuccess)
+{
+    // The partition fails on its first run (no marker yet) and succeeds
+    // on the respawn -- the shape of a resumable worker that died once.
+    const std::string dir = freshDir("respawn");
+    const std::string marker = dir + "/marker";
+    const std::string script =
+        "test -f '" + marker + "' || { touch '" + marker + "'; exit 1; }";
+    ProcessPool pool;
+    EXPECT_TRUE(pool.superviseAll({{"/bin/sh", "-c", script}}, 3));
+    EXPECT_TRUE(fileExists(marker));
+}
+
+TEST(ProcessPool, SuperviseGivesUpAfterRespawnBudget)
+{
+    ProcessPool pool;
+    EXPECT_FALSE(pool.superviseAll({{"/bin/sh", "-c", "exit 1"}}, 1));
+    EXPECT_EQ(pool.running(), 0u);
+}
+
+// ---- unique staging names ----
+
+TEST(UniqueTmpName, EmbedsPidAndNeverRepeats)
+{
+    const std::string a = uniqueTmpName("/tmp/x/final.bin");
+    const std::string b = uniqueTmpName("/tmp/x/final.bin");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(a.rfind("/tmp/x/final.bin.tmp.", 0), 0u);
+    // The writer's pid is embedded, so stale files are attributable.
+    const std::string pid_tag = ".tmp." + std::to_string(::getpid()) + ".";
+    EXPECT_NE(a.find(pid_tag), std::string::npos);
+}
+
+// ---- crash-debris repair and corrupt-shard rejection ----
+
+TEST(RepairDatasetDir, ReclaimsDeadWritersAndCorruptShardsOnly)
+{
+    DatasetConfig config;
+    config.numSamples = 9;
+    config.regionChunks = 2;
+    config.seed = 6001;
+    const std::string dir = freshDir("repair");
+    const std::string ref = freshDir("repair_ref");
+    ASSERT_TRUE(buildDatasetShards(config, dir, 3).complete());
+    ASSERT_TRUE(buildDatasetShards(config, ref, 3).complete());
+    const DatasetManifest manifest =
+        DatasetManifest::load(DatasetManifest::manifestFile(dir));
+    ASSERT_EQ(manifest.numShards(), 3u);
+
+    // Crash debris: a staging file from a dead writer, a legacy
+    // fixed-name staging file, and a staging file from a *live* writer
+    // (this process) that must survive the repair.
+    const std::string dead_tmp = DatasetManifest::shardFile(dir, 0)
+        + ".tmp." + std::to_string(deadChildPid()) + ".0";
+    const std::string legacy_tmp =
+        DatasetManifest::shardFile(dir, 0) + ".tmp";
+    const std::string live_tmp = uniqueTmpName(
+        DatasetManifest::shardFile(dir, 1));
+    touch(dead_tmp);
+    touch(legacy_tmp);
+    touch(live_tmp);
+
+    // Corruption: shard 1 gets a garbage magic, shard 2 is zero-length
+    // (the footprint of a pre-durability crash).
+    touch(DatasetManifest::shardFile(dir, 1));
+    {
+        std::ofstream out(DatasetManifest::shardFile(dir, 2),
+                          std::ios::binary | std::ios::trunc);
+    }
+    EXPECT_TRUE(datasetShardValid(DatasetManifest::shardFile(dir, 0)));
+    EXPECT_FALSE(datasetShardValid(DatasetManifest::shardFile(dir, 1)));
+    EXPECT_FALSE(datasetShardValid(DatasetManifest::shardFile(dir, 2)));
+
+    // 4 removals: dead tmp, legacy tmp, two corrupt shards.
+    EXPECT_EQ(repairDatasetDir(dir, manifest), 4u);
+    EXPECT_FALSE(fileExists(dead_tmp));
+    EXPECT_FALSE(fileExists(legacy_tmp));
+    EXPECT_TRUE(fileExists(live_tmp)) << "live writer's staging file "
+                                         "must not be reclaimed";
+    const std::vector<size_t> missing = missingDatasetShards(dir, manifest);
+    EXPECT_EQ(missing, (std::vector<size_t>{1, 2}));
+
+    // Regeneration restores the exact serial bytes.
+    EXPECT_TRUE(buildDatasetShards(config, dir, 3).complete());
+    for (size_t s = 0; s < manifest.numShards(); ++s) {
+        EXPECT_EQ(fileBytes(DatasetManifest::shardFile(dir, s)),
+                  fileBytes(DatasetManifest::shardFile(ref, s)))
+            << "shard " << s;
+    }
+    std::remove(live_tmp.c_str());
+}
+
+TEST(ShardedDatasetDeathTest, LoadRejectsCorruptShard)
+{
+    DatasetConfig config;
+    config.numSamples = 6;
+    config.regionChunks = 2;
+    config.seed = 6002;
+    const std::string dir = freshDir("corrupt_load");
+    ASSERT_TRUE(buildDatasetShards(config, dir, 3).complete());
+    {
+        std::ofstream out(DatasetManifest::shardFile(dir, 1),
+                          std::ios::binary | std::ios::trunc);
+    }
+    EXPECT_EXIT(loadDatasetShards(dir), ::testing::ExitedWithCode(1),
+                "corrupt");
+}
+
+// ---- CLI supervisor/worker protocol ----
+
+#ifdef CONCORDE_CLI_PATH
+
+int
+cliExitCode(const std::string &args)
+{
+    const std::string cmd =
+        std::string(CONCORDE_CLI_PATH) + " " + args + " >/dev/null 2>&1";
+    const int status = std::system(cmd.c_str());
+    EXPECT_NE(status, -1);
+    return WEXITSTATUS(status);
+}
+
+/** The dataset config the CLI builds for `samples= chunks=2 seed=`. */
+DatasetConfig
+cliDatasetConfig(size_t samples, uint64_t seed)
+{
+    DatasetConfig config;
+    config.numSamples = samples;
+    config.regionChunks = 2;
+    config.seed = seed;
+    config.features = artifacts::featureConfig();
+    return config;
+}
+
+void
+expectDirsByteIdentical(const std::string &dir, const std::string &ref)
+{
+    EXPECT_EQ(fileBytes(DatasetManifest::manifestFile(dir)),
+              fileBytes(DatasetManifest::manifestFile(ref)));
+    const DatasetManifest manifest =
+        DatasetManifest::load(DatasetManifest::manifestFile(ref));
+    for (size_t s = 0; s < manifest.numShards(); ++s) {
+        EXPECT_EQ(fileBytes(DatasetManifest::shardFile(dir, s)),
+                  fileBytes(DatasetManifest::shardFile(ref, s)))
+            << "shard " << s;
+    }
+    EXPECT_TRUE(entriesContaining(dir, ".tmp").empty())
+        << "staging debris left behind";
+}
+
+TEST(CliScaleout, DatasetWorkersBitwiseIdenticalToSerial)
+{
+    const DatasetConfig config = cliDatasetConfig(12, 7001);
+    const std::string ref = freshDir("cli_ref");
+    ASSERT_TRUE(buildDatasetShards(config, ref, 4).complete());
+
+    const std::string dir = freshDir("cli_workers");
+    ASSERT_EQ(cliExitCode("dataset out=" + dir + " samples=12 shard=4 "
+                          "chunks=2 seed=7001 workers=2"), 0);
+    expectDirsByteIdentical(dir, ref);
+
+    // A complete directory re-supervised is a no-op, still exit 0.
+    EXPECT_EQ(cliExitCode("dataset out=" + dir + " samples=12 shard=4 "
+                          "chunks=2 seed=7001 workers=2"), 0);
+    expectDirsByteIdentical(dir, ref);
+}
+
+TEST(CliScaleout, SigkilledWorkerLeavesNoCorruptShardAndSupervisorRecovers)
+{
+    // Many small shards so the kill lands mid-run with high probability.
+    const DatasetConfig config = cliDatasetConfig(24, 7002);
+    const std::string ref = freshDir("kill_ref");
+    ASSERT_TRUE(buildDatasetShards(config, ref, 2).complete());
+
+    const std::string dir = freshDir("kill_workers");
+    std::string all_shards;
+    for (size_t s = 0; s < 12; ++s) {
+        if (!all_shards.empty())
+            all_shards.push_back(',');
+        all_shards += std::to_string(s);
+    }
+    ProcessPool pool;
+    pool.spawn({CONCORDE_CLI_PATH, "dataset-worker", "out=" + dir,
+                "samples=24", "shard=2", "chunks=2", "seed=7002",
+                "shards=" + all_shards});
+    // SIGKILL the worker as soon as its first shard publishes -- it is
+    // then mid-way through the next one.
+    for (int i = 0; i < 60000; ++i) {
+        if (fileExists(DatasetManifest::shardFile(dir, 0)))
+            break;
+        ::usleep(1000);
+    }
+    ASSERT_TRUE(fileExists(DatasetManifest::shardFile(dir, 0)))
+        << "worker never published a shard";
+    pool.signalAll(SIGKILL);
+    (void)pool.waitAny();
+
+    // Atomic durable publish: whatever shards exist are complete and
+    // byte-identical to the serial build; nothing torn survives.
+    size_t published = 0;
+    for (size_t s = 0; s < 12; ++s) {
+        const std::string path = DatasetManifest::shardFile(dir, s);
+        if (!fileExists(path))
+            continue;
+        ++published;
+        EXPECT_TRUE(datasetShardValid(path)) << path;
+        EXPECT_EQ(fileBytes(path),
+                  fileBytes(DatasetManifest::shardFile(ref, s)))
+            << "shard " << s;
+    }
+    EXPECT_GE(published, 1u);
+
+    // The supervisor resumes the dead worker's partition to completion.
+    ASSERT_EQ(cliExitCode("dataset out=" + dir + " samples=24 shard=2 "
+                          "chunks=2 seed=7002 workers=2"), 0);
+    expectDirsByteIdentical(dir, ref);
+}
+
+TEST(CliScaleout, CrashInjectedWorkersConvergeUnderSupervision)
+{
+    const DatasetConfig config = cliDatasetConfig(12, 7003);
+    const std::string ref = freshDir("crash_ref");
+    ASSERT_TRUE(buildDatasetShards(config, ref, 4).complete());
+
+    // Every worker dies after publishing one shard; the supervisor must
+    // keep respawning them until the directory is complete.
+    const std::string dir = freshDir("crash_workers");
+    ASSERT_EQ(::setenv("CONCORDE_WORKER_CRASH_AFTER_SHARDS", "1", 1), 0);
+    const int code = cliExitCode("dataset out=" + dir + " samples=12 "
+                                 "shard=4 chunks=2 seed=7003 workers=2 "
+                                 "respawns=8");
+    ASSERT_EQ(::unsetenv("CONCORDE_WORKER_CRASH_AFTER_SHARDS"), 0);
+    ASSERT_EQ(code, 0);
+    expectDirsByteIdentical(dir, ref);
+}
+
+TEST(CliScaleout, SweepWorkersMergeBitwiseIdenticalToSerial)
+{
+    const std::string dir = freshDir("sweep");
+    const std::string model = dir + "/tiny_artifact.bin";
+    ModelArtifact artifact;
+    artifact.features = FeatureConfig{};
+    artifact.model = artifacts::untrainedModel(artifact.features, 31);
+    artifact.save(model);
+
+    const std::string base = "sweep S7 rob model=" + model + " out=" + dir;
+    ASSERT_EQ(cliExitCode(base + "/serial.bin"), 0);
+    ASSERT_EQ(cliExitCode(base + "/w1.bin workers=1"), 0);
+    ASSERT_EQ(cliExitCode(base + "/w2.bin workers=2"), 0);
+
+    const std::string serial = fileBytes(dir + "/serial.bin");
+    EXPECT_GT(serial.size(), 8u);
+    EXPECT_EQ(serial.substr(0, 8), "CNCSWM01");
+    EXPECT_EQ(fileBytes(dir + "/w1.bin"), serial);
+    EXPECT_EQ(fileBytes(dir + "/w2.bin"), serial);
+    // Part files are consumed by the merge.
+    EXPECT_TRUE(entriesContaining(dir, ".part").empty());
+}
+
+TEST(CliScaleout, ScaleoutSubcommandsRejectMalformedFlags)
+{
+    EXPECT_EQ(cliExitCode("dataset out=/tmp/x workers=abc"), 2);
+    EXPECT_EQ(cliExitCode("dataset out=/tmp/x workers=2 max_shards=1"), 2)
+        << "max_shards bounds one in-process run only";
+    EXPECT_EQ(cliExitCode("dataset-worker out=/tmp/x"), 2)
+        << "missing shards=";
+    EXPECT_EQ(cliExitCode("dataset-worker shards=0"), 2) << "missing out=";
+    EXPECT_EQ(cliExitCode("dataset-worker out=/tmp/x shards=0,x"), 2);
+    EXPECT_EQ(cliExitCode("sweep S7 rob workers=2"), 2) << "missing out=";
+    EXPECT_EQ(cliExitCode("sweep S7 rob workers=abc"), 2);
+    EXPECT_EQ(cliExitCode("sweep S7 bogus workers=1 out=/tmp/x.bin"), 2);
+    EXPECT_EQ(cliExitCode("sweep-worker S7 rob part=0 nparts=2"), 2)
+        << "missing out=";
+    EXPECT_EQ(cliExitCode("sweep-worker S7 rob part=2 nparts=2 "
+                          "out=/tmp/x.part0"), 2) << "part out of range";
+    EXPECT_EQ(cliExitCode("sweep-worker S7 rob out=/tmp/x.part0"), 2)
+        << "missing part=/nparts=";
+}
+
+#endif // CONCORDE_CLI_PATH
+
+} // anonymous namespace
+} // namespace concorde

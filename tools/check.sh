@@ -59,6 +59,14 @@ if [ "${SKIP_BENCH:-0}" != "1" ]; then
     CONCORDE_SMOKE=1 CONCORDE_BENCH_JSON=BENCH_sweep.json \
         ./build/bench/bench_sweep_dse
 
+    # Scale-out gate: N-worker dataset builds and sweep merges must be
+    # bitwise-identical to serial runs (including crash-injected workers
+    # under the respawn loop), and the supervised build must not regress
+    # past half the serial wall-clock. Real scaling is reported only --
+    # CI boxes may be single-core.
+    CONCORDE_SMOKE=1 CONCORDE_BENCH_JSON=BENCH_scaleout.json \
+        ./build/bench/bench_scaleout
+
     # Model-lifecycle accuracy gate: sharded dataset -> checkpointed
     # training -> versioned artifact -> serve registry; the trained
     # model must beat the untrained stub on held-out data by a wide,

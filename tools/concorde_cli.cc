@@ -17,21 +17,35 @@
  *                                    param=value ...]
  *   concorde_cli dataset out=<dir> [samples=512 shard=128 chunks=8
  *                                   seed=99 threads=0 program=<code>
- *                                   max_shards=0]
+ *                                   max_shards=0 workers=0 respawns=3]
+ *   concorde_cli dataset-worker out=<dir> shards=<i,j,...> [samples=
+ *                                   shard= chunks= seed= threads=
+ *                                   program=<code>]
+ *   concorde_cli sweep-worker <program> <param> part=<w> nparts=<n>
+ *                                   out=<file> [model=<artifact>
+ *                                   param=value ...]
  *   concorde_cli train data=<dir|file> out=<artifact> [epochs=12 val=0.1
  *                                   batch=256 seed=1234 threads=0
  *                                   checkpoint=<file> max_epochs=0]
  *   concorde_cli eval model=<artifact> data=<dir|file>
  *   concorde_cli list
  *
- * The model lifecycle runs end to end through the last three
- * subcommands: `dataset` generates a sharded, resumable dataset
- * directory (kill it and rerun; completed shards are kept and the
- * result is bitwise-identical), `train` fits the MLP with a held-out
- * validation split and per-epoch checkpointing, and writes a versioned
+ * The model lifecycle runs end to end through `dataset`, `train`, and
+ * `eval`: `dataset` generates a sharded, resumable dataset directory
+ * (kill it and rerun; completed shards are kept and the result is
+ * bitwise-identical), `train` fits the MLP with a held-out validation
+ * split and per-epoch checkpointing, and writes a versioned
  * ModelArtifact with provenance, and `eval` reports held-out relative
  * CPI error. `serve --model <artifact>` hot-loads such an artifact into
  * the serving registry.
+ *
+ * Multi-process scale-out: `dataset workers=N` and `sweep <program>
+ * <param> workers=N out=<file>` fork N `dataset-worker` /
+ * `sweep-worker` children, stride-partition the work across them,
+ * respawn crashed workers (bounded by respawns=), and merge results
+ * bitwise-identically to a 1-worker run. The worker subcommands are
+ * the internal protocol and are usable standalone for external
+ * schedulers.
  *
  * Programs are Table-2 codes (P1..P13, C1, C2, O1..O4, S1..S10).
  * Parameters use the short names printed by `list` (e.g. rob=256
@@ -43,6 +57,8 @@
  * exit with status 2 and a usage message, so shell scripts and CI can
  * rely on the exit code.
  */
+
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -58,6 +74,7 @@
 #include <vector>
 
 #include "analysis/analysis_store.hh"
+#include "common/process_pool.hh"
 #include "common/serialize.hh"
 #include "common/stopwatch.hh"
 #include "core/artifacts.hh"
@@ -103,7 +120,9 @@ usage()
     std::fprintf(stderr,
         "usage: concorde_cli <command> [args]\n"
         "  predict <program> [param=value ...]\n"
-        "  sweep <program> <param> [param=value ...]\n"
+        "  sweep <program> <param> [workers= respawns= out=<file> "
+        "model=<artifact>\n"
+        "                   param=value ...]\n"
         "  attribute <program> [permutations] [param=value ...]\n"
         "  simulate <program> [param=value ...]\n"
         "  serve <program> [--model <artifact>] [clients= requests= "
@@ -115,7 +134,14 @@ usage()
         "                      mode=sharded|scalar|service "
         "state=carry|independent param=value ...]\n"
         "  dataset out=<dir> [samples= shard= chunks= seed= threads= "
-        "program=<code> max_shards=]\n"
+        "program=<code>\n"
+        "                      max_shards= workers= respawns=]\n"
+        "  dataset-worker out=<dir> shards=<i,j,...> [samples= shard= "
+        "chunks= seed=\n"
+        "                      threads= program=<code>]\n"
+        "  sweep-worker <program> <param> part= nparts= out=<file> "
+        "[model=<artifact>\n"
+        "                      param=value ...]\n"
         "  train data=<dir|file> out=<artifact> [epochs= val= batch= "
         "seed= threads=\n"
         "                      checkpoint=<file> max_epochs=]\n"
@@ -642,12 +668,70 @@ loadDatasetArg(const std::string &path, Dataset &data,
     return false;
 }
 
+// ---- multi-process scale-out plumbing ----
+
+/**
+ * The path workers are exec'd from: the running binary itself, so a
+ * supervisor always spawns workers of its own build (argv[0] as the
+ * fallback where /proc is unavailable).
+ */
+std::string
+selfExePath(const char *argv0)
+{
+    char buf[4096];
+    const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n > 0) {
+        buf[n] = '\0';
+        return buf;
+    }
+    return argv0;
+}
+
+/**
+ * Deterministic crash injection for the supervisor tests: a
+ * dataset-worker with CONCORDE_WORKER_CRASH_AFTER_SHARDS=<n> set dies
+ * (exit 42) after publishing n new shards, forcing the respawn path
+ * without SIGKILL timing races. 0 = disabled.
+ */
+size_t
+crashAfterShardsEnv()
+{
+    const char *env = std::getenv("CONCORDE_WORKER_CRASH_AFTER_SHARDS");
+    if (!env || !*env)
+        return 0;
+    int64_t parsed = 0;
+    if (!parseInt(env, parsed) || parsed < 1)
+        return 0;
+    return static_cast<size_t>(parsed);
+}
+
+/** Parse a comma-separated shard-index list ("0,3,7"). */
+bool
+parseShardList(const std::string &text, std::vector<size_t> &shards)
+{
+    size_t at = 0;
+    while (at <= text.size()) {
+        const auto comma = text.find(',', at);
+        const std::string item = text.substr(
+            at, comma == std::string::npos ? std::string::npos : comma - at);
+        int64_t parsed = 0;
+        if (!parseInt(item, parsed) || parsed < 0)
+            return false;
+        shards.push_back(static_cast<size_t>(parsed));
+        if (comma == std::string::npos)
+            break;
+        at = comma + 1;
+    }
+    return !shards.empty();
+}
+
 int
 runDataset(int argc, char **argv)
 {
     std::map<std::string, int64_t> opt = {
         {"samples", 512}, {"shard", 128}, {"chunks", 8}, {"seed", 99},
-        {"threads", 0},   {"max_shards", 0},
+        {"threads", 0},   {"max_shards", 0}, {"workers", 0},
+        {"respawns", 3},
     };
     std::string out_dir;
     std::string program;
@@ -709,6 +793,72 @@ runDataset(int argc, char **argv)
         config.programFilter = {pid};
     }
 
+    if (opt["workers"] > 0) {
+        if (opt["max_shards"] > 0) {
+            std::fprintf(stderr, "max_shards= bounds one in-process run; "
+                         "it does not combine with workers=\n");
+            return usage();
+        }
+        // Supervisor: plan the build serially (manifest + crash-debris
+        // repair), stride-partition the missing shards across a worker
+        // pool, and respawn any worker that dies until the directory is
+        // complete or the respawn budget runs out. Workers resume from
+        // published shards, so a respawn never redoes finished work.
+        Stopwatch timer;
+        const DatasetManifest manifest = ensureDatasetManifest(
+            config, out_dir, static_cast<size_t>(opt["shard"]));
+        repairDatasetDir(out_dir, manifest);
+        const std::vector<size_t> missing =
+            missingDatasetShards(out_dir, manifest);
+        if (missing.empty()) {
+            std::printf("dataset %s: already complete (manifest hash "
+                        "%016llx)\n", out_dir.c_str(),
+                        static_cast<unsigned long long>(
+                            datasetManifestHash(out_dir)));
+            return 0;
+        }
+        const size_t n = std::min<size_t>(
+            static_cast<size_t>(opt["workers"]), missing.size());
+        const std::string exe = selfExePath(argv[0]);
+        std::vector<std::vector<std::string>> argvs(n);
+        for (size_t w = 0; w < n; ++w) {
+            std::string shards_arg;
+            for (size_t i = w; i < missing.size(); i += n) {
+                if (!shards_arg.empty())
+                    shards_arg.push_back(',');
+                shards_arg += std::to_string(missing[i]);
+            }
+            argvs[w] = {exe, "dataset-worker", "out=" + out_dir,
+                        "samples=" + std::to_string(opt["samples"]),
+                        "shard=" + std::to_string(opt["shard"]),
+                        "chunks=" + std::to_string(opt["chunks"]),
+                        "seed=" + std::to_string(opt["seed"]),
+                        "threads=" + std::to_string(opt["threads"])};
+            if (!program.empty())
+                argvs[w].push_back("program=" + program);
+            argvs[w].push_back("shards=" + shards_arg);
+        }
+        std::printf("dataset %s: %zu missing shards across %zu "
+                    "workers\n", out_dir.c_str(), missing.size(), n);
+        std::fflush(stdout);
+        ProcessPool pool;
+        const bool ok = pool.superviseAll(
+            argvs, static_cast<size_t>(opt["respawns"]));
+        const std::vector<size_t> still_missing =
+            missingDatasetShards(out_dir, manifest);
+        if (!ok || !still_missing.empty()) {
+            std::fprintf(stderr, "dataset %s: %zu shards still missing "
+                         "after supervision\n", out_dir.c_str(),
+                         still_missing.size());
+            return 1;
+        }
+        std::printf("dataset %s: complete via %zu workers (%.1fs), "
+                    "manifest hash %016llx\n", out_dir.c_str(), n,
+                    timer.seconds(), static_cast<unsigned long long>(
+                        datasetManifestHash(out_dir)));
+        return 0;
+    }
+
     Stopwatch timer;
     const ShardedBuildResult result = buildDatasetShards(
         config, out_dir, static_cast<size_t>(opt["shard"]),
@@ -728,6 +878,100 @@ runDataset(int argc, char **argv)
                         datasetManifestHash(out_dir)));
     }
     return 0;
+}
+
+/**
+ * Worker half of the `dataset workers=N` protocol: build exactly the
+ * assigned shard indices of an existing plan. Exit 0 when every
+ * assigned shard is published (resumable: shards already on disk are
+ * skipped), so a respawned worker converges instead of redoing work.
+ */
+int
+runDatasetWorker(int argc, char **argv)
+{
+    std::map<std::string, int64_t> opt = {
+        {"samples", 512}, {"shard", 128}, {"chunks", 8}, {"seed", 99},
+        {"threads", 0},
+    };
+    std::string out_dir, program, shards_arg;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos || eq + 1 == arg.size()) {
+            std::fprintf(stderr, "malformed argument '%s' (expected "
+                         "key=value)\n", arg.c_str());
+            return usage();
+        }
+        const std::string key = arg.substr(0, eq);
+        const std::string value = arg.substr(eq + 1);
+        if (key == "out") {
+            out_dir = value;
+            continue;
+        }
+        if (key == "program") {
+            program = value;
+            continue;
+        }
+        if (key == "shards") {
+            shards_arg = value;
+            continue;
+        }
+        const auto it = opt.find(key);
+        int64_t parsed = 0;
+        if (it == opt.end()) {
+            std::fprintf(stderr, "unknown dataset-worker option '%s'\n",
+                         key.c_str());
+            return usage();
+        }
+        if (!parseInt(value, parsed) || parsed < 0) {
+            std::fprintf(stderr, "bad value '%s' for dataset-worker "
+                         "option '%s'\n", value.c_str(), key.c_str());
+            return usage();
+        }
+        it->second = parsed;
+    }
+    if (out_dir.empty() || shards_arg.empty()) {
+        std::fprintf(stderr, "dataset-worker requires out=<dir> and "
+                     "shards=<i,j,...>\n");
+        return usage();
+    }
+    std::vector<size_t> shards;
+    if (!parseShardList(shards_arg, shards)) {
+        std::fprintf(stderr, "bad shard list '%s'\n", shards_arg.c_str());
+        return usage();
+    }
+    if (opt["samples"] < 1 || opt["shard"] < 1 || opt["chunks"] < 1) {
+        std::fprintf(stderr, "samples, shard, and chunks must be "
+                     "positive\n");
+        return usage();
+    }
+
+    DatasetConfig config;
+    config.numSamples = static_cast<size_t>(opt["samples"]);
+    config.regionChunks = static_cast<uint32_t>(opt["chunks"]);
+    config.seed = static_cast<uint64_t>(opt["seed"]);
+    config.features = artifacts::featureConfig();
+    config.threads = static_cast<size_t>(opt["threads"]);
+    if (!program.empty()) {
+        const int pid = programIdByCode(program);
+        if (pid < 0) {
+            std::fprintf(stderr, "unknown program '%s'\n",
+                         program.c_str());
+            return 2;
+        }
+        config.programFilter = {pid};
+    }
+
+    const size_t crash_after = crashAfterShardsEnv();
+    const ShardedBuildResult result = buildDatasetShardSet(
+        config, out_dir, static_cast<size_t>(opt["shard"]), shards,
+        crash_after);
+    if (crash_after > 0 && !result.complete()) {
+        // Injected crash (see crashAfterShardsEnv): die abruptly, the
+        // way a real worker loss looks to the supervisor.
+        ::_exit(42);
+    }
+    return result.complete() ? 0 : 1;
 }
 
 int
@@ -934,6 +1178,281 @@ runEval(int argc, char **argv)
     return 0;
 }
 
+// ---- sweep (in-process and scaled-out) ----
+
+/** Merged sweep result file: magic + the CPI vector in grid order. */
+constexpr uint64_t kSweepMergedMagic = 0x31304d5753434e43ULL; // "CNCSWM01"
+/** One worker's contribution: its (index, CPI) pairs plus geometry. */
+constexpr uint64_t kSweepPartMagic = 0x3130505753434e43ULL;   // "CNCSWP01"
+
+std::string
+sweepPartPath(const std::string &out_path, size_t part)
+{
+    return out_path + ".part" + std::to_string(part);
+}
+
+void
+writeSweepResult(const std::string &path, const std::vector<double> &cpis)
+{
+    const std::string tmp = uniqueTmpName(path);
+    {
+        BinaryWriter out(tmp);
+        out.put<uint64_t>(kSweepMergedMagic);
+        out.putVector(cpis);
+    }
+    publishFile(tmp, path);
+}
+
+void
+printSweepTable(ParamId id, const char *code,
+                const std::vector<int64_t> &values,
+                const std::vector<double> &cpis)
+{
+    std::printf("sweep of %s for %s:\n",
+                paramTable()[static_cast<int>(id)].name, code);
+    for (size_t i = 0; i < values.size(); ++i) {
+        std::printf("  %6lld -> CPI %.4f\n",
+                    static_cast<long long>(values[i]), cpis[i]);
+    }
+}
+
+/**
+ * The predictor a sweep evaluates: an explicit artifact when model= is
+ * given (what scaled-out workers use, so none of them trains), else the
+ * cached full model.
+ */
+ConcordePredictor
+sweepPredictor(const std::string &model_path)
+{
+    if (model_path.empty()) {
+        return ConcordePredictor(artifacts::fullModel(),
+                                 artifacts::featureConfig());
+    }
+    const ModelArtifact artifact = ModelArtifact::load(model_path);
+    return ConcordePredictor(artifact.model, artifact.features);
+}
+
+/**
+ * Parse the shared sweep/sweep-worker argument tail: option keys into
+ * `opt`/`out_path`/`model_path`, everything else as a uarch override
+ * (raw strings also collected for forwarding to workers).
+ */
+bool
+parseSweepArgs(int argc, char **argv, std::map<std::string, int64_t> &opt,
+               UarchParams &params, std::string &out_path,
+               std::string &model_path,
+               std::vector<std::string> &override_args)
+{
+    for (int i = 4; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto eq = arg.find('=');
+        const std::string key =
+            eq == std::string::npos ? arg : arg.substr(0, eq);
+        if (key == "out" || key == "model") {
+            if (eq == std::string::npos || eq + 1 == arg.size()) {
+                std::fprintf(stderr, "bad value for sweep option '%s'\n",
+                             key.c_str());
+                return false;
+            }
+            (key == "out" ? out_path : model_path) = arg.substr(eq + 1);
+            continue;
+        }
+        if (opt.count(key)) {
+            int64_t value = 0;
+            if (eq == std::string::npos
+                || !parseInt(arg.substr(eq + 1), value) || value < 0) {
+                std::fprintf(stderr, "bad value for sweep option '%s'\n",
+                             key.c_str());
+                return false;
+            }
+            opt[key] = value;
+            continue;
+        }
+        if (!applyOverride(params, arg))
+            return false;
+        override_args.push_back(arg);
+    }
+    return true;
+}
+
+int
+runSweep(int pid, const char *code, int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    const auto it = kShortNames.find(argv[3]);
+    if (it == kShortNames.end()) {
+        std::fprintf(stderr, "unknown parameter '%s'\n", argv[3]);
+        return 2;
+    }
+    UarchParams params = UarchParams::armN1();
+    std::map<std::string, int64_t> opt = {{"workers", 0}, {"respawns", 3}};
+    std::string out_path, model_path;
+    std::vector<std::string> override_args;
+    if (!parseSweepArgs(argc, argv, opt, params, out_path, model_path,
+                        override_args))
+        return usage();
+    if (!model_path.empty() && !fileExists(model_path)) {
+        std::fprintf(stderr, "model artifact '%s' not found\n",
+                     model_path.c_str());
+        return 1;
+    }
+
+    const auto values = sweepValues(it->second, true);
+    std::vector<UarchParams> points;
+    points.reserve(values.size());
+    for (int64_t value : values) {
+        params.set(it->second, value);
+        points.push_back(params);
+    }
+
+    if (opt["workers"] == 0) {
+        // The DSE fast path: one store-shared analysis, one provider's
+        // memo caches across the grid, one batched-inference pass.
+        const ConcordePredictor predictor = sweepPredictor(model_path);
+        const auto cpis = predictor.predictSweep(regionFor(pid), points);
+        if (!out_path.empty())
+            writeSweepResult(out_path, cpis);
+        printSweepTable(it->second, code, values, cpis);
+        return 0;
+    }
+
+    // Supervisor: stride-partition the grid over a worker pool, respawn
+    // crashed workers, and merge the part files into the same bytes a
+    // 1-worker run writes (predictSweep is batch-composition-invariant,
+    // so per-point CPIs do not depend on the partitioning).
+    if (out_path.empty()) {
+        std::fprintf(stderr, "sweep workers= requires out=<file> (the "
+                     "merge target)\n");
+        return usage();
+    }
+    if (model_path.empty()) {
+        // Train-or-load the shared model cache before forking: fresh
+        // workers would otherwise race to train it.
+        (void)artifacts::fullModel();
+    }
+    const size_t n = std::min<size_t>(
+        static_cast<size_t>(opt["workers"]), points.size());
+    const std::string exe = selfExePath(argv[0]);
+    std::vector<std::vector<std::string>> argvs(n);
+    for (size_t w = 0; w < n; ++w) {
+        argvs[w] = {exe, "sweep-worker", code, argv[3],
+                    "part=" + std::to_string(w),
+                    "nparts=" + std::to_string(n),
+                    "out=" + sweepPartPath(out_path, w)};
+        if (!model_path.empty())
+            argvs[w].push_back("model=" + model_path);
+        for (const auto &override_arg : override_args)
+            argvs[w].push_back(override_arg);
+    }
+    ProcessPool pool;
+    if (!pool.superviseAll(argvs, static_cast<size_t>(opt["respawns"]))) {
+        std::fprintf(stderr, "sweep: a partition never completed\n");
+        return 1;
+    }
+
+    std::vector<double> cpis(points.size(), 0.0);
+    std::vector<char> filled(points.size(), 0);
+    for (size_t w = 0; w < n; ++w) {
+        const std::string path = sweepPartPath(out_path, w);
+        fatal_if(!fileExists(path),
+                 "sweep part '%s' missing after supervision",
+                 path.c_str());
+        BinaryReader in(path);
+        fatal_if(in.get<uint64_t>() != kSweepPartMagic,
+                 "'%s' is not a sweep part file", path.c_str());
+        fatal_if(in.get<uint64_t>() != n || in.get<uint64_t>() != w
+                 || in.get<uint64_t>() != points.size(),
+                 "sweep part '%s' was written for a different "
+                 "partitioning", path.c_str());
+        const uint64_t count = in.get<uint64_t>();
+        for (uint64_t k = 0; k < count; ++k) {
+            const uint64_t index = in.get<uint64_t>();
+            const double cpi = in.get<double>();
+            fatal_if(index >= points.size() || filled[index],
+                     "sweep part '%s' holds an out-of-range or duplicate "
+                     "point", path.c_str());
+            cpis[index] = cpi;
+            filled[index] = 1;
+        }
+    }
+    for (size_t i = 0; i < filled.size(); ++i) {
+        fatal_if(!filled[i], "sweep point %zu is missing from every "
+                 "part file", i);
+    }
+    writeSweepResult(out_path, cpis);
+    for (size_t w = 0; w < n; ++w)
+        ::unlink(sweepPartPath(out_path, w).c_str());
+    printSweepTable(it->second, code, values, cpis);
+    return 0;
+}
+
+/**
+ * Worker half of the `sweep workers=N` protocol: recompute the same
+ * grid, evaluate the points of one stride partition, and publish them
+ * as an (index, CPI) part file for the supervisor to merge.
+ */
+int
+runSweepWorker(int pid, const char *code, int argc, char **argv)
+{
+    (void)code;
+    if (argc < 4)
+        return usage();
+    const auto it = kShortNames.find(argv[3]);
+    if (it == kShortNames.end()) {
+        std::fprintf(stderr, "unknown parameter '%s'\n", argv[3]);
+        return 2;
+    }
+    UarchParams params = UarchParams::armN1();
+    std::map<std::string, int64_t> opt = {{"part", -1}, {"nparts", 0}};
+    std::string out_path, model_path;
+    std::vector<std::string> override_args;
+    if (!parseSweepArgs(argc, argv, opt, params, out_path, model_path,
+                        override_args))
+        return usage();
+    if (out_path.empty() || opt["part"] < 0 || opt["nparts"] < 1
+        || opt["part"] >= opt["nparts"]) {
+        std::fprintf(stderr, "sweep-worker requires out=<file>, part=, "
+                     "and nparts= with part < nparts\n");
+        return usage();
+    }
+    if (!model_path.empty() && !fileExists(model_path)) {
+        std::fprintf(stderr, "model artifact '%s' not found\n",
+                     model_path.c_str());
+        return 1;
+    }
+    const size_t part = static_cast<size_t>(opt["part"]);
+    const size_t nparts = static_cast<size_t>(opt["nparts"]);
+
+    const auto values = sweepValues(it->second, true);
+    std::vector<uint64_t> indices;
+    std::vector<UarchParams> points;
+    for (size_t i = part; i < values.size(); i += nparts) {
+        params.set(it->second, values[i]);
+        indices.push_back(i);
+        points.push_back(params);
+    }
+
+    const ConcordePredictor predictor = sweepPredictor(model_path);
+    const auto cpis = predictor.predictSweep(regionFor(pid), points);
+
+    const std::string tmp = uniqueTmpName(out_path);
+    {
+        BinaryWriter out(tmp);
+        out.put<uint64_t>(kSweepPartMagic);
+        out.put<uint64_t>(nparts);
+        out.put<uint64_t>(part);
+        out.put<uint64_t>(values.size());
+        out.put<uint64_t>(indices.size());
+        for (size_t k = 0; k < indices.size(); ++k) {
+            out.put<uint64_t>(indices[k]);
+            out.put<double>(cpis[k]);
+        }
+    }
+    publishFile(tmp, out_path);
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -967,6 +1486,8 @@ main(int argc, char **argv)
     // Lifecycle subcommands take key=value args, not a <program>.
     if (command == "dataset")
         return runDataset(argc, argv);
+    if (command == "dataset-worker")
+        return runDatasetWorker(argc, argv);
     if (command == "train")
         return runTrain(argc, argv);
     if (command == "eval")
@@ -974,7 +1495,7 @@ main(int argc, char **argv)
 
     if (command != "predict" && command != "sweep" && command != "attribute"
         && command != "simulate" && command != "serve"
-        && command != "pipeline") {
+        && command != "pipeline" && command != "sweep-worker") {
         std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
         return usage();
     }
@@ -991,11 +1512,13 @@ main(int argc, char **argv)
         return runServe(pid, argv[2], argc, argv);
     if (command == "pipeline")
         return runPipeline(pid, argv[2], argc, argv);
+    if (command == "sweep")
+        return runSweep(pid, argv[2], argc, argv);
+    if (command == "sweep-worker")
+        return runSweepWorker(pid, argv[2], argc, argv);
 
     UarchParams params = UarchParams::armN1();
     int first_override = 3;
-    if (command == "sweep")
-        first_override = 4;
     int permutations = 48;
     if (command == "attribute" && argc > 3) {
         // Optional positional permutation count before the overrides.
@@ -1042,34 +1565,6 @@ main(int argc, char **argv)
         const double cpi = predictor.predictCpi(provider, params);
         std::printf("%s @ %s\n  predicted CPI %.4f\n", argv[2],
                     params.toString().c_str(), cpi);
-        return 0;
-    }
-
-    if (command == "sweep") {
-        if (argc < 4)
-            return usage();
-        const auto it = kShortNames.find(argv[3]);
-        if (it == kShortNames.end()) {
-            std::fprintf(stderr, "unknown parameter '%s'\n", argv[3]);
-            return 2;
-        }
-        std::printf("sweep of %s for %s:\n",
-                    paramTable()[static_cast<int>(it->second)].name,
-                    argv[2]);
-        // The DSE fast path: one store-shared analysis, one provider's
-        // memo caches across the grid, one batched-inference pass.
-        const auto values = sweepValues(it->second, true);
-        std::vector<UarchParams> points;
-        points.reserve(values.size());
-        for (int64_t value : values) {
-            params.set(it->second, value);
-            points.push_back(params);
-        }
-        const auto cpis = predictor.predictSweep(regionFor(pid), points);
-        for (size_t i = 0; i < values.size(); ++i) {
-            std::printf("  %6lld -> CPI %.4f\n",
-                        static_cast<long long>(values[i]), cpis[i]);
-        }
         return 0;
     }
 
