@@ -54,8 +54,10 @@ BM_CycleLevelSimulator16k(benchmark::State &state)
                     artifacts::kShortRegionChunks};
     RegionAnalysis analysis(spec);
     const UarchParams n1 = UarchParams::armN1();
+    SimScratch scratch;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(simulateRegion(n1, analysis).cycles);
+        benchmark::DoNotOptimize(
+            simulateRegion(n1, analysis, 0, &scratch).cycles);
     }
 }
 BENCHMARK(BM_CycleLevelSimulator16k)->Unit(benchmark::kMillisecond);
@@ -66,8 +68,10 @@ BM_CycleLevelSimulator512k(benchmark::State &state)
     RegionSpec spec{programIdByCode("S7"), 0, 0, 256};
     RegionAnalysis analysis(spec, 0);
     const UarchParams n1 = UarchParams::armN1();
+    SimScratch scratch;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(simulateRegion(n1, analysis).cycles);
+        benchmark::DoNotOptimize(
+            simulateRegion(n1, analysis, 0, &scratch).cycles);
     }
 }
 BENCHMARK(BM_CycleLevelSimulator512k)->Unit(benchmark::kMillisecond);
@@ -87,6 +91,7 @@ main(int argc, char **argv)
     const UarchParams n1 = UarchParams::armN1();
 
     std::vector<double> predict_us, sim_ms, precompute_ms;
+    SimScratch scratch;     // reused across regions, the labeling shape
     for (const auto &spec : specs) {
         FeatureProvider provider(spec, artifacts::featureConfig());
         Stopwatch pre;
@@ -100,7 +105,7 @@ main(int argc, char **argv)
         predict_us.push_back(warm.seconds() * 1e6 / reps);
 
         Stopwatch sim;
-        (void)simulateRegion(n1, provider.analysis());
+        (void)simulateRegion(n1, provider.analysis(), 0, &scratch);
         sim_ms.push_back(sim.seconds() * 1e3);
     }
 

@@ -183,6 +183,69 @@ RegionAnalysis::warmupInstrs() const
     return shim.warm;
 }
 
+const std::vector<Instruction> &
+RegionAnalysis::combinedInstrs() const
+{
+    AosShim &shim = st->shim;
+    if (!shim.combinedReady.load(std::memory_order_acquire)) {
+        // Materialize the AoS sides first: they take shim.mtx themselves.
+        const std::vector<Instruction> &warm = warmupInstrs();
+        const std::vector<Instruction> &rows = instrs();
+        std::lock_guard<std::mutex> lock(shim.mtx);
+        if (!shim.combinedReady.load(std::memory_order_relaxed)) {
+            std::vector<Instruction> all;
+            all.reserve(warm.size() + rows.size());
+            all.insert(all.end(), warm.begin(), warm.end());
+            const int32_t offset = static_cast<int32_t>(warm.size());
+            for (Instruction instr : rows) {
+                for (int d = 0; d < kMaxSrcDeps; ++d) {
+                    if (instr.srcDeps[d] >= 0)
+                        instr.srcDeps[d] += offset;
+                }
+                if (instr.memDep >= 0)
+                    instr.memDep += offset;
+                all.push_back(instr);
+            }
+            shim.combined = std::move(all);
+            shim.combinedReady.store(true, std::memory_order_release);
+        }
+    }
+    return shim.combined;
+}
+
+void
+RegionAnalysis::rebuildCombinedFlags(const BranchAnalysis &branch_info,
+                                     std::vector<uint8_t> &flags) const
+{
+    const size_t total = combinedInstrs().size();
+    flags.assign(total, 0);
+    std::copy(branch_info.mispredict.begin(), branch_info.mispredict.end(),
+              flags.begin()
+                  + static_cast<std::ptrdiff_t>(
+                        total - branch_info.mispredict.size()));
+}
+
+const std::vector<uint8_t> &
+RegionAnalysis::combinedFlags(const BranchConfig &config)
+{
+    auto &e = st->combinedFlagLayouts.entryFor(config.key());
+    if (std::vector<uint8_t> *p = e.ready.load(std::memory_order_acquire))
+        return *p;
+    // Build the inputs outside this entry's latch: both take their own
+    // locks (the branch entry's latch and shim.mtx respectively).
+    const BranchAnalysis &branch_info = branches(config);
+    combinedInstrs();
+    std::lock_guard<std::mutex> lock(e.buildMtx);
+    if (std::vector<uint8_t> *p = e.ready.load(std::memory_order_relaxed))
+        return *p;
+    auto flags = std::make_unique<std::vector<uint8_t>>();
+    rebuildCombinedFlags(branch_info, *flags);
+    std::vector<uint8_t> *raw = flags.get();
+    e.value = std::move(flags);
+    e.ready.store(raw, std::memory_order_release);
+    return *raw;
+}
+
 void
 RegionAnalysis::buildFused(const MemoryConfig *mem, DSideAnalysis *d,
                            ISideAnalysis *i, const BranchConfig *br,
@@ -327,6 +390,14 @@ RegionAnalysis::adoptBranches(const BranchConfig &config,
     std::lock_guard<std::mutex> lock(e.buildMtx);
     e.value = std::make_unique<BranchAnalysis>(std::move(analysis));
     e.ready.store(e.value.get(), std::memory_order_release);
+
+    // A cached simulator flags layout for this key is now stale; rewrite
+    // it in place (the vector's identity, and thus any outstanding
+    // reference, is preserved).
+    auto &fe = st->combinedFlagLayouts.entryFor(config.key());
+    std::lock_guard<std::mutex> flock(fe.buildMtx);
+    if (fe.ready.load(std::memory_order_relaxed))
+        rebuildCombinedFlags(*e.value, *fe.value);
 }
 
 AnalyzerCarryState::AnalyzerCarryState(const MemoryConfig &mem,

@@ -150,6 +150,23 @@ class RegionAnalysis
     const std::vector<Instruction> &instrs() const;
     const std::vector<Instruction> &warmupInstrs() const;
 
+    /**
+     * Warmup + region concatenated with the region's dependency indices
+     * rebased by the warmup length -- exactly the combined trace the
+     * cycle-level simulator consumes. Materialized once per instance
+     * (same latch discipline as instrs()), so labeling N design points
+     * of one region rebuilds nothing.
+     */
+    const std::vector<Instruction> &combinedInstrs() const;
+
+    /**
+     * Mispredict flags aligned with combinedInstrs(): zero across the
+     * warmup prefix, branches(config).mispredict across the region.
+     * Memoized per branch configuration; kept in sync when
+     * adoptBranches() replaces the underlying analysis.
+     */
+    const std::vector<uint8_t> &combinedFlags(const BranchConfig &config);
+
     const LoadLineIndex &loadIndex() const { return loadLineIndex; }
 
     /** In-order D-cache simulation (memoized per d-side config). */
@@ -233,8 +250,10 @@ class RegionAnalysis
         std::mutex mtx;
         std::atomic<bool> regionReady{false};
         std::atomic<bool> warmReady{false};
+        std::atomic<bool> combinedReady{false};
         std::vector<Instruction> region;
         std::vector<Instruction> warm;
+        std::vector<Instruction> combined;  ///< warmup + rebased region
     };
 
     /** Non-movable innards, boxed so the class stays movable. */
@@ -243,6 +262,8 @@ class RegionAnalysis
         SideMemo<DSideAnalysis> dsides;
         SideMemo<ISideAnalysis> isides;
         SideMemo<BranchAnalysis> branchAnalyses;
+        /** Simulator flags layout per branch config (combinedFlags). */
+        SideMemo<std::vector<uint8_t>> combinedFlagLayouts;
         AosShim shim;
     };
 
@@ -250,6 +271,10 @@ class RegionAnalysis
     void buildFused(const MemoryConfig *mem, DSideAnalysis *d,
                     ISideAnalysis *i, const BranchConfig *br,
                     BranchAnalysis *b) const;
+
+    /** Fill `flags` with the combinedInstrs()-aligned mispredict layout. */
+    void rebuildCombinedFlags(const BranchAnalysis &branch_info,
+                              std::vector<uint8_t> &flags) const;
 
     RegionSpec regionSpec;
     TraceColumns warmup;

@@ -185,6 +185,32 @@ FeatureProvider::encodeLog1p(std::vector<double> &samples,
     encoder.encodeSorted(samples, out);
 }
 
+bool
+FeatureProvider::needsLatencies(int rob_size) const
+{
+    return std::find(cfg.latencyRobSizes.begin(), cfg.latencyRobSizes.end(),
+                     rob_size)
+        != cfg.latencyRobSizes.end();
+}
+
+uint64_t
+FeatureProvider::estimatedLoadLatencySum(const MemoryConfig &mem)
+{
+    const uint32_t dkey = mem.dSideKey();
+    auto it = estLoadLatSums.find(dkey);
+    if (it != estLoadLatSums.end())
+        return it->second;
+    const auto &dside = region->dside(mem);
+    const std::vector<Instruction> &rows = region->instrs();
+    uint64_t estimated = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+        if (rows[i].isLoad())
+            estimated += static_cast<uint64_t>(dside.execLat[i]);
+    }
+    estLoadLatSums.emplace(dkey, estimated);
+    return estimated;
+}
+
 void
 FeatureProvider::ensureRobEntries(const UarchParams &params)
 {
@@ -192,12 +218,6 @@ FeatureProvider::ensureRobEntries(const UarchParams &params)
     const uint32_t dkey = mem.dSideKey();
     const int biggest =
         cfg.latencyRobSizes.empty() ? 1024 : cfg.latencyRobSizes.back();
-
-    auto needs_lat = [&](int rob_size) {
-        return std::find(cfg.latencyRobSizes.begin(),
-                         cfg.latencyRobSizes.end(), rob_size)
-            != cfg.latencyRobSizes.end();
-    };
 
     // Distinct sizes this assemble will touch (a dozen or so; linear
     // dedup beats a set here).
@@ -211,9 +231,9 @@ FeatureProvider::ensureRobEntries(const UarchParams &params)
         }
         wanted.push_back(RobSweepRequest{size, lat});
     };
-    add(params.robSize, needs_lat(params.robSize));
+    add(params.robSize, needsLatencies(params.robSize));
     for (int size : cfg.robSweep)
-        add(size, needs_lat(size));
+        add(size, needsLatencies(size));
     for (int size : cfg.latencyRobSizes)
         add(size, true);
     add(biggest, true);
@@ -467,19 +487,13 @@ FeatureProvider::assemble(const UarchParams &params, std::vector<float> &out)
         out.insert(out.end(), enc.begin(), enc.end());
     };
 
-    // Collect stage latencies on an entry's FIRST build when its size
-    // will need them for the latency blocks below, instead of running
-    // the model a second time (precomputeAll's idiom).
-    auto needs_lat = [&](int rob_size) {
-        return std::find(cfg.latencyRobSizes.begin(),
-                         cfg.latencyRobSizes.end(), rob_size)
-            != cfg.latencyRobSizes.end();
-    };
-
     // ---- primary throughput distributions ----
     {
+        // Collect stage latencies on an entry's FIRST build when its size
+        // will need them for the latency blocks below, instead of running
+        // the model a second time (precomputeAll's idiom).
         RobEntry &rob = robEntry(params.robSize, params.memory,
-                                 needs_lat(params.robSize));
+                                 needsLatencies(params.robSize));
         if (rob.encWindows.empty())
             encodeWindows(rob.windows, rob.encWindows);
         append(rob.encWindows);
@@ -517,7 +531,7 @@ FeatureProvider::assemble(const UarchParams &params, std::vector<float> &out)
     append(encCountDists);
     for (int size : cfg.robSweep) {
         out.push_back(static_cast<float>(
-            robEntry(size, params.memory, needs_lat(size)).overallIpc));
+            robEntry(size, params.memory, needsLatencies(size)).overallIpc));
     }
 
     // ---- latency distributions ----

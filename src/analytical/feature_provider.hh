@@ -174,6 +174,15 @@ class FeatureProvider
     /** Total memoized model runs so far (for cost accounting). */
     size_t modelRuns() const { return totalModelRuns; }
 
+    /**
+     * Trace-analysis estimate of total load latency over the region (the
+     * Figure 11 denominator): the sum of dside(mem).execLat over load
+     * instructions. Depends only on (region, d-side config), so it is
+     * memoized per d-side key -- labeling many design points of one
+     * region computes it once.
+     */
+    uint64_t estimatedLoadLatencySum(const MemoryConfig &mem);
+
   private:
     struct RobEntry
     {
@@ -215,6 +224,9 @@ class FeatureProvider
 
     RobEntry &robEntry(int rob_size, const MemoryConfig &mem,
                        bool need_latencies);
+
+    /** Does this ROB size contribute stage-latency feature blocks? */
+    bool needsLatencies(int rob_size) const;
 
     /**
      * Batch every ROB size one assemble() touches (the target size, the
@@ -280,6 +292,9 @@ class FeatureProvider
 
     /** Parameter-independent encodings (instruction-mix counts), lazy. */
     std::vector<float> encCountDists;
+
+    /** estimatedLoadLatencySum memo, keyed by MemoryConfig::dSideKey(). */
+    std::unordered_map<uint32_t, uint64_t> estLoadLatSums;
 
     size_t totalModelRuns = 0;
     std::vector<double> scratch;

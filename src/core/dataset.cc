@@ -95,28 +95,28 @@ drawSpecs(const DatasetConfig &config)
  */
 void
 labelSample(FeatureProvider &provider, SampleMeta &meta,
-            std::vector<float> &row, float *feature_row, float &label)
+            std::vector<float> &row, float *feature_row, float &label,
+            SimScratch &sim_scratch)
 {
     // Features, assembled into a reused scratch row.
     row.clear();
     provider.assemble(meta.params, row);
     std::copy(row.begin(), row.end(), feature_row);
 
-    // Ground-truth label from the cycle-level simulator.
-    const SimResult sim = simulateRegion(meta.params, provider.analysis());
+    // Ground-truth label from the cycle-level simulator, run through the
+    // caller's reusable scratch (bitwise-identical to a fresh engine).
+    const SimResult sim =
+        simulateRegion(meta.params, provider.analysis(), 0, &sim_scratch);
     meta.cpi = static_cast<float>(sim.cpi());
     meta.avgRobOcc = static_cast<float>(sim.avgRobOccupancy);
     meta.avgRenameOcc = static_cast<float>(sim.avgRenameQOccupancy);
     meta.mispredicts = static_cast<uint32_t>(sim.branchMispredicts);
 
-    // Figure 11 diagnostic: actual vs trace-analysis load time.
-    const auto &dside = provider.analysis().dside(meta.params.memory);
-    uint64_t estimated = 0;
-    const auto &region = provider.analysis().instrs();
-    for (size_t i = 0; i < region.size(); ++i) {
-        if (region[i].isLoad())
-            estimated += static_cast<uint64_t>(dside.execLat[i]);
-    }
+    // Figure 11 diagnostic: actual vs trace-analysis load time. The
+    // estimate depends only on (region, d-side config); the provider
+    // memoizes the sum.
+    const uint64_t estimated =
+        provider.estimatedLoadLatencySum(meta.params.memory);
     meta.execRatio = estimated > 0
         ? static_cast<float>(
             static_cast<double>(sim.actualLoadLatencySum)
@@ -173,17 +173,24 @@ labelRange(const DatasetConfig &config, const FeatureLayout &layout,
     for (const auto &[key, members] : groups)
         group_list.push_back(&members);
 
-    parallelFor(group_list.size(), [&](size_t g) {
-        const std::vector<size_t> &members = *group_list[g];
-        FeatureProvider provider(
-            store.acquire(data.meta[members.front()].region),
-            config.features);
+    // parallelShards (not parallelFor) so each worker carries ONE
+    // simulator scratch across every group it labels: the whole shard's
+    // ground-truth simulation reuses a single allocation set.
+    parallelShards(group_list.size(), [&](size_t, size_t gbegin,
+                                          size_t gend) {
+        SimScratch sim_scratch;
         std::vector<float> row;
         row.reserve(layout.dim());
-        for (size_t s : members) {
-            labelSample(provider, data.meta[s], row,
-                        data.features.data() + s * layout.dim(),
-                        data.labels[s]);
+        for (size_t g = gbegin; g < gend; ++g) {
+            const std::vector<size_t> &members = *group_list[g];
+            FeatureProvider provider(
+                store.acquire(data.meta[members.front()].region),
+                config.features);
+            for (size_t s : members) {
+                labelSample(provider, data.meta[s], row,
+                            data.features.data() + s * layout.dim(),
+                            data.labels[s], sim_scratch);
+            }
         }
     }, config.threads);
     return data;

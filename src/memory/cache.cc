@@ -26,15 +26,22 @@ log2u(uint64_t x)
 } // anonymous namespace
 
 Cache::Cache(uint64_t size_bytes, uint32_t ways)
-    : numSets(size_bytes / 64 / ways), numWays(ways)
 {
+    reset(size_bytes, ways);
+}
+
+void
+Cache::reset(uint64_t size_bytes, uint32_t ways)
+{
+    numSets = size_bytes / 64 / ways;
+    numWays = ways;
     fatal_if(size_bytes < 64 * ways, "cache too small: %llu bytes",
              static_cast<unsigned long long>(size_bytes));
     fatal_if(!isPow2(numSets) || !isPow2(numWays),
              "sets (%llu) and ways (%u) must be powers of two",
              static_cast<unsigned long long>(numSets), numWays);
     setShift = log2u(numSets);
-    entries.resize(numSets * numWays);
+    entries.assign(numSets * numWays, Entry{});
     plruBits.assign(numSets * (numWays > 1 ? numWays - 1 : 1), 0);
 }
 

@@ -26,6 +26,13 @@ class Cache
      */
     Cache(uint64_t size_bytes, uint32_t ways);
 
+    /**
+     * Reinitialize to the state of a fresh Cache(size_bytes, ways):
+     * every entry invalid, PLRU trees zeroed. Reuses the tag and PLRU
+     * storage when the geometry shrinks or stays the same.
+     */
+    void reset(uint64_t size_bytes, uint32_t ways);
+
     /** Probe without updating replacement state. */
     bool lookup(uint64_t line) const;
 

@@ -16,6 +16,14 @@ StridePrefetcher::StridePrefetcher(int degree, uint32_t table_entries)
 }
 
 void
+StridePrefetcher::reset(int degree)
+{
+    fatal_if(degree < 0, "negative prefetch degree");
+    prefetchDegree = degree;
+    std::fill(table.begin(), table.end(), Entry{});
+}
+
+void
 StridePrefetcher::observe(uint64_t pc, uint64_t addr,
                           std::vector<uint64_t> &out)
 {

@@ -24,6 +24,12 @@ class StridePrefetcher
     explicit StridePrefetcher(int degree, uint32_t table_entries = 256);
 
     /**
+     * Reinitialize to the state of a fresh StridePrefetcher(degree) with
+     * the same table size, reusing the table storage.
+     */
+    void reset(int degree);
+
+    /**
      * Observe a demand load and collect prefetch addresses (byte
      * addresses) into `out` (cleared first).
      */

@@ -1,5 +1,8 @@
 #include "memory/timing_memory.hh"
 
+#include <algorithm>
+#include <functional>
+
 namespace concorde
 {
 
@@ -19,6 +22,25 @@ TimingMemory::TimingMemory(const MemoryConfig &config)
       llc(MemoryConfig::kLlcKb * 1024ULL, kLlcWays),
       prefetcher(config.prefetchDegree)
 {
+}
+
+void
+TimingMemory::reset(const MemoryConfig &config)
+{
+    l1d.reset(config.l1dKb * 1024ULL, kL1Ways);
+    l1i.reset(config.l1iKb * 1024ULL, kL1Ways);
+    l2.reset(config.l2Kb * 1024ULL, kL2Ways);
+    llc.reset(MemoryConfig::kLlcKb * 1024ULL, kLlcWays);
+    prefetcher.reset(config.prefetchDegree);
+    dStats = HierarchyStats{};
+    iStats = HierarchyStats{};
+    lastDataLine = ~0ULL;
+    lastInstLine = ~0ULL;
+    dramNextFree = 0;
+    inflightData.clear();
+    inflightInst.clear();
+    mshrHeap.clear();
+    prefetchBuf.clear();
 }
 
 CacheLevel
@@ -95,19 +117,25 @@ TimingMemory::dramService(uint64_t cycle)
 uint64_t
 TimingMemory::mshrAdmit(uint64_t cycle)
 {
-    while (!mshrHeap.empty() && mshrHeap.top() <= cycle)
-        mshrHeap.pop();
-    if (mshrHeap.size() < kMshrs)
+    const auto cmp = std::greater<uint64_t>();
+    while (!mshrHeap.empty() && mshrHeap.front() <= cycle) {
+        std::pop_heap(mshrHeap.begin(), mshrHeap.end(), cmp);
+        mshrHeap.pop_back();
+    }
+    if (mshrHeap.size() < static_cast<size_t>(kMshrs))
         return cycle;
-    const uint64_t free_at = mshrHeap.top();
-    mshrHeap.pop();
+    const uint64_t free_at = mshrHeap.front();
+    std::pop_heap(mshrHeap.begin(), mshrHeap.end(), cmp);
+    mshrHeap.pop_back();
     return free_at;
 }
 
 void
 TimingMemory::mshrRetire(uint64_t completion)
 {
-    mshrHeap.push(completion);
+    mshrHeap.push_back(completion);
+    std::push_heap(mshrHeap.begin(), mshrHeap.end(),
+                   std::greater<uint64_t>());
 }
 
 MemResponse
@@ -149,7 +177,11 @@ TimingMemory::load(uint64_t pc, uint64_t addr, uint64_t cycle)
         else
             done = start + loadLatency(level);
         mshrRetire(done);
-        inflightData[line] = done;
+        // `it` is still valid: nothing was inserted since the find above.
+        if (it != inflightData.end())
+            it->second = done;
+        else
+            inflightData.emplace(line, done);
         resp.readyCycle = done;
         resp.isFill = true;
     }
@@ -174,7 +206,10 @@ TimingMemory::load(uint64_t pc, uint64_t addr, uint64_t cycle)
                 done = dramService(cycle);
             else
                 done = cycle + loadLatency(pf_level);
-            inflightData[pf_line] = done;
+            if (in != inflightData.end())
+                in->second = done;
+            else
+                inflightData.emplace(pf_line, done);
         }
     }
     return resp;
@@ -240,7 +275,10 @@ TimingMemory::fetchLine(uint64_t line, uint64_t cycle)
             done = dramService(cycle);
         else
             done = cycle + loadLatency(level);
-        inflightInst[line] = done;
+        if (it != inflightInst.end())
+            it->second = done;
+        else
+            inflightInst.emplace(line, done);
         resp.readyCycle = done;
         resp.isFill = true;
     }

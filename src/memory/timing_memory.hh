@@ -14,7 +14,6 @@
 #define CONCORDE_MEMORY_TIMING_MEMORY_HH
 
 #include <cstdint>
-#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -41,6 +40,14 @@ class TimingMemory
 {
   public:
     explicit TimingMemory(const MemoryConfig &config);
+
+    /**
+     * Reinitialize to the exact state of a freshly constructed
+     * TimingMemory(config), reusing all existing allocations (cache tag
+     * arrays, hash-map buckets, heap storage). The simulator scratch path
+     * resets one instance per run instead of reconstructing it.
+     */
+    void reset(const MemoryConfig &config);
 
     /** Timed demand load. */
     MemResponse load(uint64_t pc, uint64_t addr, uint64_t cycle);
@@ -102,9 +109,12 @@ class TimingMemory
     std::unordered_map<uint64_t, uint64_t> inflightData;
     std::unordered_map<uint64_t, uint64_t> inflightInst;
 
-    /** Outstanding data-miss completions (min-heap), capped at kMshrs. */
-    std::priority_queue<uint64_t, std::vector<uint64_t>,
-                        std::greater<uint64_t>> mshrHeap;
+    /**
+     * Outstanding data-miss completions: a min-heap over a plain vector
+     * (std::push_heap/pop_heap), capped at kMshrs, so reset() keeps the
+     * storage.
+     */
+    std::vector<uint64_t> mshrHeap;
 
     std::vector<uint64_t> prefetchBuf;
 };

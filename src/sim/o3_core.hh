@@ -18,12 +18,23 @@
  *  - Memory: TimingMemory (shared L2/LLC, MSHRs, DRAM bandwidth, stride
  *    prefetcher), accessed in issue order -- deliberately richer than the
  *    in-order trace analysis so that Figure 11's discrepancies arise.
+ *
+ * Two implementations share these semantics cycle for cycle:
+ *  - the fast path (simulateTrace / simulateRegion): every per-call
+ *    container lives in a caller-owned SimScratch, queues are fixed-cap
+ *    ring buffers, heaps are reused vectors, and the timing memory is
+ *    reset in place -- labeling N design points of one region allocates
+ *    once, not N times;
+ *  - the reference path (simulateTraceReference): the original
+ *    fresh-containers-per-call engine, kept verbatim as the bitwise A/B
+ *    oracle (tests/test_sim_labeler, bench/bench_sim_labeler).
  */
 
 #ifndef CONCORDE_SIM_O3_CORE_HH
 #define CONCORDE_SIM_O3_CORE_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "analysis/trace_analyzer.hh"
@@ -64,6 +75,30 @@ struct SimResult
 };
 
 /**
+ * Reusable simulator working set (the RobModelScratch idiom): all of the
+ * engine's per-run state -- per-instruction arrays, wakeup edge chains,
+ * fetch/decode/rename ring buffers, ready and event heaps, and the
+ * TimingMemory itself -- owned by the caller and threaded through
+ * simulateTrace / simulateRegion. One instance reused across runs keeps
+ * the hot labeling loop free of per-sample allocation once warm; a fresh
+ * instance per call reproduces the old behavior exactly (results are
+ * bitwise-identical either way).
+ *
+ * Not thread-safe: one scratch per thread. Safe to reuse across regions
+ * and design points in any interleaving.
+ */
+struct SimScratch
+{
+    SimScratch();
+    ~SimScratch();
+    SimScratch(const SimScratch &) = delete;
+    SimScratch &operator=(const SimScratch &) = delete;
+
+    struct Impl;
+    std::unique_ptr<Impl> impl;
+};
+
+/**
  * Simulate `region` (preceded by `warmup`, which fills caches and timing
  * state but is excluded from all statistics).
  *
@@ -71,16 +106,43 @@ struct SimResult
  *        analysis with the same BranchConfig as `params.branch`)
  * @param window_k when > 0, record region commit cycles every window_k
  *        committed region instructions (per-window IPC ground truth)
+ * @param scratch optional reusable working set; null = per-call local
  */
 SimResult simulateTrace(const UarchParams &params,
                         const std::vector<Instruction> &warmup,
                         const std::vector<Instruction> &region,
                         const std::vector<uint8_t> &mispredict_flags,
-                        int window_k = 0);
+                        int window_k = 0, SimScratch *scratch = nullptr);
 
-/** Convenience wrapper: pulls warmup, region, and flags from an analysis. */
+/**
+ * Simulate a prebuilt warmup+region concatenation whose region deps are
+ * already rebased (RegionAnalysis::combinedInstrs / combinedFlags): the
+ * allocation-free labeling hot path -- no per-call trace rebuild at all.
+ */
+SimResult simulateCombined(const UarchParams &params,
+                           const std::vector<Instruction> &all,
+                           const std::vector<uint8_t> &flags,
+                           size_t warmup_count, int window_k,
+                           SimScratch &scratch);
+
+/**
+ * Convenience wrapper: pulls the cached combined trace and flags from the
+ * analysis (building them on first use) and runs the fast path.
+ */
 SimResult simulateRegion(const UarchParams &params, RegionAnalysis &analysis,
-                         int window_k = 0);
+                         int window_k = 0, SimScratch *scratch = nullptr);
+
+/**
+ * The original implementation, kept verbatim: rebuilds the concatenated
+ * trace and every engine container per call. Exists solely as the bitwise
+ * oracle for the fast path; new callers want simulateTrace.
+ */
+SimResult simulateTraceReference(const UarchParams &params,
+                                 const std::vector<Instruction> &warmup,
+                                 const std::vector<Instruction> &region,
+                                 const std::vector<uint8_t>
+                                     &mispredict_flags,
+                                 int window_k = 0);
 
 } // namespace concorde
 

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * A/B gate for the simulator labeling fast path: the scratch-reusing
+ * engine (simulateTrace / simulateCombined / simulateRegion) must be
+ * byte-identical to the kept reference implementation
+ * (simulateTraceReference) on micro-traces, sampled regions, and
+ * randomized design points -- across any interleaving of regions and
+ * parameters through one reused SimScratch. Also pins the combined-trace
+ * caches on RegionAnalysis, the memoized Figure-11 estimate, and the
+ * runaway guard.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "analysis/trace_analyzer.hh"
+#include "analytical/feature_provider.hh"
+#include "sim/o3_core.hh"
+#include "trace/workloads.hh"
+
+namespace concorde
+{
+namespace
+{
+
+std::vector<Instruction>
+aluTrace(size_t n, int dep_dist)
+{
+    std::vector<Instruction> region(n);
+    for (size_t i = 0; i < n; ++i) {
+        region[i].type = InstrType::IntAlu;
+        region[i].pc = 0x1000 + (i % 64) * 4;
+        if (dep_dist > 0 && i >= static_cast<size_t>(dep_dist))
+            region[i].srcDeps[0] = static_cast<int32_t>(i) - dep_dist;
+    }
+    return region;
+}
+
+std::vector<Instruction>
+loadTrace(size_t n, size_t lines)
+{
+    std::vector<Instruction> region(n);
+    for (size_t i = 0; i < n; ++i) {
+        region[i].type = InstrType::Load;
+        region[i].pc = 0x1000 + (i % 64) * 4;
+        region[i].memAddr = 0x100000 + (i % lines) * 64;
+    }
+    return region;
+}
+
+/** Field-by-field exact equality, including the occupancy doubles. */
+void
+expectIdentical(const SimResult &a, const SimResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.avgRobOccupancy, b.avgRobOccupancy);
+    EXPECT_EQ(a.avgRenameQOccupancy, b.avgRenameQOccupancy);
+    EXPECT_EQ(a.avgLqOccupancy, b.avgLqOccupancy);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.actualLoadLatencySum, b.actualLoadLatencySum);
+    EXPECT_EQ(a.loadCount, b.loadCount);
+    EXPECT_EQ(a.windowCommitCycles, b.windowCommitCycles);
+}
+
+SimResult
+referenceRegion(const UarchParams &params, RegionAnalysis &analysis,
+                int window_k = 0)
+{
+    const auto &branch_info = analysis.branches(params.branch);
+    return simulateTraceReference(params, analysis.warmupInstrs(),
+                                  analysis.instrs(), branch_info.mispredict,
+                                  window_k);
+}
+
+TEST(SimLabeler, FastMatchesReferenceOnMicroTraces)
+{
+    const UarchParams n1 = UarchParams::armN1();
+    const std::vector<std::vector<Instruction>> regions = {
+        aluTrace(4000, 0), aluTrace(4000, 1), loadTrace(4000, 512),
+    };
+    SimScratch scratch;
+    for (const auto &region : regions) {
+        const std::vector<uint8_t> flags(region.size(), 0);
+        const auto warm = loadTrace(2000, 256);
+        const SimResult ref =
+            simulateTraceReference(n1, warm, region, flags);
+        const SimResult fresh = simulateTrace(n1, warm, region, flags);
+        const SimResult reused =
+            simulateTrace(n1, warm, region, flags, 0, &scratch);
+        expectIdentical(ref, fresh);
+        expectIdentical(ref, reused);
+    }
+}
+
+TEST(SimLabeler, FastMatchesReferenceWithMispredictsAndWindows)
+{
+    const UarchParams n1 = UarchParams::armN1();
+    auto region = aluTrace(6000, 0);
+    std::vector<uint8_t> flags(region.size(), 0);
+    for (size_t i = 25; i < region.size(); i += 50) {
+        region[i].type = InstrType::Branch;
+        region[i].branchKind = BranchKind::DirectCond;
+        flags[i] = 1;
+    }
+    SimScratch scratch;
+    const SimResult ref =
+        simulateTraceReference(n1, {}, region, flags, 500);
+    const SimResult fast =
+        simulateTrace(n1, {}, region, flags, 500, &scratch);
+    expectIdentical(ref, fast);
+    EXPECT_EQ(fast.branchMispredicts, 120u);
+    EXPECT_EQ(fast.windowCommitCycles.size(), region.size() / 500);
+}
+
+TEST(SimLabeler, ScratchReuseIdenticalAcrossInterleavedRegionsAndParams)
+{
+    // One scratch, reused across interleaved (region, params) pairs with
+    // different trace lengths, memory geometries, and prefetch settings:
+    // every run must match both a fresh-scratch run and the reference.
+    Rng rng(321);
+    std::vector<RegionAnalysis> analyses;
+    analyses.reserve(3);
+    for (int r = 0; r < 3; ++r)
+        analyses.emplace_back(sampleRegion(rng, 2), 1);
+
+    std::vector<UarchParams> params;
+    params.push_back(UarchParams::armN1());
+    params.push_back(UarchParams::bigCore());
+    for (int d = 0; d < 4; ++d)
+        params.push_back(UarchParams::sampleRandom(rng));
+    params[0].memory.prefetchDegree = 4;
+    params[1].memory.prefetchDegree = 0;
+
+    SimScratch reused;
+    for (int round = 0; round < 2; ++round) {
+        for (size_t pi = 0; pi < params.size(); ++pi) {
+            // Interleave: a different region each (round, param) visit.
+            RegionAnalysis &analysis =
+                analyses[(pi + static_cast<size_t>(round)) % 3];
+            const SimResult ref = referenceRegion(params[pi], analysis);
+            const SimResult warm_scratch =
+                simulateRegion(params[pi], analysis, 0, &reused);
+            const SimResult fresh =
+                simulateRegion(params[pi], analysis);
+            expectIdentical(ref, warm_scratch);
+            expectIdentical(ref, fresh);
+        }
+    }
+}
+
+TEST(SimLabeler, CombinedTraceCacheMatchesPerCallRebuild)
+{
+    Rng rng(77);
+    RegionAnalysis analysis(sampleRegion(rng, 2), 1);
+    const auto &warm = analysis.warmupInstrs();
+    const auto &rows = analysis.instrs();
+    const auto &combined = analysis.combinedInstrs();
+
+    ASSERT_EQ(combined.size(), warm.size() + rows.size());
+    const int32_t offset = static_cast<int32_t>(warm.size());
+    for (size_t i = 0; i < warm.size(); ++i)
+        EXPECT_EQ(std::memcmp(&combined[i], &warm[i], sizeof(Instruction)),
+                  0);
+    for (size_t i = 0; i < rows.size(); ++i) {
+        Instruction expect = rows[i];
+        for (int d = 0; d < kMaxSrcDeps; ++d) {
+            if (expect.srcDeps[d] >= 0)
+                expect.srcDeps[d] += offset;
+        }
+        if (expect.memDep >= 0)
+            expect.memDep += offset;
+        EXPECT_EQ(std::memcmp(&combined[offset + i], &expect,
+                              sizeof(Instruction)),
+                  0);
+    }
+
+    const BranchConfig branch;
+    const auto &flags = analysis.combinedFlags(branch);
+    const auto &mispredict = analysis.branches(branch).mispredict;
+    ASSERT_EQ(flags.size(), combined.size());
+    for (size_t i = 0; i < warm.size(); ++i)
+        EXPECT_EQ(flags[i], 0);
+    for (size_t i = 0; i < mispredict.size(); ++i)
+        EXPECT_EQ(flags[warm.size() + i], mispredict[i]);
+
+    // Cached: same object on every call.
+    EXPECT_EQ(&analysis.combinedInstrs(), &combined);
+    EXPECT_EQ(&analysis.combinedFlags(branch), &flags);
+}
+
+TEST(SimLabeler, AdoptBranchesResyncsCachedFlags)
+{
+    Rng rng(88);
+    RegionAnalysis analysis(sampleRegion(rng, 2), 1);
+    const BranchConfig branch;
+    const auto &flags = analysis.combinedFlags(branch);
+
+    BranchAnalysis replacement;
+    replacement.mispredict.assign(analysis.regionSize(), 0);
+    for (size_t i = 0; i < replacement.mispredict.size(); i += 7)
+        replacement.mispredict[i] = 1;
+    replacement.numBranches = 1;
+    replacement.numMispredicts = 1;
+    analysis.adoptBranches(branch, replacement);
+
+    // Same vector object, rewritten contents.
+    const auto &after = analysis.combinedFlags(branch);
+    EXPECT_EQ(&after, &flags);
+    const size_t warm_count = analysis.warmupSize();
+    for (size_t i = 0; i < replacement.mispredict.size(); ++i)
+        EXPECT_EQ(after[warm_count + i], replacement.mispredict[i]);
+}
+
+TEST(SimLabeler, EstimatedLoadLatencySumMatchesDirectLoop)
+{
+    Rng rng(99);
+    FeatureProvider provider(sampleRegion(rng, 2));
+    const MemoryConfig configs[] = {
+        MemoryConfig{},
+        MemoryConfig{32, 32, 512, 0},
+        MemoryConfig{256, 64, 4096, 4},
+    };
+    for (const MemoryConfig &mem : configs) {
+        const auto &dside = provider.analysis().dside(mem);
+        const auto &rows = provider.analysis().instrs();
+        uint64_t direct = 0;
+        for (size_t i = 0; i < rows.size(); ++i) {
+            if (rows[i].isLoad())
+                direct += static_cast<uint64_t>(dside.execLat[i]);
+        }
+        EXPECT_EQ(provider.estimatedLoadLatencySum(mem), direct);
+        // Memoized path returns the same value.
+        EXPECT_EQ(provider.estimatedLoadLatencySum(mem), direct);
+    }
+}
+
+TEST(SimLabelerDeathTest, RunawayGuardPanicsOnDeadlockedTrace)
+{
+    testing::GTEST_FLAG(death_test_style) = "threadsafe";
+    // A load whose memDep points at itself never wakes: the engine makes
+    // no progress and must hit the runaway panic, on both paths.
+    std::vector<Instruction> region(4);
+    for (auto &instr : region) {
+        instr.type = InstrType::IntAlu;
+        instr.pc = 0x1000;
+    }
+    region[2].type = InstrType::Load;
+    region[2].memAddr = 0x2000;
+    region[2].memDep = 2;
+    const std::vector<uint8_t> flags(region.size(), 0);
+    const UarchParams n1 = UarchParams::armN1();
+    EXPECT_DEATH(simulateTrace(n1, {}, region, flags),
+                 "simulator runaway");
+    EXPECT_DEATH(simulateTraceReference(n1, {}, region, flags),
+                 "simulator runaway");
+}
+
+} // anonymous namespace
+} // namespace concorde

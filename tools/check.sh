@@ -53,6 +53,13 @@ if [ "${SKIP_BENCH:-0}" != "1" ]; then
     CONCORDE_BENCH_JSON=BENCH_analysis.json \
         ./build/bench/bench_analysis_cold
 
+    # Ground-truth labeling gate: the scratch-reusing simulator fast
+    # path must stay bitwise-identical to the fresh-engine reference on
+    # golden + seeded-random regions across randomized design points,
+    # and hold >= 1.3x its throughput.
+    CONCORDE_BENCH_JSON=BENCH_sim.json \
+        ./build/bench/bench_sim_labeler
+
     # Design-space-sweep gate: predictSweep (shared analysis, one
     # provider, one GEMM) must beat the naive per-config predictCpi
     # loop >= 3x with bitwise-identical CPIs.
