@@ -405,6 +405,15 @@ writeJson(const std::string &path, const RunConfig &cfg, double scalar_qps,
                          static_cast<serve::ServeStatus>(s)),
                      static_cast<unsigned long long>(stats.byStatus[s]));
     }
+    std::fprintf(f, "  \"served_fast\": %llu,\n",
+                 static_cast<unsigned long long>(stats.servedFast));
+    std::fprintf(f, "  \"served_fallback_sim\": %llu,\n",
+                 static_cast<unsigned long long>(stats.servedFallbackSim));
+    std::fprintf(f, "  \"flagged_ood\": %llu,\n",
+                 static_cast<unsigned long long>(stats.flaggedOod));
+    std::fprintf(f, "  \"fallback_rejected_overload\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     stats.fallbackRejectedOverload));
     std::fprintf(f, "  \"batches\": %llu,\n",
                  static_cast<unsigned long long>(stats.queue.batches));
     std::fprintf(f, "  \"batch_size_histogram\": {");

@@ -1,12 +1,15 @@
 #include "common/serialize.hh"
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 
 namespace concorde
@@ -157,6 +160,57 @@ publishFile(const std::string &tmp_path, const std::string &final_path)
         fatal_if(dir_err, "cannot sync directory of '%s': %s",
                  final_path.c_str(), std::strerror(dir_err));
     }
+}
+
+size_t
+reclaimStagingDebris(const std::string &final_path)
+{
+    const auto slash = final_path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : final_path.substr(0, slash);
+    const std::string base = slash == std::string::npos
+        ? final_path : final_path.substr(slash + 1);
+    const std::string prefix = base + ".tmp.";
+
+    DIR *d = ::opendir(dir.empty() ? "/" : dir.c_str());
+    if (!d)
+        return 0;
+    std::vector<std::string> stale;
+    while (struct dirent *entry = ::readdir(d)) {
+        const std::string name = entry->d_name;
+        if (name == base + ".tmp") {
+            // Legacy fixed-name staging file: its writer embeds no
+            // pid, so by convention it is never a live writer's.
+            stale.push_back(name);
+            continue;
+        }
+        if (name.compare(0, prefix.size(), prefix) != 0)
+            continue;
+        // Parse "<pid>.<counter>" after the prefix.
+        const char *pid_str = name.c_str() + prefix.size();
+        char *end = nullptr;
+        const long pid = std::strtol(pid_str, &end, 10);
+        if (end == pid_str || pid <= 0 || *end != '.')
+            continue;
+        char *counter_end = nullptr;
+        (void)std::strtol(end + 1, &counter_end, 10);
+        if (counter_end == end + 1 || *counter_end != '\0')
+            continue;
+        // Only ESRCH proves the writer is gone: EPERM would mean a
+        // live process owned by another user, whose file must stay.
+        if (::kill(static_cast<pid_t>(pid), 0) != 0 && errno == ESRCH)
+            stale.push_back(name);
+    }
+    ::closedir(d);
+
+    size_t removed = 0;
+    for (const auto &name : stale) {
+        const std::string path = dir + "/" + name;
+        warn("removing stale staging file '%s'", path.c_str());
+        if (::unlink(path.c_str()) == 0)
+            ++removed;
+    }
+    return removed;
 }
 
 void

@@ -136,6 +136,16 @@ std::string uniqueTmpName(const std::string &final_path);
  */
 void publishFile(const std::string &tmp_path, const std::string &final_path);
 
+/**
+ * Remove staging files of `final_path` (`<final_path>.tmp.<pid>.<n>`,
+ * plus the legacy fixed `<final_path>.tmp`) whose writer process is
+ * provably dead -- the crash-recovery sweep for any file maintained
+ * with the uniqueTmpName + publishFile discipline. The published file
+ * itself is never touched: publishFile's rename is atomic, so it is
+ * always the last complete version. @return files removed.
+ */
+size_t reclaimStagingDebris(const std::string &final_path);
+
 } // namespace concorde
 
 #endif // CONCORDE_COMMON_SERIALIZE_HH

@@ -16,7 +16,9 @@ namespace
 
 /** "CNCART01" little-endian. */
 constexpr uint64_t kArtifactMagic = 0x3130545241434e43ULL;
-constexpr uint32_t kArtifactVersion = 1;
+/** v2 = v1 + optional conformal-calibration section. */
+constexpr uint32_t kArtifactVersion = 2;
+constexpr uint32_t kMinArtifactVersion = 1;
 
 } // anonymous namespace
 
@@ -37,6 +39,9 @@ ModelArtifact::save(const std::string &path) const
         saveTrainConfig(out, provenance.trainConfig);
         out.put<uint64_t>(provenance.trainedEpochs);
         out.put<double>(provenance.heldOutRelErr);
+        out.put<uint8_t>(calibration.valid() ? 1 : 0);
+        if (calibration.valid())
+            calibration.save(out);
     }
     publishFile(tmp, path);
 }
@@ -48,7 +53,7 @@ ModelArtifact::load(const std::string &path)
     fatal_if(in.get<uint64_t>() != kArtifactMagic,
              "'%s' is not a Concorde model artifact", path.c_str());
     const uint32_t version = in.get<uint32_t>();
-    fatal_if(version != kArtifactVersion,
+    fatal_if(version < kMinArtifactVersion || version > kArtifactVersion,
              "'%s': unsupported artifact version %u", path.c_str(),
              version);
     ModelArtifact artifact;
@@ -60,6 +65,10 @@ ModelArtifact::load(const std::string &path)
     artifact.provenance.trainConfig = loadTrainConfig(in);
     artifact.provenance.trainedEpochs = in.get<uint64_t>();
     artifact.provenance.heldOutRelErr = in.get<double>();
+    // v1 predates calibration: such artifacts load fine and simply
+    // report uncalibrated (point-only serving).
+    if (version >= 2 && in.get<uint8_t>() != 0)
+        artifact.calibration = ConformalCalibration::load(in);
     return artifact;
 }
 

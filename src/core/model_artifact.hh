@@ -35,14 +35,26 @@ struct ArtifactProvenance
     double heldOutRelErr = -1.0;
 };
 
-/** Versioned trained-model bundle with save/load round-trip. */
+/**
+ * Versioned trained-model bundle with save/load round-trip.
+ *
+ * Version history:
+ *  - v1: features + model + provenance.
+ *  - v2: appends an optional split-conformal calibration section
+ *    (sorted conformity scores + feature envelope). v1 files still
+ *    load -- they simply come back uncalibrated (calibrated() false)
+ *    and the serve layer falls back to point-only predictions.
+ */
 struct ModelArtifact
 {
     FeatureConfig features;
     TrainedModel model;
     ArtifactProvenance provenance;
+    /** Conformal calibration; invalid/empty = uncalibrated artifact. */
+    ConformalCalibration calibration;
 
     bool valid() const { return model.valid(); }
+    bool calibrated() const { return calibration.valid(); }
 
     /** Build the ready-to-serve predictor this artifact describes. */
     ConcordePredictor predictor() const

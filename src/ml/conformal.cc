@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/logging.hh"
 
@@ -19,28 +20,20 @@ ConformalPredictor::ConformalPredictor(TrainedModel model,
              "calibration features/labels shape mismatch");
 
     const auto preds = trainedModel.predictBatch(features, dim);
-    scores.resize(labels.size());
-    for (size_t i = 0; i < labels.size(); ++i) {
-        const double yhat = std::max(preds[i], 1e-6f);
-        scores[i] = std::abs(labels[i] - preds[i]) / yhat;
-    }
-    std::sort(scores.begin(), scores.end());
+    cal = fitConformalCalibration(preds, labels, features, dim);
+}
+
+ConformalPredictor::ConformalPredictor(TrainedModel model,
+                                       ConformalCalibration calibration)
+    : trainedModel(std::move(model)), cal(std::move(calibration))
+{
+    fatal_if(!cal.valid(), "empty calibration set");
 }
 
 double
 ConformalPredictor::quantile(double alpha) const
 {
-    panic_if(alpha <= 0.0 || alpha >= 1.0, "alpha must be in (0, 1)");
-    const size_t n = scores.size();
-    // Finite-sample corrected rank: ceil((n + 1) (1 - alpha)).
-    const double raw_rank =
-        std::ceil((static_cast<double>(n) + 1.0) * (1.0 - alpha));
-    const size_t rank = static_cast<size_t>(raw_rank);
-    if (rank == 0)
-        return scores.front();
-    if (rank > n)
-        return scores.back() * 1.5 + 0.05;  // beyond calibration support
-    return scores[rank - 1];
+    return cal.quantile(alpha);
 }
 
 ConformalPredictor::Interval
@@ -49,10 +42,10 @@ ConformalPredictor::predictInterval(const float *raw_features,
 {
     Interval interval;
     interval.point = trainedModel.predict(raw_features);
-    const double q = quantile(alpha);
-    interval.lo = static_cast<float>(
-        std::max(0.0, interval.point * (1.0 - q)));
-    interval.hi = static_cast<float>(interval.point * (1.0 + q));
+    double lo, hi;
+    cal.intervalAround(interval.point, alpha, lo, hi);
+    interval.lo = static_cast<float>(lo);
+    interval.hi = static_cast<float>(hi);
     return interval;
 }
 

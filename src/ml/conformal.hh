@@ -19,6 +19,7 @@
 
 #include <vector>
 
+#include "ml/calibration.hh"
 #include "ml/trainer.hh"
 
 namespace concorde
@@ -51,8 +52,15 @@ class ConformalPredictor
                        const std::vector<float> &features,
                        const std::vector<float> &labels, size_t dim);
 
+    /**
+     * Wrap a model around a previously fitted calibration (the
+     * serve-side path: the calibration rode in from a ModelArtifact).
+     */
+    ConformalPredictor(TrainedModel model, ConformalCalibration cal);
+
     const TrainedModel &model() const { return trainedModel; }
-    size_t calibrationSize() const { return scores.size(); }
+    const ConformalCalibration &calibration() const { return cal; }
+    size_t calibrationSize() const { return cal.scores.size(); }
 
     /**
      * Conformity-score quantile for miscoverage alpha, with the
@@ -74,7 +82,7 @@ class ConformalPredictor
 
   private:
     TrainedModel trainedModel;
-    std::vector<double> scores;     ///< sorted conformity scores
+    ConformalCalibration cal;
 };
 
 } // namespace concorde

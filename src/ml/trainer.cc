@@ -568,6 +568,30 @@ trainMlpResumable(const std::vector<float> &features,
     run.model = TrainedModel(std::move(state.mlp), std::move(state.mean),
                              std::move(state.stdev),
                              mask ? *mask : std::vector<uint8_t>{});
+
+    // Split-conformal calibration on the held-out split: the val rows
+    // were never trained on, so their residuals are exchangeable with
+    // a fresh request's. The feature envelope comes from the training
+    // split -- the distribution the model actually fitted -- so the
+    // serve layer can flag requests outside it. Deterministic given
+    // (data, config), so resumed runs reproduce it bitwise.
+    if (n_val > 0) {
+        std::vector<float> val_raw(n_val * dim);
+        std::vector<float> val_y(n_val);
+        for (size_t i = 0; i < n_val; ++i) {
+            const float *src = features.data() + val_idx[i] * dim;
+            std::copy(src, src + dim, val_raw.data() + i * dim);
+            val_y[i] = labels[val_idx[i]];
+        }
+        const auto preds = run.model.predictBatch(val_raw, dim, threads);
+        std::vector<float> train_raw(n_train * dim);
+        for (size_t i = 0; i < n_train; ++i) {
+            const float *src = features.data() + train_idx[i] * dim;
+            std::copy(src, src + dim, train_raw.data() + i * dim);
+        }
+        run.calibration =
+            fitConformalCalibration(preds, val_y, train_raw, dim);
+    }
     return run;
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "ml/calibration.hh"
 #include "ml/mlp.hh"
 
 namespace concorde
@@ -110,6 +111,13 @@ struct TrainRun
     TrainedModel model;         ///< state as of the last completed epoch
     std::vector<EpochMetrics> history;  ///< all completed epochs so far
     bool finished = false;      ///< config.epochs epochs are done
+    /**
+     * Split-conformal calibration fitted on the validation split
+     * (scores from the held-out residuals, feature envelope from the
+     * training split). Invalid/empty when valFraction == 0 -- the
+     * model then ships uncalibrated and serves point predictions only.
+     */
+    ConformalCalibration calibration;
 
     size_t epochsCompleted() const { return history.size(); }
 };

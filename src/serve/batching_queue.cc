@@ -243,7 +243,7 @@ BatchingQueue::runBatch(std::vector<Pending> batch)
     for (Pending &p : batch)
         requests.push_back(std::move(p.request));
 
-    std::vector<double> results;
+    std::vector<PredictResponse> results;
     std::string error;
     bool ok = false;
     try {
@@ -260,12 +260,8 @@ BatchingQueue::runBatch(std::vector<Pending> batch)
     }
 
     if (ok) {
-        PredictResponse response;
-        for (size_t i = 0; i < batch.size(); ++i) {
-            response.status = ServeStatus::OK;
-            response.cpi = results[i];
-            finish(std::move(batch[i]), response);
-        }
+        for (size_t i = 0; i < batch.size(); ++i)
+            finish(std::move(batch[i]), std::move(results[i]));
     } else {
         PredictResponse response;
         response.status = ServeStatus::INTERNAL_ERROR;

@@ -115,18 +115,22 @@ struct QueueStats
 
 /**
  * The coalescing queue. The handler receives a flushed batch and
- * returns one CPI per request (same order). Every submitted request's
- * completion callback is invoked exactly once -- with OK and a CPI, or
- * with a non-OK status; destruction flushes everything still pending
- * and waits for in-flight batches. Completions run on the dispatcher /
- * pool / caller thread and must not block for long; re-submitting from
- * a completion is allowed.
+ * returns one full PredictResponse per request (same order) -- the
+ * handler owns the status, the CPI, and the uncertainty fields
+ * (interval, OOD flag, fallback route). Every submitted request's
+ * completion callback is invoked exactly once -- with the handler's
+ * response, or with a non-OK status the queue produced itself
+ * (TIMEOUT/OVERLOADED/SHUTDOWN, or INTERNAL_ERROR when the handler
+ * threw); destruction flushes everything still pending and waits for
+ * in-flight batches. Completions run on the dispatcher / pool / caller
+ * thread and must not block for long; re-submitting from a completion
+ * is allowed.
  */
 class BatchingQueue
 {
   public:
     using BatchFn =
-        std::function<std::vector<double>(
+        std::function<std::vector<PredictResponse>(
             const std::vector<PredictionRequest> &)>;
     using Completion = std::function<void(PredictResponse)>;
 

@@ -18,6 +18,7 @@ ModelRegistry::add(const std::string &name, ConcordePredictor predictor)
     slot.id = nextId++;
     slot.predictor = std::move(shared);
     slot.provenance = nullptr;
+    slot.calibration = nullptr;
     return slot;
 }
 
@@ -37,12 +38,18 @@ ModelRegistry::addArtifact(const std::string &name,
         std::make_shared<const ConcordePredictor>(artifact.predictor());
     auto provenance =
         std::make_shared<const ArtifactProvenance>(artifact.provenance);
+    std::shared_ptr<const ConformalCalibration> calibration;
+    if (artifact.calibrated()) {
+        calibration = std::make_shared<const ConformalCalibration>(
+            artifact.calibration);
+    }
     std::lock_guard<std::mutex> lock(mtx);
     ModelHandle &slot = models[name];
     slot.name = name;
     slot.id = nextId++;
     slot.predictor = std::move(shared);
     slot.provenance = std::move(provenance);
+    slot.calibration = std::move(calibration);
     return slot;
 }
 

@@ -34,8 +34,14 @@ struct ModelHandle
     std::shared_ptr<const ConcordePredictor> predictor;
     /** Provenance of the artifact it came from (null for bare models). */
     std::shared_ptr<const ArtifactProvenance> provenance;
+    /**
+     * Conformal calibration of the artifact it came from (null for
+     * bare or uncalibrated models -- those serve point-only).
+     */
+    std::shared_ptr<const ConformalCalibration> calibration;
 
     bool valid() const { return predictor != nullptr; }
+    bool calibrated() const { return calibration != nullptr; }
 };
 
 /** Thread-safe name -> predictor table with copy-free shared access. */

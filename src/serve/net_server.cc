@@ -73,6 +73,7 @@ struct NetServer::Loop : std::enable_shared_from_this<NetServer::Loop>
     std::atomic<uint64_t> framesIn{0};
     std::atomic<uint64_t> framesOut{0};
     std::atomic<uint64_t> protocolErrors{0};
+    std::atomic<uint64_t> unsupportedVersionFrames{0};
     std::atomic<uint64_t> bytesIn{0};
     std::atomic<uint64_t> bytesOut{0};
 
@@ -179,9 +180,31 @@ NetServer::Loop::parseFrames(const std::shared_ptr<Conn> &conn,
             break;      // incomplete frame: wait for more bytes
 
         wire::RequestFrame frame;
-        if (!wire::decodeRequest(
-                buf.data() + at + wire::kLengthPrefixBytes, payload,
-                frame)) {
+        const wire::DecodeResult decoded = wire::decodeRequestEx(
+            buf.data() + at + wire::kLengthPrefixBytes, payload, frame);
+        if (decoded == wire::DecodeResult::UnsupportedVersion) {
+            // A well-formed frame from a different protocol generation:
+            // tell the client what this server speaks -- encoded at
+            // kMinVersion so any generation can parse it -- then close.
+            ++protocolErrors;
+            ++unsupportedVersionFrames;
+            wire::ResponseFrame out;
+            out.requestId = frame.requestId;
+            out.version = wire::kMinVersion;
+            out.response.status = ServeStatus::INTERNAL_ERROR;
+            out.response.message =
+                "unsupported protocol version (server speaks " +
+                std::to_string(wire::kMinVersion) + ".." +
+                std::to_string(wire::kVersion) + ")";
+            std::vector<uint8_t> bytes;
+            wire::encodeResponse(out, bytes);
+            conn->writeBuf.insert(conn->writeBuf.end(), bytes.begin(),
+                                  bytes.end());
+            ++framesOut;
+            flushWrites(conn);  // best-effort; the close follows anyway
+            return false;
+        }
+        if (decoded != wire::DecodeResult::Ok) {
             ++protocolErrors;
             return false;
         }
@@ -193,12 +216,16 @@ NetServer::Loop::parseFrames(const std::shared_ptr<Conn> &conn,
         // its eventfd must still exist then.
         std::weak_ptr<Conn> weak = conn;
         const uint64_t id = frame.requestId;
+        // Answer at the version the request arrived with: pipelined v1
+        // clients keep parsing point-only bodies from a v2 server.
+        const uint8_t version = frame.version;
         service.submit(
             std::move(frame.request),
-            [self = shared_from_this(), weak = std::move(weak),
-             id](PredictResponse response) {
+            [self = shared_from_this(), weak = std::move(weak), id,
+             version](PredictResponse response) {
                 wire::ResponseFrame out;
                 out.requestId = id;
+                out.version = version;
                 out.response = std::move(response);
                 std::vector<uint8_t> bytes;
                 wire::encodeResponse(out, bytes);
@@ -447,6 +474,7 @@ NetServer::stats() const
     s.framesIn = loop->framesIn.load();
     s.framesOut = loop->framesOut.load();
     s.protocolErrors = loop->protocolErrors.load();
+    s.unsupportedVersionFrames = loop->unsupportedVersionFrames.load();
     s.bytesIn = loop->bytesIn.load();
     s.bytesOut = loop->bytesOut.load();
     return s;

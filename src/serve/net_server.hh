@@ -8,8 +8,8 @@
  * responses from the dispatcher / pool threads are written by the loop
  * thread only.
  *
- * PROTOCOL SPECIFICATION (version 1)
- * ==================================
+ * PROTOCOL SPECIFICATION (version 2; version 1 still served)
+ * ==========================================================
  *
  * Transport: TCP. All integers little-endian. Every message is a
  * length-prefixed frame:
@@ -17,13 +17,13 @@
  *     u32 payloadLen          bytes that follow (max 65536)
  *     -- payload ------------------------------------------------
  *     u32 magic               0x434E4344 ("CNCD")
- *     u8  version             1
+ *     u8  version             1 or 2
  *     u8  type                1 = request, 2 = response
  *     u16 reserved            must be 0
  *     u64 requestId           client-chosen; echoed in the response
  *     ... type-specific body ...
  *
- * Request body (type 1):
+ * Request body (type 1; identical in v1 and v2):
  *
  *     u8  class               0 = interactive, 1 = bulk
  *     u8  pad[3]
@@ -37,10 +37,21 @@
  *     u16 numParams           design point as (axis, value) pairs
  *     { u16 paramId, i64 value } x numParams
  *
- * Response body (type 2):
+ * Response body (type 2), version 1:
  *
  *     u8  status              ServeStatus (serve_api.hh)
  *     f64 cpi                 IEEE-754 bits; meaningful iff status == 0
+ *     u16 msgLen              diagnostic, raw bytes follow
+ *     u8  message[msgLen]
+ *
+ * Response body (type 2), version 2 -- the uncertainty extension:
+ *
+ *     u8  status              ServeStatus (serve_api.hh)
+ *     u8  flags               bit0 calibrated, bit1 ood, bit2 fallback;
+ *                             other bits reserved, must be 0
+ *     f64 cpi                 IEEE-754 bits; meaningful iff status == 0
+ *     f64 lo                  conformal interval; meaningful iff
+ *     f64 hi                  ... flags.calibrated
  *     u16 msgLen              diagnostic, raw bytes follow
  *     u8  message[msgLen]
  *
@@ -49,15 +60,23 @@
  *    in flight per connection.
  *  - Responses carry the request's id but MAY arrive in any order
  *    (a cache hit overtakes a cold region analysis).
- *  - Any malformed frame -- bad magic, unknown version, wrong type,
- *    truncated or oversized payload, trailing bytes, out-of-range
- *    enum -- is connection-fatal: the server closes the connection
- *    without a response. There is no in-band error recovery; a
- *    framing bug leaves the stream unparseable anyway.
+ *  - Version negotiation is per frame: the server answers each
+ *    request at the version it arrived with, so a v1 client of a v2
+ *    server keeps receiving point-only v1 responses.
+ *  - A well-formed request frame whose version is outside the
+ *    server's supported range gets one response -- encoded at the
+ *    server's MINIMUM version, so any client generation can parse it
+ *    -- with status INTERNAL_ERROR and a message naming the supported
+ *    range; then the connection is closed.
+ *  - Any malformed frame -- bad magic, wrong type, truncated or
+ *    oversized payload, trailing bytes, out-of-range enum, reserved
+ *    flag bits set -- is connection-fatal: the server closes the
+ *    connection without a response. There is no in-band error
+ *    recovery; a framing bug leaves the stream unparseable anyway.
  *  - Routine per-request failures are NOT connection errors: they
  *    come back as a response with a non-OK status.
- *  - Version bumps change `version`; v1 servers close on anything
- *    else. Enum values (status, class, paramId) are append-only.
+ *  - Enum values (status, class, paramId) and flag bits are
+ *    append-only.
  */
 
 #ifndef CONCORDE_SERVE_NET_SERVER_HH
@@ -94,6 +113,13 @@ struct NetServerStats
     uint64_t framesIn = 0;
     uint64_t framesOut = 0;
     uint64_t protocolErrors = 0;    ///< connections killed by bad frames
+    /**
+     * Well-formed frames speaking a protocol version outside the
+     * supported range; each got a version-diagnostic response (encoded
+     * at the minimum version) before its connection was closed. Also
+     * counted in protocolErrors.
+     */
+    uint64_t unsupportedVersionFrames = 0;
     uint64_t bytesIn = 0;
     uint64_t bytesOut = 0;
 };

@@ -1,6 +1,9 @@
 #include "serve/prediction_service.hh"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
 
@@ -8,6 +11,7 @@
 #include "common/rng.hh"
 #include "common/serialize.hh"
 #include "common/stopwatch.hh"
+#include "sim/o3_core.hh"
 
 namespace concorde
 {
@@ -20,6 +24,25 @@ namespace
 /** Warm-set file magic ("CWRM") and version. */
 constexpr uint32_t kWarmSetMagic = 0x4357524D;
 constexpr uint16_t kWarmSetVersion = 1;
+
+/**
+ * Fault-injection hook (tests only): when
+ * CONCORDE_FEEDBACK_CRASH_AFTER_APPENDS=<n> is set, the (n+1)-th
+ * feedback append in this process stages its bytes, truncates the
+ * staging file (the moment a SIGKILL mid-write would leave behind),
+ * and exits without publishing -- proving the published feedback file
+ * never holds a partial record.
+ */
+long
+feedbackCrashAfterAppends()
+{
+    static const long value = []() {
+        const char *env =
+            std::getenv("CONCORDE_FEEDBACK_CRASH_AFTER_APPENDS");
+        return env ? std::atol(env) : -1L;
+    }();
+    return value;
+}
 
 } // anonymous namespace
 
@@ -349,20 +372,32 @@ PredictionService::providerFor(const PredictionRequest &request)
     return slot;
 }
 
-std::vector<double>
+std::vector<PredictResponse>
 PredictionService::handleBatch(const std::vector<PredictionRequest> &batch)
 {
-    std::vector<double> out(batch.size());
+    const UncertaintyConfig &unc = cfg.uncertainty;
+    std::vector<PredictResponse> out(batch.size());
 
     // Cache pass: repeated (model, region, design point) requests are
     // answered from memory with the exact previously computed double.
+    // Flagged results are never cached (below), so every hit is a
+    // previously-clean answer: attach the interval, no OOD re-check.
     std::vector<size_t> misses;
     for (size_t i = 0; i < batch.size(); ++i) {
-        if (!cache.lookup(batch[i].key, out[i]))
+        double cached = 0.0;
+        if (cache.lookup(batch[i].key, cached)) {
+            out[i].cpi = cached;
+            const ConformalCalibration *cal =
+                batch[i].model.calibration.get();
+            if (cal && cal->valid()) {
+                out[i].calibrated = true;
+                cal->intervalAround(cached, unc.alpha, out[i].lo,
+                                    out[i].hi);
+            }
+        } else {
             misses.push_back(i);
+        }
     }
-    if (misses.empty())
-        return out;
 
     // Group the misses by (model, region): each group shares one
     // FeatureProvider and one batched inference pass.
@@ -374,6 +409,8 @@ PredictionService::handleBatch(const std::vector<PredictionRequest> &batch)
         const PredictionRequest &first = batch[rows.front()];
         const ConcordePredictor &predictor = *first.model.predictor;
         const size_t dim = predictor.layout().dim();
+        const ConformalCalibration *cal = first.model.calibration.get();
+        const bool calibrated = cal && cal->valid();
 
         std::vector<float> features;
         features.reserve(rows.size() * dim);
@@ -391,11 +428,160 @@ PredictionService::handleBatch(const std::vector<PredictionRequest> &batch)
         const auto preds = predictor.predictCpiFromFeatures(
             features, rows.size(), cfg.mlpThreads);
         for (size_t r = 0; r < rows.size(); ++r) {
-            out[rows[r]] = preds[r];
-            cache.insert(batch[rows[r]].key, preds[r]);
+            const size_t i = rows[r];
+            PredictResponse &response = out[i];
+            response.cpi = preds[r];
+            const float *row = features.data() + r * dim;
+
+            // Self-qualification: conformal interval + OOD guardrail.
+            bool flagged = false;
+            if (calibrated) {
+                response.calibrated = true;
+                cal->intervalAround(response.cpi, unc.alpha, response.lo,
+                                    response.hi);
+                if (cal->oodScore(row, dim) > unc.oodThreshold) {
+                    response.ood = true;
+                    flagged = true;
+                    flaggedOodCount.fetch_add(1,
+                                              std::memory_order_relaxed);
+                }
+                if (unc.maxRelWidth > 0.0 &&
+                    response.relativeWidth() > unc.maxRelWidth) {
+                    flagged = true;
+                }
+            }
+
+            if (flagged && unc.fallbackEnabled) {
+                // Admission budget of the slow path: bounded slots, so
+                // an OOD flood degrades to flagged fast answers (or
+                // OVERLOADED) instead of a simulator pile-up.
+                bool admitted = false;
+                size_t in_flight =
+                    fallbackInFlight.load(std::memory_order_relaxed);
+                while (in_flight < unc.maxFallbackInFlight) {
+                    if (fallbackInFlight.compare_exchange_weak(
+                            in_flight, in_flight + 1)) {
+                        admitted = true;
+                        break;
+                    }
+                }
+                if (admitted) {
+                    std::vector<float> row_copy(row, row + dim);
+                    PredictResponse truth =
+                        simulateFallback(batch[i], row_copy);
+                    fallbackInFlight.fetch_sub(1,
+                                               std::memory_order_relaxed);
+                    truth.calibrated = response.calibrated;
+                    truth.ood = response.ood;
+                    response = std::move(truth);
+                } else {
+                    fallbackRejectedCount.fetch_add(
+                        1, std::memory_order_relaxed);
+                    if (unc.rejectOnBudget) {
+                        response.status = ServeStatus::OVERLOADED;
+                        response.message = "fallback budget exhausted";
+                    }
+                    // else: the flagged fast answer stands.
+                }
+            }
+
+            // Only clean fast-path answers enter the cache: a cached
+            // value must be safe to serve later without its feature
+            // row (no OOD re-check is possible on a hit).
+            if (!flagged && response.ok())
+                cache.insert(batch[i].key, response.cpi);
         }
     }
+
+    for (const PredictResponse &response : out) {
+        if (!response.ok())
+            continue;
+        if (response.fallback)
+            servedFallbackSimCount.fetch_add(1, std::memory_order_relaxed);
+        else
+            servedFastCount.fetch_add(1, std::memory_order_relaxed);
+    }
     return out;
+}
+
+PredictResponse
+PredictionService::simulateFallback(const PredictionRequest &request,
+                                    const std::vector<float> &features)
+{
+    PredictResponse response;
+    response.fallback = true;
+
+    // Ground truth from the cycle-level simulator, through the same
+    // shared AnalysisStore snapshot and default warmup convention the
+    // labeling path uses -- the reply is bitwise identical to a direct
+    // simulateRegion call on this (region, design point). The analysis
+    // object's combined-trace accessors are internally latched, so
+    // concurrent fallbacks on one region are safe; the scratch is the
+    // per-thread reusable working set.
+    const std::shared_ptr<RegionAnalysis> analysis =
+        AnalysisStore::global().acquire(request.region);
+    thread_local SimScratch scratch;
+    const SimResult sim =
+        simulateRegion(request.params, *analysis, 0, &scratch);
+    response.cpi = sim.cpi();
+    // A simulated answer is exact: the interval collapses to the point.
+    response.lo = response.cpi;
+    response.hi = response.cpi;
+
+    if (!cfg.uncertainty.feedbackPath.empty()) {
+        appendFeedback(request, features,
+                       static_cast<float>(response.cpi));
+    }
+    return response;
+}
+
+void
+PredictionService::appendFeedback(const PredictionRequest &request,
+                                  const std::vector<float> &features,
+                                  float label)
+{
+    const std::string &path = cfg.uncertainty.feedbackPath;
+    // First touch sweeps staging debris a crashed predecessor left
+    // behind; the published file itself is always a complete version.
+    std::call_once(feedbackReclaimOnce,
+                   [&path]() { reclaimStagingDebris(path); });
+
+    std::lock_guard<std::mutex> lock(feedbackMtx);
+    Dataset merged;
+    if (fileExists(path))
+        merged = Dataset::load(path);
+
+    Dataset one;
+    one.dim = features.size();
+    one.features = features;
+    one.labels.push_back(label);
+    SampleMeta meta;
+    meta.region = request.region;
+    meta.params = request.params;
+    meta.cpi = label;
+    one.meta.push_back(meta);
+    merged.append(one);
+
+    // The dataset-shard durability discipline: stage under a pid-unique
+    // name, publish by durable atomic rename. A writer killed at any
+    // point leaves the published file untouched (the previous complete
+    // version) plus reclaimable debris -- never a partial record.
+    const std::string tmp = uniqueTmpName(path);
+    merged.save(tmp);
+
+    static std::atomic<uint64_t> processAppends{0};
+    const uint64_t attempt =
+        processAppends.fetch_add(1, std::memory_order_relaxed) + 1;
+    const long crash_after = feedbackCrashAfterAppends();
+    if (crash_after >= 0 && attempt > static_cast<uint64_t>(crash_after)) {
+        // Simulate a kill mid-write: leave a truncated staging file and
+        // die without publishing.
+        (void)::truncate(tmp.c_str(), 12);
+        ::_exit(42);
+    }
+
+    publishFile(tmp, path);
+    feedbackAppendedCount.fetch_add(1, std::memory_order_relaxed);
 }
 
 ServeStatus
@@ -426,6 +612,14 @@ PredictionService::stats() const
     s.latency = latency.summary();
     for (size_t i = 0; i < kNumServeStatuses; ++i)
         s.byStatus[i] = statusCounts[i].load(std::memory_order_relaxed);
+    s.servedFast = servedFastCount.load(std::memory_order_relaxed);
+    s.servedFallbackSim =
+        servedFallbackSimCount.load(std::memory_order_relaxed);
+    s.flaggedOod = flaggedOodCount.load(std::memory_order_relaxed);
+    s.fallbackRejectedOverload =
+        fallbackRejectedCount.load(std::memory_order_relaxed);
+    s.feedbackAppended =
+        feedbackAppendedCount.load(std::memory_order_relaxed);
     return s;
 }
 

@@ -38,6 +38,7 @@
 #include <tuple>
 
 #include "common/stats.hh"
+#include "core/dataset.hh"
 #include "pipeline/analysis_pipeline.hh"
 #include "serve/batching_queue.hh"
 #include "serve/model_registry.hh"
@@ -48,6 +49,58 @@ namespace concorde
 {
 namespace serve
 {
+
+/**
+ * Uncertainty-aware serving knobs: conformal intervals, the OOD
+ * guardrail, and the graceful-degradation path to the cycle-level
+ * simulator. All of it only engages for models whose artifact shipped
+ * a calibration (ModelArtifact v2 with valFraction > 0 at train time);
+ * uncalibrated models serve point predictions exactly as before.
+ */
+struct UncertaintyConfig
+{
+    /** Miscoverage of the served interval: [lo, hi] targets 1-alpha. */
+    double alpha = 0.1;
+    /**
+     * Width SLO: a calibrated prediction whose (hi-lo)/cpi exceeds
+     * this is treated as unqualified and eligible for fallback.
+     * 0 disables the width check.
+     */
+    double maxRelWidth = 0.0;
+    /**
+     * A request is flagged OOD when more than this fraction of its
+     * feature dimensions fall outside the calibration envelope.
+     */
+    double oodThreshold = 0.02;
+    /**
+     * Route flagged requests (OOD or width-SLO breach) to the
+     * cycle-level simulator for a ground-truth answer. Off by
+     * default: the flag alone is free, the simulator is not.
+     */
+    bool fallbackEnabled = false;
+    /**
+     * Admission budget of the slow path: at most this many fallback
+     * simulations in flight across the whole service. A flood of OOD
+     * requests therefore degrades to flagged fast answers (or
+     * OVERLOADED, see rejectOnBudget) instead of collapsing every
+     * pool thread into the simulator.
+     */
+    size_t maxFallbackInFlight = 2;
+    /**
+     * What an over-budget flagged request gets: false (default) = its
+     * fast ML answer with the flags still set; true = OVERLOADED, for
+     * clients that would rather retry than act on a flagged number.
+     */
+    bool rejectOnBudget = false;
+    /**
+     * When non-empty, every fallback-simulated (features, label) pair
+     * is durably appended here (pid-unique staging + atomic publish,
+     * the dataset-shard crash-safety discipline). The file is a
+     * regular Dataset; `concorde_cli dataset`/`train feedback=` folds
+     * it into the next training run -- the active-learning loop.
+     */
+    std::string feedbackPath;
+};
 
 /** Service-wide configuration. */
 struct ServeConfig
@@ -60,6 +113,7 @@ struct ServeConfig
     size_t mlpThreads = 1;
     /** Window of the end-to-end latency reservoir (samples). */
     size_t latencyWindow = 1 << 14;
+    UncertaintyConfig uncertainty;
 };
 
 /** Aggregated service counters. */
@@ -71,6 +125,16 @@ struct ServeStats
     LatencySummary latency;
     /** Completed requests per ServeStatus (serveStatusName order). */
     std::array<uint64_t, kNumServeStatuses> byStatus{};
+    /** OK answers served by the ML fast path (cache or GEMM). */
+    uint64_t servedFast = 0;
+    /** OK answers served by the cycle-level simulator fallback. */
+    uint64_t servedFallbackSim = 0;
+    /** Requests whose features fell outside the calibration envelope. */
+    uint64_t flaggedOod = 0;
+    /** Flagged requests the fallback admission budget turned away. */
+    uint64_t fallbackRejectedOverload = 0;
+    /** (features, label) pairs durably appended to the feedback file. */
+    uint64_t feedbackAppended = 0;
 };
 
 class PredictionService
@@ -201,13 +265,27 @@ class PredictionService
     using ProviderKey = std::tuple<uint32_t, int, int, uint64_t, uint32_t>;
     static ProviderKey providerKey(const PredictionRequest &request);
 
-    std::vector<double>
+    std::vector<PredictResponse>
     handleBatch(const std::vector<PredictionRequest> &batch);
     std::shared_ptr<ProviderEntry>
     providerFor(const PredictionRequest &request);
     /** Record latency + per-status counters for one completion. */
     void recordOutcome(std::chrono::steady_clock::time_point start,
                        ServeStatus status);
+
+    /**
+     * Slow path of one flagged request: run the cycle-level simulator
+     * on the request's region (ground truth, bitwise identical to a
+     * direct simulateRegion call) and, when configured, durably append
+     * the (features, label) pair to the feedback file. `features` is
+     * the request's assembled feature row (empty when assembly was
+     * skipped). Called with a fallback admission slot already held.
+     */
+    PredictResponse simulateFallback(const PredictionRequest &request,
+                                     const std::vector<float> &features);
+    /** Durably append one labeled row to cfg.uncertainty.feedbackPath. */
+    void appendFeedback(const PredictionRequest &request,
+                        const std::vector<float> &features, float label);
 
     const ServeConfig cfg;
     ModelRegistry models;
@@ -216,6 +294,17 @@ class PredictionService
 
     LatencyRecorder latency;
     std::array<std::atomic<uint64_t>, kNumServeStatuses> statusCounts{};
+    std::atomic<uint64_t> servedFastCount{0};
+    std::atomic<uint64_t> servedFallbackSimCount{0};
+    std::atomic<uint64_t> flaggedOodCount{0};
+    std::atomic<uint64_t> fallbackRejectedCount{0};
+    std::atomic<uint64_t> feedbackAppendedCount{0};
+    /** Fallback simulations currently executing (admission budget). */
+    std::atomic<size_t> fallbackInFlight{0};
+    /** Serializes feedback-file read-merge-publish cycles. */
+    std::mutex feedbackMtx;
+    /** One-shot crash-debris sweep of the feedback path. */
+    std::once_flag feedbackReclaimOnce;
 
     mutable std::mutex providersMtx;
     std::map<ProviderKey, std::shared_ptr<ProviderEntry>> providers;

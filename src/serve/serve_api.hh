@@ -78,15 +78,39 @@ struct PredictRequest
     std::chrono::microseconds timeout{0};
 };
 
-/** The typed answer; cpi is meaningful only when status == OK. */
+/**
+ * The typed answer; cpi is meaningful only when status == OK.
+ *
+ * Uncertainty fields (wire protocol v2): when `calibrated` is true,
+ * [lo, hi] is the server's (1-alpha) conformal interval around cpi
+ * (alpha is a serve-side knob); an uncalibrated model serves lo == hi
+ * == 0 with calibrated == false. `ood` marks a request whose features
+ * fell outside the model's calibration distribution; `fallback` marks
+ * an answer produced by the cycle-level simulator instead of the ML
+ * path -- ground truth, so its interval collapses to [cpi, cpi].
+ */
 struct PredictResponse
 {
     ServeStatus status = ServeStatus::OK;
     double cpi = 0.0;
+    /** Conformal interval bounds (meaningful iff calibrated). */
+    double lo = 0.0;
+    double hi = 0.0;
+    /** True when [lo, hi] carries a real conformal interval. */
+    bool calibrated = false;
+    /** Features outside the calibration distribution. */
+    bool ood = false;
+    /** Answered by the cycle-level simulator (ground truth). */
+    bool fallback = false;
     /** Diagnostic for INTERNAL_ERROR (empty otherwise). */
     std::string message;
 
     bool ok() const { return status == ServeStatus::OK; }
+    /** Interval width relative to the point prediction. */
+    double relativeWidth() const
+    {
+        return cpi > 0.0 ? (hi - lo) / cpi : 0.0;
+    }
 };
 
 } // namespace serve

@@ -217,27 +217,37 @@ endFrame(std::vector<uint8_t> &out, size_t length_at)
 }
 
 void
-header(Writer &w, uint8_t type, uint64_t request_id)
+header(Writer &w, uint8_t version, uint8_t type, uint64_t request_id)
 {
     w.u32(kMagic);
-    w.u8(kVersion);
+    w.u8(version);
     w.u8(type);
     w.u16(0);   // reserved
     w.u64(request_id);
 }
 
-/** @return false on bad magic/version or unexpected frame type. */
-bool
-readHeader(Reader &r, uint8_t want_type, uint64_t &request_id)
+/**
+ * Parse a frame header. Malformed on bad magic, unexpected frame
+ * type, or truncation; UnsupportedVersion when everything else is
+ * well-formed but the version is outside kMinVersion..kVersion (the
+ * request id is already filled then -- a server can still answer).
+ */
+DecodeResult
+readHeader(Reader &r, uint8_t want_type, uint64_t &request_id,
+           uint8_t &version)
 {
     uint32_t magic;
-    uint8_t version, type;
+    uint8_t type;
     uint16_t reserved;
     if (!r.u32(magic) || !r.u8(version) || !r.u8(type) ||
         !r.u16(reserved) || !r.u64(request_id)) {
-        return false;
+        return DecodeResult::Malformed;
     }
-    return magic == kMagic && version == kVersion && type == want_type;
+    if (magic != kMagic || type != want_type)
+        return DecodeResult::Malformed;
+    if (version < kMinVersion || version > kVersion)
+        return DecodeResult::UnsupportedVersion;
+    return DecodeResult::Ok;
 }
 
 } // anonymous namespace
@@ -248,7 +258,9 @@ encodeRequest(const RequestFrame &frame, std::vector<uint8_t> &out)
     size_t length_at;
     beginFrame(out, length_at);
     Writer w(out);
-    header(w, kTypeRequest, frame.requestId);
+    // The request body is identical across v1 and v2; only the header
+    // version differs (and decides which response body comes back).
+    header(w, frame.version, kTypeRequest, frame.requestId);
 
     const PredictRequest &req = frame.request;
     w.u8(static_cast<uint8_t>(req.cls));
@@ -278,9 +290,23 @@ encodeResponse(const ResponseFrame &frame, std::vector<uint8_t> &out)
     size_t length_at;
     beginFrame(out, length_at);
     Writer w(out);
-    header(w, kTypeResponse, frame.requestId);
+    header(w, frame.version, kTypeResponse, frame.requestId);
     w.u8(static_cast<uint8_t>(frame.response.status));
+    if (frame.version >= 2) {
+        uint8_t flags = 0;
+        if (frame.response.calibrated)
+            flags |= kFlagCalibrated;
+        if (frame.response.ood)
+            flags |= kFlagOod;
+        if (frame.response.fallback)
+            flags |= kFlagFallback;
+        w.u8(flags);
+    }
     w.f64(frame.response.cpi);
+    if (frame.version >= 2) {
+        w.f64(frame.response.lo);
+        w.f64(frame.response.hi);
+    }
     w.str16(frame.response.message);
     endFrame(out, length_at);
 }
@@ -288,30 +314,38 @@ encodeResponse(const ResponseFrame &frame, std::vector<uint8_t> &out)
 bool
 decodeRequest(const uint8_t *data, size_t len, RequestFrame &out)
 {
+    return decodeRequestEx(data, len, out) == DecodeResult::Ok;
+}
+
+DecodeResult
+decodeRequestEx(const uint8_t *data, size_t len, RequestFrame &out)
+{
     Reader r(data, len);
-    if (!readHeader(r, kTypeRequest, out.requestId))
-        return false;
+    const DecodeResult head =
+        readHeader(r, kTypeRequest, out.requestId, out.version);
+    if (head != DecodeResult::Ok)
+        return head;
 
     PredictRequest &req = out.request;
     uint8_t cls, pad0, pad1, pad2;
     uint32_t timeout_us;
     if (!r.u8(cls) || !r.u8(pad0) || !r.u8(pad1) || !r.u8(pad2) ||
         !r.u32(timeout_us) || !r.str16(req.model)) {
-        return false;
+        return DecodeResult::Malformed;
     }
     if (cls >= kNumRequestClasses)
-        return false;
+        return DecodeResult::Malformed;
     req.cls = static_cast<RequestClass>(cls);
     req.timeout = std::chrono::microseconds(timeout_us);
 
     if (!r.i32(req.region.programId) || !r.i32(req.region.traceId) ||
         !r.u64(req.region.startChunk) || !r.u32(req.region.numChunks)) {
-        return false;
+        return DecodeResult::Malformed;
     }
 
     uint16_t num_params;
     if (!r.u16(num_params))
-        return false;
+        return DecodeResult::Malformed;
     // Starting from the default-constructed point and applying the
     // transmitted axes reproduces the sender's UarchParams exactly:
     // the ParamId accessors cover every field.
@@ -320,28 +354,44 @@ decodeRequest(const uint8_t *data, size_t len, RequestFrame &out)
         uint16_t id;
         int64_t value;
         if (!r.u16(id) || !r.i64(value))
-            return false;
+            return DecodeResult::Malformed;
         if (id >= static_cast<uint16_t>(kNumParams))
-            return false;
+            return DecodeResult::Malformed;
         req.params.set(static_cast<ParamId>(id), value);
     }
-    return r.exhausted();
+    return r.exhausted() ? DecodeResult::Ok : DecodeResult::Malformed;
 }
 
 bool
 decodeResponse(const uint8_t *data, size_t len, ResponseFrame &out)
 {
     Reader r(data, len);
-    if (!readHeader(r, kTypeResponse, out.requestId))
-        return false;
-    uint8_t status;
-    if (!r.u8(status) || !r.f64(out.response.cpi) ||
-        !r.str16(out.response.message)) {
+    if (readHeader(r, kTypeResponse, out.requestId, out.version) !=
+        DecodeResult::Ok) {
         return false;
     }
+    uint8_t status;
+    if (!r.u8(status))
+        return false;
+    uint8_t flags = 0;
+    if (out.version >= 2 && !r.u8(flags))
+        return false;
+    if (!r.f64(out.response.cpi))
+        return false;
+    if (out.version >= 2 &&
+        (!r.f64(out.response.lo) || !r.f64(out.response.hi))) {
+        return false;
+    }
+    if (!r.str16(out.response.message))
+        return false;
     if (status >= kNumServeStatuses)
         return false;
+    if ((flags & ~kKnownFlagsMask) != 0)
+        return false;
     out.response.status = static_cast<ServeStatus>(status);
+    out.response.calibrated = (flags & kFlagCalibrated) != 0;
+    out.response.ood = (flags & kFlagOod) != 0;
+    out.response.fallback = (flags & kFlagFallback) != 0;
     return r.exhausted();
 }
 

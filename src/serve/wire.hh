@@ -33,7 +33,22 @@ namespace wire
 
 /** Frame header magic: "CNCD". */
 constexpr uint32_t kMagic = 0x434E4344;
-constexpr uint8_t kVersion = 1;
+/**
+ * Current protocol version. v2 = v1 + uncertainty fields in the
+ * response body (flags byte + conformal interval bounds); request
+ * bodies are identical across both. The server accepts kMinVersion..
+ * kVersion and answers each frame at the version it arrived with, so
+ * v1 clients keep getting v1 (point-only) responses.
+ */
+constexpr uint8_t kVersion = 2;
+constexpr uint8_t kMinVersion = 1;
+
+/** Response flag bits (v2+). Append-only, like the enums. */
+constexpr uint8_t kFlagCalibrated = 1 << 0;
+constexpr uint8_t kFlagOod = 1 << 1;
+constexpr uint8_t kFlagFallback = 1 << 2;
+constexpr uint8_t kKnownFlagsMask =
+    kFlagCalibrated | kFlagOod | kFlagFallback;
 
 constexpr uint8_t kTypeRequest = 1;
 constexpr uint8_t kTypeResponse = 2;
@@ -52,6 +67,8 @@ constexpr size_t kLengthPrefixBytes = 4;
 struct RequestFrame
 {
     uint64_t requestId = 0;
+    /** Encode: version to emit. Decode: version the peer spoke. */
+    uint8_t version = kVersion;
     PredictRequest request;
 };
 
@@ -59,7 +76,23 @@ struct RequestFrame
 struct ResponseFrame
 {
     uint64_t requestId = 0;
+    /** Encode: version to emit. Decode: version the peer spoke. */
+    uint8_t version = kVersion;
     PredictResponse response;
+};
+
+/** Three-way decode outcome; see decodeRequestEx. */
+enum class DecodeResult : uint8_t
+{
+    Ok = 0,
+    /** Connection-fatal garbage (bad magic/type, truncation, ...). */
+    Malformed = 1,
+    /**
+     * Well-formed header with a version outside kMinVersion..kVersion.
+     * out.requestId is valid, so the server can send a diagnostic
+     * response naming its supported range before closing.
+     */
+    UnsupportedVersion = 2,
 };
 
 /**
@@ -79,6 +112,14 @@ void encodeResponse(const ResponseFrame &frame, std::vector<uint8_t> &out);
  * return is connection-fatal by protocol.
  */
 bool decodeRequest(const uint8_t *data, size_t len, RequestFrame &out);
+
+/**
+ * Like decodeRequest, but distinguishes "garbage" from "a well-formed
+ * frame speaking a version this build does not" -- the latter deserves
+ * a diagnostic response before the close (out.requestId is filled).
+ */
+DecodeResult decodeRequestEx(const uint8_t *data, size_t len,
+                             RequestFrame &out);
 
 /** Decode one response payload; same contract as decodeRequest. */
 bool decodeResponse(const uint8_t *data, size_t len, ResponseFrame &out);

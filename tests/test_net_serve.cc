@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/concorde.hh"
+#include "core/model_artifact.hh"
 #include "ml/mlp.hh"
 #include "serve/net_client.hh"
 #include "serve/net_server.hh"
@@ -439,6 +440,205 @@ TEST(NetServe, ClientWriteAfterServerCloseThrowsInsteadOfSigpipe)
         }
     }
     EXPECT_TRUE(threw);
+}
+
+// ---- protocol v2: uncertainty fields and version negotiation ----
+
+TEST(Wire, V2ResponseCarriesUncertaintyBitsExactly)
+{
+    wire::ResponseFrame frame;
+    frame.requestId = 7;
+    frame.version = 2;
+    frame.response.status = ServeStatus::OK;
+    frame.response.cpi = 1.0 / 3.0;
+    frame.response.lo = 0.1 + 0.2;      // not exactly representable
+    frame.response.hi = 2.0 / 3.0;
+    frame.response.calibrated = true;
+    frame.response.ood = true;
+    frame.response.fallback = true;
+
+    std::vector<uint8_t> bytes;
+    wire::encodeResponse(frame, bytes);
+    wire::ResponseFrame decoded;
+    ASSERT_TRUE(
+        wire::decodeResponse(bytes.data() + wire::kLengthPrefixBytes,
+                             bytes.size() - wire::kLengthPrefixBytes,
+                             decoded));
+    EXPECT_EQ(decoded.version, 2);
+    EXPECT_EQ(decoded.response.cpi, frame.response.cpi);
+    // The interval travels as raw IEEE bits, like cpi.
+    EXPECT_EQ(decoded.response.lo, frame.response.lo);
+    EXPECT_EQ(decoded.response.hi, frame.response.hi);
+    EXPECT_TRUE(decoded.response.calibrated);
+    EXPECT_TRUE(decoded.response.ood);
+    EXPECT_TRUE(decoded.response.fallback);
+}
+
+TEST(Wire, V1ResponseDowngradesToPointOnly)
+{
+    wire::ResponseFrame frame;
+    frame.requestId = 8;
+    frame.version = 1;      // a v1 client asked; answer at v1
+    frame.response.cpi = 2.25;
+    frame.response.lo = 2.0;
+    frame.response.hi = 2.5;
+    frame.response.calibrated = true;
+    frame.response.ood = true;
+
+    std::vector<uint8_t> bytes;
+    wire::encodeResponse(frame, bytes);
+    wire::ResponseFrame decoded;
+    ASSERT_TRUE(
+        wire::decodeResponse(bytes.data() + wire::kLengthPrefixBytes,
+                             bytes.size() - wire::kLengthPrefixBytes,
+                             decoded));
+    // The v1 body has no flags or interval: the point survives, the
+    // uncertainty fields come back at their defaults.
+    EXPECT_EQ(decoded.version, 1);
+    EXPECT_EQ(decoded.response.cpi, 2.25);
+    EXPECT_FALSE(decoded.response.calibrated);
+    EXPECT_FALSE(decoded.response.ood);
+    EXPECT_FALSE(decoded.response.fallback);
+    EXPECT_EQ(decoded.response.lo, 0.0);
+    EXPECT_EQ(decoded.response.hi, 0.0);
+}
+
+TEST(Wire, ReservedResponseFlagBitsAreMalformed)
+{
+    wire::ResponseFrame frame;
+    frame.requestId = 9;
+    frame.response.status = ServeStatus::OK;
+    frame.response.cpi = 1.5;
+    std::vector<uint8_t> bytes;
+    wire::encodeResponse(frame, bytes);
+    // Header is 16 bytes (magic u32, version u8, type u8, reserved u16,
+    // requestId u64); the v2 flags byte follows the status byte.
+    const size_t flags_off = wire::kLengthPrefixBytes + 16 + 1;
+    std::vector<uint8_t> tampered = bytes;
+    tampered[flags_off] |= 0x80;    // a reserved bit
+    wire::ResponseFrame out;
+    EXPECT_FALSE(
+        wire::decodeResponse(tampered.data() + wire::kLengthPrefixBytes,
+                             tampered.size() - wire::kLengthPrefixBytes,
+                             out));
+    // Untampered still decodes: the offset above hit the right byte.
+    EXPECT_TRUE(
+        wire::decodeResponse(bytes.data() + wire::kLengthPrefixBytes,
+                             bytes.size() - wire::kLengthPrefixBytes,
+                             out));
+}
+
+TEST(Wire, DecodeRequestExDistinguishesUnsupportedVersion)
+{
+    wire::RequestFrame frame;
+    frame.requestId = 0xfeedULL;
+    frame.request = makeRequest("m", RegionSpec{0, 0, 0, 1},
+                                UarchParams::armN1());
+    std::vector<uint8_t> bytes;
+    wire::encodeRequest(frame, bytes);
+    const uint8_t *payload = bytes.data() + wire::kLengthPrefixBytes;
+    const size_t len = bytes.size() - wire::kLengthPrefixBytes;
+
+    wire::RequestFrame out;
+    EXPECT_EQ(wire::decodeRequestEx(payload, len, out),
+              wire::DecodeResult::Ok);
+
+    std::vector<uint8_t> future(payload, payload + len);
+    future[4] = 99;     // version byte
+    EXPECT_EQ(wire::decodeRequestEx(future.data(), future.size(), out),
+              wire::DecodeResult::UnsupportedVersion);
+    // The id survives, so the server can address its diagnostic reply.
+    EXPECT_EQ(out.requestId, 0xfeedULL);
+
+    std::vector<uint8_t> garbage(payload, payload + len);
+    garbage[0] ^= 0xff;     // magic
+    EXPECT_EQ(wire::decodeRequestEx(garbage.data(), garbage.size(), out),
+              wire::DecodeResult::Malformed);
+}
+
+TEST(NetServe, UnsupportedVersionGetsDiagnosticReplyThenClose)
+{
+    ServerFixture fx(fastServeConfig());
+    NetClient client("127.0.0.1", fx.server.port());
+
+    wire::RequestFrame frame;
+    frame.requestId = 12345;
+    frame.request = makeRequest("tiny", RegionSpec{0, 0, 0, 1},
+                                UarchParams::armN1());
+    std::vector<uint8_t> bytes;
+    wire::encodeRequest(frame, bytes);
+    bytes[wire::kLengthPrefixBytes + 4] = 99;   // a future version
+    client.sendRaw(bytes.data(), bytes.size());
+
+    // Unlike garbage, an unsupported version earns one parseable reply:
+    // encoded at the server's minimum version, naming the range.
+    wire::ResponseFrame reply;
+    ASSERT_TRUE(client.recvResponse(reply));
+    EXPECT_EQ(reply.requestId, 12345u);
+    EXPECT_EQ(reply.version, wire::kMinVersion);
+    EXPECT_EQ(reply.response.status, ServeStatus::INTERNAL_ERROR);
+    EXPECT_NE(reply.response.message.find("unsupported protocol version"),
+              std::string::npos);
+    EXPECT_NE(reply.response.message.find("1..2"), std::string::npos);
+    // ... then the connection is closed like any protocol error.
+    EXPECT_FALSE(client.recvResponse(reply));
+
+    for (int i = 0; i < 100 && fx.server.stats().protocolErrors == 0; ++i)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const NetServerStats stats = fx.server.stats();
+    EXPECT_EQ(stats.unsupportedVersionFrames, 1u);
+    EXPECT_EQ(stats.protocolErrors, 1u);
+}
+
+TEST(NetServe, PerFrameNegotiationServesV1AndV2SideBySide)
+{
+    ServerFixture fx(fastServeConfig());
+    // A calibrated model: v2 clients see the interval, v1 clients the
+    // bare point.
+    {
+        FeatureConfig cfg;
+        cfg.numPercentiles = 5;
+        cfg.robSweep = {4, 64};
+        cfg.latencyRobSizes = {4, 64};
+        const FeatureLayout layout(cfg);
+        Mlp net({layout.dim(), 16, 1}, 99);
+        ModelArtifact artifact;
+        artifact.features = cfg;
+        artifact.model = TrainedModel(
+            std::move(net), std::vector<float>(layout.dim(), 0.0f),
+            std::vector<float>(layout.dim(), 1.0f), {});
+        artifact.calibration.scores = {0.05, 0.10, 0.20};
+        artifact.calibration.featLo.assign(layout.dim(), -1e9f);
+        artifact.calibration.featHi.assign(layout.dim(), 1e9f);
+        fx.service.registry().addArtifact("cal", artifact);
+    }
+    const PredictRequest request = makeRequest(
+        "cal", RegionSpec{9, 0, 0, 1}, UarchParams::armN1());
+
+    // NetClient speaks the current version: full uncertainty payload.
+    NetClient client("127.0.0.1", fx.server.port());
+    const PredictResponse v2 = client.predict(request);
+    ASSERT_EQ(v2.status, ServeStatus::OK);
+    EXPECT_TRUE(v2.calibrated);
+
+    // A hand-rolled v1 frame on the same server, same model: the same
+    // cached cpi double, point-only.
+    wire::RequestFrame old_frame;
+    old_frame.requestId = 77;
+    old_frame.version = 1;
+    old_frame.request = request;
+    std::vector<uint8_t> bytes;
+    wire::encodeRequest(old_frame, bytes);
+    client.sendRaw(bytes.data(), bytes.size());
+    wire::ResponseFrame reply;
+    ASSERT_TRUE(client.recvResponse(reply));
+    EXPECT_EQ(reply.requestId, 77u);
+    EXPECT_EQ(reply.version, 1);
+    EXPECT_EQ(reply.response.status, ServeStatus::OK);
+    EXPECT_EQ(reply.response.cpi, v2.cpi);      // bitwise: cache hit
+    EXPECT_FALSE(reply.response.calibrated);
+    EXPECT_EQ(reply.response.lo, 0.0);
+    EXPECT_EQ(reply.response.hi, 0.0);
 }
 
 } // anonymous namespace

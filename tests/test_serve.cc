@@ -152,10 +152,9 @@ robSizeHandler(std::atomic<int> *batches = nullptr)
     return [batches](const std::vector<PredictionRequest> &batch) {
         if (batches)
             ++*batches;
-        std::vector<double> out;
-        out.reserve(batch.size());
-        for (const auto &request : batch)
-            out.push_back(static_cast<double>(request.params.robSize));
+        std::vector<PredictResponse> out(batch.size());
+        for (size_t i = 0; i < batch.size(); ++i)
+            out[i].cpi = static_cast<double>(batch[i].params.robSize);
         return out;
     };
 }
@@ -328,7 +327,7 @@ TEST(BatchingQueue, HandlerExceptionBecomesInternalError)
     BatchingQueue queue(
         uniformBatching(4, std::chrono::microseconds(100)),
         [](const std::vector<PredictionRequest> &)
-            -> std::vector<double> {
+            -> std::vector<PredictResponse> {
             throw std::runtime_error("model exploded");
         });
     std::vector<std::future<PredictResponse>> futures;
@@ -348,7 +347,7 @@ TEST(BatchingQueue, WrongResultCountIsAnError)
     BatchingQueue queue(
         uniformBatching(2, std::chrono::microseconds(100)),
         [](const std::vector<PredictionRequest> &) {
-            return std::vector<double>{1.0};    // short by one
+            return std::vector<PredictResponse>(1);     // short by one
         });
     auto a = queue.submit(requestWithRob(1));
     auto b = queue.submit(requestWithRob(2));

@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Tests for the uncertainty-aware serving path: conformal intervals and
+ * OOD flags on PredictResponse, the graceful-degradation fallback to
+ * the cycle-level simulator (bitwise identical to calling it directly),
+ * the fallback admission budget under a concurrent OOD flood, and the
+ * crash-safe durable feedback file (a writer killed mid-append leaves
+ * only complete records plus reclaimable staging debris).
+ */
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/analysis_store.hh"
+#include "common/rng.hh"
+#include "common/serialize.hh"
+#include "core/concorde.hh"
+#include "core/dataset.hh"
+#include "core/model_artifact.hh"
+#include "ml/mlp.hh"
+#include "serve/prediction_service.hh"
+#include "sim/o3_core.hh"
+
+namespace concorde
+{
+namespace
+{
+
+using namespace concorde::serve;
+
+BatchingConfig
+uniformBatching(size_t max_batch, std::chrono::microseconds max_age)
+{
+    BatchingConfig cfg;
+    for (auto &policy : cfg.classes)
+        policy = {max_batch, max_age};
+    return cfg;
+}
+
+/** Small untrained predictor + a hand-built calibration. */
+ModelArtifact
+calibratedArtifact(uint64_t seed, std::vector<double> scores,
+                   float env_lo, float env_hi)
+{
+    FeatureConfig cfg;
+    cfg.numPercentiles = 5;
+    cfg.robSweep = {4, 64};
+    cfg.latencyRobSizes = {4, 64};
+    const FeatureLayout layout(cfg);
+    Mlp net({layout.dim(), 16, 1}, seed);
+    std::vector<float> mean(layout.dim(), 0.0f);
+    std::vector<float> stdev(layout.dim(), 1.0f);
+
+    ModelArtifact artifact;
+    artifact.features = cfg;
+    artifact.model = TrainedModel(std::move(net), std::move(mean),
+                                  std::move(stdev), {});
+    artifact.calibration.scores = std::move(scores);
+    artifact.calibration.featLo.assign(layout.dim(), env_lo);
+    artifact.calibration.featHi.assign(layout.dim(), env_hi);
+    return artifact;
+}
+
+/** Envelope far away from any real feature: every request flags OOD. */
+ModelArtifact
+oodForcingArtifact(uint64_t seed)
+{
+    return calibratedArtifact(seed, {0.01, 0.02, 0.03}, 1e9f, 2e9f);
+}
+
+/** Envelope containing everything: no request ever flags OOD. */
+ModelArtifact
+inDistributionArtifact(uint64_t seed, std::vector<double> scores)
+{
+    return calibratedArtifact(seed, std::move(scores), -1e9f, 1e9f);
+}
+
+ServeConfig
+uncertaintyServeConfig(size_t pool_threads = 2)
+{
+    ServeConfig cfg;
+    cfg.batching =
+        uniformBatching(8, std::chrono::microseconds(100));
+    cfg.cacheCapacity = 0;  // every request exercises the full path
+    cfg.poolThreads = pool_threads;
+    return cfg;
+}
+
+PredictRequest
+makeRequest(const RegionSpec &region, const UarchParams &params)
+{
+    PredictRequest request;
+    request.model = "m";
+    request.region = region;
+    request.params = params;
+    return request;
+}
+
+double
+directSimCpi(const RegionSpec &region, const UarchParams &params)
+{
+    const auto analysis = AnalysisStore::global().acquire(region);
+    SimScratch scratch;
+    return simulateRegion(params, *analysis, 0, &scratch).cpi();
+}
+
+/** Staging-debris files (`<base>.tmp.*`) next to `path`. */
+size_t
+countStagingDebris(const std::string &path)
+{
+    const size_t slash = path.find_last_of('/');
+    const std::string dir =
+        slash == std::string::npos ? "." : path.substr(0, slash);
+    const std::string base =
+        (slash == std::string::npos ? path : path.substr(slash + 1))
+        + ".tmp";
+    size_t count = 0;
+    DIR *d = opendir(dir.c_str());
+    if (!d)
+        return 0;
+    while (const dirent *entry = readdir(d)) {
+        if (std::string(entry->d_name).rfind(base, 0) == 0)
+            ++count;
+    }
+    closedir(d);
+    return count;
+}
+
+TEST(Uncertainty, FallbackIsBitwiseIdenticalToDirectSimulation)
+{
+    ServeConfig cfg = uncertaintyServeConfig();
+    cfg.uncertainty.fallbackEnabled = true;
+    cfg.uncertainty.maxFallbackInFlight = 2;
+    PredictionService service(cfg);
+    service.registry().addArtifact("m", oodForcingArtifact(31));
+
+    const RegionSpec region{3, 0, 0, 1};
+    Rng rng(32);
+    for (int i = 0; i < 4; ++i) {
+        const UarchParams params = UarchParams::sampleRandom(rng);
+        const PredictResponse response =
+            service.predict(makeRequest(region, params));
+        ASSERT_TRUE(response.ok()) << response.message;
+        EXPECT_TRUE(response.fallback);
+        EXPECT_TRUE(response.ood);
+        EXPECT_TRUE(response.calibrated);
+        // Ground truth: interval collapses to the point, and the point
+        // is *bitwise* what simulateRegion returns for this request.
+        EXPECT_EQ(response.lo, response.cpi);
+        EXPECT_EQ(response.hi, response.cpi);
+        EXPECT_EQ(response.cpi, directSimCpi(region, params));
+    }
+
+    const ServeStats stats = service.stats();
+    EXPECT_EQ(stats.servedFallbackSim, 4u);
+    EXPECT_EQ(stats.flaggedOod, 4u);
+    EXPECT_EQ(stats.servedFast, 0u);
+    EXPECT_EQ(stats.fallbackRejectedOverload, 0u);
+}
+
+TEST(Uncertainty, FlaggedResultsAreNeverCached)
+{
+    ServeConfig cfg = uncertaintyServeConfig();
+    cfg.cacheCapacity = 1024;   // cache on; flagged answers must skip it
+    cfg.uncertainty.fallbackEnabled = true;
+    PredictionService service(cfg);
+    service.registry().addArtifact("m", oodForcingArtifact(33));
+
+    const PredictRequest request =
+        makeRequest(RegionSpec{4, 0, 0, 1}, UarchParams::armN1());
+    const PredictResponse first = service.predict(request);
+    const PredictResponse second = service.predict(request);
+    EXPECT_TRUE(first.fallback);
+    EXPECT_TRUE(second.fallback);
+    EXPECT_EQ(first.cpi, second.cpi);
+    // Both passes missed: a flagged answer never entered the cache.
+    EXPECT_EQ(service.stats().cache.hits, 0u);
+    EXPECT_EQ(service.stats().servedFallbackSim, 2u);
+}
+
+TEST(Uncertainty, CalibratedInDistributionServesIntervalOnFastPath)
+{
+    ServeConfig cfg = uncertaintyServeConfig();
+    cfg.uncertainty.alpha = 0.1;
+    cfg.uncertainty.fallbackEnabled = true;    // must not engage
+    PredictionService service(cfg);
+    const ModelArtifact artifact =
+        inDistributionArtifact(34, {0.05, 0.10, 0.20});
+    service.registry().addArtifact("m", artifact);
+
+    const PredictResponse response = service.predict(
+        makeRequest(RegionSpec{5, 0, 0, 1}, UarchParams::armN1()));
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response.calibrated);
+    EXPECT_FALSE(response.ood);
+    EXPECT_FALSE(response.fallback);
+    // The served interval is exactly what the shipped calibration
+    // produces around the served point at the configured alpha.
+    double lo = 0.0, hi = 0.0;
+    artifact.calibration.intervalAround(response.cpi,
+                                        cfg.uncertainty.alpha, lo, hi);
+    EXPECT_EQ(response.lo, lo);
+    EXPECT_EQ(response.hi, hi);
+    EXPECT_EQ(service.stats().servedFast, 1u);
+    EXPECT_EQ(service.stats().flaggedOod, 0u);
+}
+
+TEST(Uncertainty, UncalibratedModelServesPointOnly)
+{
+    ServeConfig cfg = uncertaintyServeConfig();
+    cfg.uncertainty.fallbackEnabled = true;    // irrelevant: no calibration
+    PredictionService service(cfg);
+    ModelArtifact bare = oodForcingArtifact(35);
+    bare.calibration = ConformalCalibration{};
+    service.registry().addArtifact("m", bare);
+
+    const PredictResponse response = service.predict(
+        makeRequest(RegionSpec{6, 0, 0, 1}, UarchParams::armN1()));
+    ASSERT_TRUE(response.ok());
+    EXPECT_FALSE(response.calibrated);
+    EXPECT_FALSE(response.ood);
+    EXPECT_FALSE(response.fallback);
+    EXPECT_EQ(response.lo, 0.0);
+    EXPECT_EQ(response.hi, 0.0);
+    EXPECT_EQ(service.stats().servedFast, 1u);
+}
+
+TEST(Uncertainty, WidthSloBreachTriggersFallbackWithoutOodFlag)
+{
+    ServeConfig cfg = uncertaintyServeConfig();
+    // One huge conformity score: every interval is ~20x wider than the
+    // prediction, far past the 50% width SLO.
+    cfg.uncertainty.maxRelWidth = 0.5;
+    cfg.uncertainty.fallbackEnabled = true;
+    PredictionService service(cfg);
+    const ModelArtifact artifact = inDistributionArtifact(36, {10.0});
+    service.registry().addArtifact("m", artifact);
+
+    const RegionSpec region{7, 0, 0, 1};
+    const UarchParams params = UarchParams::armN1();
+    // The width check only applies to positive predictions (the seed
+    // is chosen so the untrained net predicts > 0 here).
+    {
+        ConcordePredictor probe = artifact.predictor();
+        FeatureProvider provider(region, probe.featureConfig());
+        ASSERT_GT(probe.predictCpi(provider, params), 0.0);
+    }
+    const PredictResponse response =
+        service.predict(makeRequest(region, params));
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response.fallback);
+    EXPECT_FALSE(response.ood);     // flagged by width, not by OOD
+    EXPECT_EQ(response.cpi, directSimCpi(region, params));
+    EXPECT_EQ(service.stats().flaggedOod, 0u);
+    EXPECT_EQ(service.stats().servedFallbackSim, 1u);
+}
+
+TEST(Uncertainty, ExhaustedBudgetRejectsWhenConfigured)
+{
+    ServeConfig cfg = uncertaintyServeConfig();
+    cfg.uncertainty.fallbackEnabled = true;
+    cfg.uncertainty.maxFallbackInFlight = 0;    // nothing ever admitted
+    cfg.uncertainty.rejectOnBudget = true;
+    PredictionService service(cfg);
+    service.registry().addArtifact("m", oodForcingArtifact(37));
+
+    Rng rng(38);
+    for (int i = 0; i < 3; ++i) {
+        const PredictResponse response = service.predict(makeRequest(
+            RegionSpec{8, 0, 0, 1}, UarchParams::sampleRandom(rng)));
+        EXPECT_EQ(response.status, ServeStatus::OVERLOADED);
+        EXPECT_NE(response.message.find("budget"), std::string::npos);
+    }
+    const ServeStats stats = service.stats();
+    EXPECT_EQ(stats.fallbackRejectedOverload, 3u);
+    EXPECT_EQ(stats.servedFallbackSim, 0u);
+    EXPECT_EQ(stats.servedFast, 0u);
+}
+
+TEST(Uncertainty, ExhaustedBudgetDegradesToFlaggedFastAnswer)
+{
+    ServeConfig cfg = uncertaintyServeConfig();
+    cfg.uncertainty.fallbackEnabled = true;
+    cfg.uncertainty.maxFallbackInFlight = 0;
+    cfg.uncertainty.rejectOnBudget = false;     // the default
+    PredictionService service(cfg);
+    service.registry().addArtifact("m", oodForcingArtifact(39));
+
+    const PredictResponse response = service.predict(
+        makeRequest(RegionSpec{9, 0, 0, 1}, UarchParams::armN1()));
+    // The fast ML answer stands, with the flags telling the client
+    // exactly how much to trust it.
+    ASSERT_TRUE(response.ok());
+    EXPECT_TRUE(response.ood);
+    EXPECT_FALSE(response.fallback);
+    EXPECT_TRUE(response.calibrated);
+    EXPECT_EQ(service.stats().fallbackRejectedOverload, 1u);
+    EXPECT_EQ(service.stats().servedFast, 1u);
+}
+
+TEST(Uncertainty, ConcurrentOodFloodRespectsBudgetWithoutDeadlock)
+{
+    ServeConfig cfg = uncertaintyServeConfig(/*pool_threads=*/4);
+    // maxBatch 1: every request is its own batch, so up to four
+    // handlers race for one fallback slot at a time.
+    cfg.batching = uniformBatching(1, std::chrono::microseconds(50));
+    cfg.uncertainty.fallbackEnabled = true;
+    cfg.uncertainty.maxFallbackInFlight = 1;
+    cfg.uncertainty.rejectOnBudget = false;
+    PredictionService service(cfg);
+    service.registry().addArtifact("m", oodForcingArtifact(41));
+
+    const size_t n = 24;
+    const RegionSpec region{10, 0, 0, 1};
+    // Warm the region analysis so the flood races on the budget, not
+    // on the store's per-key once-init.
+    (void)directSimCpi(region, UarchParams::armN1());
+
+    Rng rng(42);
+    std::vector<std::future<PredictResponse>> futures;
+    for (size_t i = 0; i < n; ++i) {
+        futures.push_back(service.submit(
+            makeRequest(region, UarchParams::sampleRandom(rng))));
+    }
+    size_t fallbacks = 0, flagged_fast = 0;
+    for (auto &future : futures) {
+        const PredictResponse response = future.get();
+        ASSERT_TRUE(response.ok()) << response.message;
+        EXPECT_TRUE(response.ood);
+        if (response.fallback) {
+            ++fallbacks;
+            EXPECT_EQ(response.lo, response.cpi);
+        } else {
+            ++flagged_fast;
+        }
+    }
+    const ServeStats stats = service.stats();
+    EXPECT_EQ(fallbacks + flagged_fast, n);
+    EXPECT_EQ(stats.servedFallbackSim, fallbacks);
+    EXPECT_EQ(stats.servedFast, flagged_fast);
+    EXPECT_EQ(stats.fallbackRejectedOverload, flagged_fast);
+    EXPECT_EQ(stats.flaggedOod, static_cast<uint64_t>(n));
+    EXPECT_GE(fallbacks, 1u);   // the budget admits work, not nothing
+}
+
+/**
+ * Run a feedback-writing workload in a forked child so the crash hook
+ * (a process-wide env switch) can kill it without taking the test
+ * runner down. Returns the child's wait status.
+ */
+int
+runFeedbackChild(const std::string &feedback_path, int crash_after,
+                 int num_requests, uint64_t region_program)
+{
+    fflush(nullptr);
+    const pid_t pid = fork();
+    if (pid == 0) {
+        if (crash_after >= 0) {
+            char value[16];
+            std::snprintf(value, sizeof(value), "%d", crash_after);
+            setenv("CONCORDE_FEEDBACK_CRASH_AFTER_APPENDS", value, 1);
+        }
+        ServeConfig cfg = uncertaintyServeConfig(/*pool_threads=*/1);
+        cfg.uncertainty.fallbackEnabled = true;
+        cfg.uncertainty.maxFallbackInFlight = 2;
+        cfg.uncertainty.feedbackPath = feedback_path;
+        PredictionService service(cfg);
+        service.registry().addArtifact("m", oodForcingArtifact(51));
+        Rng rng(52);
+        for (int i = 0; i < num_requests; ++i) {
+            const PredictResponse response = service.predict(
+                makeRequest(RegionSpec{static_cast<int>(region_program),
+                                       0, 0, 1},
+                            UarchParams::sampleRandom(rng)));
+            if (!response.ok() || !response.fallback)
+                ::_exit(3);
+        }
+        service.shutdown();
+        ::_exit(0);
+    }
+    int status = 0;
+    EXPECT_EQ(waitpid(pid, &status, 0), pid);
+    return status;
+}
+
+TEST(Uncertainty, FeedbackFileSurvivesWriterKilledMidAppend)
+{
+    const std::string path = "/tmp/concorde_test_feedback_" +
+        std::to_string(::getpid()) + ".bin";
+    std::remove(path.c_str());
+    reclaimStagingDebris(path);
+    ASSERT_EQ(countStagingDebris(path), 0u);
+
+    // Round 1: a clean writer appends two records and exits normally.
+    int status = runFeedbackChild(path, /*crash_after=*/-1,
+                                  /*num_requests=*/2, 11);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+    ASSERT_TRUE(fileExists(path));
+    {
+        const Dataset feedback = Dataset::load(path);
+        ASSERT_EQ(feedback.size(), 2u);
+        // Labels are the simulator's ground truth for the recorded
+        // (region, design point) -- re-simulation reproduces them.
+        for (size_t i = 0; i < feedback.size(); ++i) {
+            EXPECT_EQ(feedback.labels[i],
+                      static_cast<float>(
+                          directSimCpi(feedback.meta[i].region,
+                                       feedback.meta[i].params)));
+        }
+    }
+
+    // Round 2: the writer is killed mid-append -- after staging the
+    // third record but before publishing it. The published file must
+    // still be the previous complete version; the only trace of the
+    // crash is staging debris.
+    status = runFeedbackChild(path, /*crash_after=*/0,
+                              /*num_requests=*/1, 11);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 42);     // the crash hook's exit code
+    ASSERT_TRUE(fileExists(path));
+    {
+        const Dataset feedback = Dataset::load(path);   // still loads
+        EXPECT_EQ(feedback.size(), 2u);     // no partial third record
+    }
+    EXPECT_GE(countStagingDebris(path), 1u);
+
+    // The next writer's first touch sweeps the dead pid's debris.
+    EXPECT_GE(reclaimStagingDebris(path), 1u);
+    EXPECT_EQ(countStagingDebris(path), 0u);
+
+    std::remove(path.c_str());
+}
+
+TEST(Uncertainty, FeedbackAccumulatesAcrossWriters)
+{
+    const std::string path = "/tmp/concorde_test_feedback_acc_" +
+        std::to_string(::getpid()) + ".bin";
+    std::remove(path.c_str());
+
+    // Two writer generations (service restarts) append to one file.
+    for (int round = 0; round < 2; ++round) {
+        const int status =
+            runFeedbackChild(path, -1, /*num_requests=*/2, 11);
+        ASSERT_TRUE(WIFEXITED(status));
+        ASSERT_EQ(WEXITSTATUS(status), 0);
+    }
+    const Dataset feedback = Dataset::load(path);
+    EXPECT_EQ(feedback.size(), 4u);
+    EXPECT_GT(feedback.dim, 0u);
+    EXPECT_EQ(feedback.features.size(), feedback.dim * feedback.size());
+    std::remove(path.c_str());
+}
+
+} // anonymous namespace
+} // namespace concorde

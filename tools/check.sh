@@ -82,6 +82,15 @@ if [ "${SKIP_BENCH:-0}" != "1" ]; then
     CONCORDE_BENCH_JSON=BENCH_accuracy.json \
         ./build/bench/bench_accuracy
 
+    # Uncertainty-serving gate: conformal coverage >= 1 - alpha - tol on
+    # held-out data, v1 (pre-calibration) artifacts load and predict
+    # bitwise-identically, the OOD envelope classifies exactly, and
+    # simulator-fallback answers + durable feedback labels are bitwise
+    # equal to direct simulateRegion. All timing-free.
+    rm -rf uncertainty-artifacts
+    CONCORDE_SMOKE=1 CONCORDE_BENCH_JSON=BENCH_uncertainty.json \
+        ./build/bench/bench_uncertainty
+
     # Batched-inference smoke at reduced sizes (trains a small model
     # into a scratch artifact dir on first run).
     if [ -x build/bench/bench_fig10_speed ]; then

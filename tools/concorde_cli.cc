@@ -129,7 +129,10 @@ usage()
         "batch=\n"
         "                   deadline_us= cache= burst= regions= threads= "
         "inflight=\n"
-        "                   listen=<port> param=value ...]\n"
+        "                   listen=<port> alpha= max_width= fallback=0|1\n"
+        "                   fallback_budget= fallback_reject=0|1 "
+        "feedback=<file>\n"
+        "                   param=value ...]\n"
         "  pipeline <program> [chunks= region= warmup= start= threads=\n"
         "                      mode=sharded|scalar|service "
         "state=carry|independent param=value ...]\n"
@@ -144,7 +147,8 @@ usage()
         "                      param=value ...]\n"
         "  train data=<dir|file> out=<artifact> [epochs= val= batch= "
         "seed= threads=\n"
-        "                      checkpoint=<file> max_epochs=]\n"
+        "                      checkpoint=<file> max_epochs= "
+        "feedback=<file>]\n"
         "  eval model=<artifact> data=<dir|file>\n"
         "  list\n"
         "run with 'list' for programs and parameter names\n");
@@ -235,15 +239,18 @@ regionFor(int pid)
 }
 
 /**
- * Split args into serve-layer options (consumed into `options`) and
- * uarch overrides (applied to `params`). `--model <path>` / `model=<path>`
- * is consumed into `model_path` when given. Returns false on any unknown
- * key or malformed value.
+ * Split args into serve-layer options (consumed into `options`,
+ * `double_options`, `string_options`) and uarch overrides (applied to
+ * `params`). `--model <path>` / `model=<path>` is consumed into
+ * `model_path` when given. Returns false on any unknown key or
+ * malformed value.
  */
 bool
 parseServeArgs(int argc, char **argv, int first,
                std::map<std::string, int64_t> &options, UarchParams &params,
-               std::string *model_path)
+               std::string *model_path,
+               std::map<std::string, double> *double_options = nullptr,
+               std::map<std::string, std::string> *string_options = nullptr)
 {
     for (int i = first; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -278,6 +285,26 @@ parseServeArgs(int argc, char **argv, int first,
             options[key] = value;
             continue;
         }
+        if (double_options && double_options->count(key)) {
+            double value = 0.0;
+            if (eq == std::string::npos
+                || !parseDouble(arg.substr(eq + 1), value) || value < 0.0) {
+                std::fprintf(stderr, "bad value for serve option '%s'\n",
+                             key.c_str());
+                return false;
+            }
+            (*double_options)[key] = value;
+            continue;
+        }
+        if (string_options && string_options->count(key)) {
+            if (eq == std::string::npos || eq + 1 == arg.size()) {
+                std::fprintf(stderr, "bad value for serve option '%s'\n",
+                             key.c_str());
+                return false;
+            }
+            (*string_options)[key] = arg.substr(eq + 1);
+            continue;
+        }
         if (!applyOverride(params, arg))
             return false;
     }
@@ -299,12 +326,24 @@ runServe(int pid, const char *code, int argc, char **argv)
         {"clients", 4},   {"requests", 2000}, {"batch", 64},
         {"deadline_us", 200}, {"cache", 65536}, {"burst", 32},
         {"regions", 4},   {"threads", 0},     {"listen", -1},
-        {"inflight", 0},
+        {"inflight", 0},  {"fallback", 0},    {"fallback_budget", 2},
+        {"fallback_reject", 0},
+    };
+    std::map<std::string, double> dopt = {
+        {"alpha", 0.1}, {"max_width", 0.0},
+    };
+    std::map<std::string, std::string> sopt = {
+        {"feedback", ""},
     };
     UarchParams base = UarchParams::armN1();
     std::string model_path;
-    if (!parseServeArgs(argc, argv, 3, opt, base, &model_path))
+    if (!parseServeArgs(argc, argv, 3, opt, base, &model_path, &dopt,
+                        &sopt))
         return usage();
+    if (dopt["alpha"] <= 0.0 || dopt["alpha"] >= 1.0) {
+        std::fprintf(stderr, "alpha must be in (0, 1)\n");
+        return usage();
+    }
     const size_t clients = std::max<int64_t>(1, opt["clients"]);
     const size_t requests = std::max<int64_t>(1, opt["requests"]);
     const size_t num_regions = std::max<int64_t>(1, opt["regions"]);
@@ -326,6 +365,13 @@ runServe(int pid, const char *code, int argc, char **argv)
     config.cacheCapacity = static_cast<size_t>(opt["cache"]);
     config.poolThreads = opt["threads"] == 0
         ? defaultThreads() : static_cast<size_t>(opt["threads"]);
+    config.uncertainty.alpha = dopt["alpha"];
+    config.uncertainty.maxRelWidth = dopt["max_width"];
+    config.uncertainty.fallbackEnabled = opt["fallback"] != 0;
+    config.uncertainty.maxFallbackInFlight =
+        static_cast<size_t>(opt["fallback_budget"]);
+    config.uncertainty.rejectOnBudget = opt["fallback_reject"] != 0;
+    config.uncertainty.feedbackPath = sopt["feedback"];
 
     serve::PredictionService service(config);
     if (model_path.empty()) {
@@ -346,6 +392,22 @@ runServe(int pid, const char *code, int argc, char **argv)
                         handle.provenance->trainedEpochs),
                     handle.provenance->heldOutRelErr,
                     handle.provenance->gitDescribe.c_str());
+    }
+    if (service.registry().get("default").calibrated()) {
+        std::printf("uncertainty: calibrated (alpha=%.3g max_width=%.3g "
+                    "fallback=%s budget=%zu reject=%s%s%s)\n",
+                    config.uncertainty.alpha,
+                    config.uncertainty.maxRelWidth,
+                    config.uncertainty.fallbackEnabled ? "on" : "off",
+                    config.uncertainty.maxFallbackInFlight,
+                    config.uncertainty.rejectOnBudget ? "overloaded"
+                                                      : "flag-only",
+                    config.uncertainty.feedbackPath.empty()
+                        ? "" : " feedback=",
+                    config.uncertainty.feedbackPath.c_str());
+    } else {
+        std::printf("uncertainty: model is uncalibrated -> point-only "
+                    "responses (train with val>0 for intervals)\n");
     }
 
     // Each client sweeps random design points over a handful of regions
@@ -393,15 +455,28 @@ runServe(int pid, const char *code, int argc, char **argv)
         const serve::NetServerStats net = server.stats();
         const serve::ServeStats sstats = service.stats();
         std::printf("  %llu connections, %llu frames in / %llu out, "
-                    "%llu protocol errors\n",
+                    "%llu protocol errors (%llu unsupported-version)\n",
                     static_cast<unsigned long long>(
                         net.connectionsAccepted),
                     static_cast<unsigned long long>(net.framesIn),
                     static_cast<unsigned long long>(net.framesOut),
-                    static_cast<unsigned long long>(net.protocolErrors));
+                    static_cast<unsigned long long>(net.protocolErrors),
+                    static_cast<unsigned long long>(
+                        net.unsupportedVersionFrames));
         std::printf("  service latency p50 %.0fus  p90 %.0fus  "
                     "p99 %.0fus\n", sstats.latency.p50Us,
                     sstats.latency.p90Us, sstats.latency.p99Us);
+        std::printf("  routes: fast=%llu fallback_sim=%llu "
+                    "flagged_ood=%llu fallback_rejected=%llu "
+                    "feedback_appended=%llu\n",
+                    static_cast<unsigned long long>(sstats.servedFast),
+                    static_cast<unsigned long long>(
+                        sstats.servedFallbackSim),
+                    static_cast<unsigned long long>(sstats.flaggedOod),
+                    static_cast<unsigned long long>(
+                        sstats.fallbackRejectedOverload),
+                    static_cast<unsigned long long>(
+                        sstats.feedbackAppended));
         return 0;
     }
 
@@ -494,7 +569,14 @@ runServe(int pid, const char *code, int argc, char **argv)
                             stats.byStatus[s]));
         }
     }
-    std::printf("\n");
+    std::printf("\n  routes: fast=%llu fallback_sim=%llu flagged_ood=%llu "
+                "fallback_rejected=%llu feedback_appended=%llu\n",
+                static_cast<unsigned long long>(stats.servedFast),
+                static_cast<unsigned long long>(stats.servedFallbackSim),
+                static_cast<unsigned long long>(stats.flaggedOod),
+                static_cast<unsigned long long>(
+                    stats.fallbackRejectedOverload),
+                static_cast<unsigned long long>(stats.feedbackAppended));
     return 0;
 }
 
@@ -981,7 +1063,7 @@ runTrain(int argc, char **argv)
         {"epochs", 12}, {"batch", 256}, {"seed", 1234}, {"threads", 0},
         {"max_epochs", 0},
     };
-    std::string data_path, out_path, checkpoint;
+    std::string data_path, out_path, checkpoint, feedback_path;
     double val_fraction = 0.1;
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -1003,6 +1085,10 @@ runTrain(int argc, char **argv)
         }
         if (key == "checkpoint") {
             checkpoint = value;
+            continue;
+        }
+        if (key == "feedback") {
+            feedback_path = value;
             continue;
         }
         if (key == "val") {
@@ -1051,6 +1137,23 @@ runTrain(int argc, char **argv)
     fatal_if(FeatureLayout(artifacts::featureConfig()).dim() != data.dim,
              "dataset dim %zu does not match the feature layout",
              data.dim);
+    if (!feedback_path.empty()) {
+        // Active-learning loop: fold the serving layer's fallback
+        // feedback file (simulator-labeled OOD requests) into this run.
+        if (!fileExists(feedback_path)) {
+            std::fprintf(stderr, "feedback file '%s' not found\n",
+                         feedback_path.c_str());
+            return 1;
+        }
+        const Dataset feedback = Dataset::load(feedback_path);
+        fatal_if(feedback.dim != data.dim,
+                 "feedback dim %zu does not match dataset dim %zu",
+                 feedback.dim, data.dim);
+        data.append(feedback);
+        std::printf("folded %zu feedback samples from %s into the "
+                    "training set\n", feedback.size(),
+                    feedback_path.c_str());
+    }
 
     TrainConfig tc;
     tc.epochs = static_cast<size_t>(opt["epochs"]);
@@ -1077,6 +1180,10 @@ runTrain(int argc, char **argv)
     ModelArtifact artifact;
     artifact.features = artifacts::featureConfig();
     artifact.model = run.model;
+    // Ship the conformal calibration (fitted on the held-out split)
+    // with the weights: the serving layer reads it for intervals and
+    // the OOD guardrail. val=0 -> an uncalibrated (point-only) artifact.
+    artifact.calibration = run.calibration;
     artifact.provenance.datasetManifestHash = manifest_hash;
     artifact.provenance.datasetPath = data_path;
     artifact.provenance.gitDescribe = buildGitDescribe();
@@ -1085,6 +1192,11 @@ runTrain(int argc, char **argv)
     if (!run.history.empty())
         artifact.provenance.heldOutRelErr = run.history.back().valRelErr;
     artifact.save(out_path);
+    if (artifact.calibrated()) {
+        std::printf("calibrated: %zu held-out conformity scores travel "
+                    "with the artifact\n",
+                    artifact.calibration.scores.size());
+    }
     if (run.history.back().valRelErr >= 0.0) {
         std::printf("trained in %.1fs: train rel-err %.4f, held-out "
                     "rel-err %.4f\n", timer.seconds(),
